@@ -1,0 +1,4 @@
+#!/bin/sh
+# Regenerate every experiment table at full size (EXPERIMENTS.md data).
+# Usage: ./run_all_experiments.sh [--quick]
+exec dune exec bin/wfrc_bench.exe -- run all "$@"
