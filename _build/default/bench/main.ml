@@ -1,0 +1,185 @@
+(* E6: single-threaded micro-costs via Bechamel.
+
+   Groups:
+   - primitives: the paper's Figure 2 atoms (read/write/FAA/CAS/SWAP)
+     on one arena cell;
+   - mm.<scheme>: the memory-manager hot paths — alloc+release pair,
+     deref+release pair, cas_link flip — for every registered scheme;
+   - structures.<scheme>: one push+pop / enqueue+dequeue /
+     insert+delete_min round trip.
+
+   Quiescent single-thread numbers: they measure the constant factors
+   (announcement writes, helping scans, share bookkeeping), not
+   contention — experiments E1–E5 cover that. *)
+
+open Bechamel
+open Toolkit
+module Mm = Mm_intf
+module Value = Shmem.Value
+
+let primitives_tests () =
+  let cell = Atomics.Primitives.make 0 in
+  [
+    Test.make ~name:"read"
+      (Staged.stage (fun () -> Atomics.Primitives.read cell));
+    Test.make ~name:"write"
+      (Staged.stage (fun () -> Atomics.Primitives.write cell 1));
+    Test.make ~name:"faa"
+      (Staged.stage (fun () -> Atomics.Primitives.faa cell 2));
+    Test.make ~name:"swap"
+      (Staged.stage (fun () -> Atomics.Primitives.swap cell 3));
+    Test.make ~name:"cas-hit"
+      (Staged.stage (fun () ->
+           let v = Atomics.Primitives.read cell in
+           Atomics.Primitives.cas cell ~old:v ~nw:v));
+    Test.make ~name:"cas-miss"
+      (Staged.stage (fun () -> Atomics.Primitives.cas cell ~old:(-1) ~nw:0));
+  ]
+
+let mm_tests scheme =
+  let cfg =
+    Mm.config ~threads:2 ~capacity:1024 ~num_links:1 ~num_data:1 ~num_roots:2
+      ()
+  in
+  let mm = Harness.Registry.instantiate scheme cfg in
+  let arena = Mm.arena mm in
+  let root = Shmem.Arena.root_addr arena 0 in
+  let seeded = Mm.alloc mm ~tid:0 in
+  Mm.store_link mm ~tid:0 root seeded;
+  Mm.release mm ~tid:0 seeded;
+  (* Each body is a complete client operation: bracketed with
+     enter/exit (EBR pins epochs there) and finishing with [terminate]
+     for nodes leaving the structure (the retire point for HP/EBR; a
+     no-op for the RC schemes). *)
+  let op f =
+    Staged.stage (fun () ->
+        Mm.enter_op mm ~tid:0;
+        f ();
+        Mm.exit_op mm ~tid:0)
+  in
+  [
+    Test.make ~name:"alloc+release"
+      (op (fun () ->
+           let p = Mm.alloc mm ~tid:0 in
+           Mm.release mm ~tid:0 p;
+           Mm.terminate mm ~tid:0 p));
+    Test.make ~name:"deref+release"
+      (op (fun () ->
+           let p = Mm.deref mm ~tid:0 root in
+           if not (Value.is_null p) then Mm.release mm ~tid:0 p));
+    Test.make ~name:"cas_link-flip"
+      (op (fun () ->
+           let b = Mm.alloc mm ~tid:0 in
+           let old = Mm.deref mm ~tid:0 root in
+           ignore (Mm.cas_link mm ~tid:0 root ~old ~nw:b);
+           if not (Value.is_null old) then begin
+             Mm.release mm ~tid:0 old;
+             Mm.terminate mm ~tid:0 old
+           end;
+           Mm.release mm ~tid:0 b));
+  ]
+
+let structure_tests scheme =
+  let cfg =
+    Mm.config ~threads:2 ~capacity:4096 ~num_links:6 ~num_data:3 ~num_roots:4
+      ()
+  in
+  let mm = Harness.Registry.instantiate scheme cfg in
+  let stack = Structures.Stack.create mm ~root:0 in
+  let queue = Structures.Queue.create mm ~head_root:1 ~tail_root:2 ~tid:0 in
+  let base =
+    [
+      Test.make ~name:"stack-push+pop"
+        (Staged.stage (fun () ->
+             Structures.Stack.push stack ~tid:0 7;
+             Structures.Stack.pop stack ~tid:0));
+      Test.make ~name:"queue-enq+deq"
+        (Staged.stage (fun () ->
+             Structures.Queue.enqueue queue ~tid:0 7;
+             Structures.Queue.dequeue queue ~tid:0));
+    ]
+  in
+  let base =
+    base
+    @ [
+        (let cfg' =
+           Mm.config ~threads:2 ~capacity:4096 ~num_links:1 ~num_data:2
+             ~num_roots:0 ()
+         in
+         let mm' = Harness.Registry.instantiate scheme cfg' in
+         let set = Structures.Oset.create mm' ~tid:0 in
+         for k = 1 to 128 do
+           ignore (Structures.Oset.insert set ~tid:0 (k * 2) 0)
+         done;
+         let k = ref 0 in
+         Test.make ~name:"oset-ins+del+mem"
+           (Staged.stage (fun () ->
+                incr k;
+                let key = 1 + (2 * (!k mod 128)) in
+                ignore (Structures.Oset.insert set ~tid:0 key 0);
+                ignore (Structures.Oset.mem set ~tid:0 key);
+                ignore (Structures.Oset.remove set ~tid:0 key))));
+      ]
+  in
+  if List.mem scheme Harness.Registry.rc_names then begin
+    let pq = Structures.Pqueue.create mm ~seed:99 ~tid:0 in
+    (* steady-state population *)
+    let rng = Sched.Rng.create 4242 in
+    for _ = 1 to 256 do
+      Structures.Pqueue.insert pq ~tid:0 (1 + Sched.Rng.int rng 10_000) 0
+    done;
+    let k = ref 0 in
+    base
+    @ [
+        Test.make ~name:"pq-insert+delmin"
+          (Staged.stage (fun () ->
+               incr k;
+               Structures.Pqueue.insert pq ~tid:0
+                 (1 + (!k * 7919 mod 10_000))
+                 0;
+               Structures.Pqueue.delete_min pq ~tid:0));
+      ]
+  end
+  else base
+
+let all_tests () =
+  Test.make_grouped ~name:"E6"
+    [
+      Test.make_grouped ~name:"primitives" (primitives_tests ());
+      Test.make_grouped ~name:"mm"
+        (List.map
+           (fun s -> Test.make_grouped ~name:s (mm_tests s))
+           Harness.Registry.names);
+      Test.make_grouped ~name:"structures"
+        (List.map
+           (fun s -> Test.make_grouped ~name:s (structure_tests s))
+           [ "wfrc"; "lfrc"; "hp" ]);
+    ]
+
+let run_and_print () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances (all_tests ()) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let est =
+        match Analyze.OLS.estimates ols_result with
+        | Some (x :: _) -> Printf.sprintf "%.1f" x
+        | _ -> "n/a"
+      in
+      rows := [ name; est ] :: !rows)
+    results;
+  let rows = List.sort compare !rows in
+  print_string (Harness.Table.render ~headers:[ "benchmark"; "ns/op" ] ~rows);
+  print_endline
+    "note: single-threaded micro-costs (E6); contention behaviour is \
+     covered by `wfrc_bench run e1..e5`."
+
+let () = run_and_print ()

@@ -1,0 +1,99 @@
+(* Experiment CLI: regenerate any experiment table from DESIGN.md §4.
+
+     wfrc_bench run e1            full-size E1
+     wfrc_bench run all --quick   everything, small parameters
+     wfrc_bench list              experiment index
+     wfrc_bench schemes           memory-manager registry *)
+
+open Cmdliner
+
+let run_experiments ids quick csv =
+  let ids =
+    match ids with
+    | [ "all" ] | [] -> Harness.Experiments.ids
+    | ids -> ids
+  in
+  try
+    List.iter
+      (fun id ->
+        let r = Harness.Experiments.run ~quick id in
+        Harness.Experiments.print ~csv r)
+      ids;
+    0
+  with Invalid_argument msg ->
+    Printf.eprintf "error: %s\n" msg;
+    1
+
+let ids_arg =
+  let doc =
+    "Experiment ids (e1 e2 e3 e4 e5 e7 e8 e9 a1 a2 a3), or 'all'."
+  in
+  Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT" ~doc)
+
+let quick_arg =
+  let doc = "Small parameters (seconds instead of minutes)." in
+  Arg.(value & flag & info [ "quick"; "q" ] ~doc)
+
+let csv_arg =
+  let doc = "Emit CSV instead of an aligned table." in
+  Arg.(value & flag & info [ "csv" ] ~doc)
+
+let run_cmd =
+  let doc = "Run experiments and print their tables" in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(const run_experiments $ ids_arg $ quick_arg $ csv_arg)
+
+let list_cmd =
+  let doc = "List the experiment index" in
+  let descriptions =
+    [
+      ("e1", "priority-queue throughput per scheme (paper §5)");
+      ("e2", "bounded DeRefLink steps vs adversary budget (Lemmas 6-10)");
+      ("e3", "wait-free free-list vs Treiber free-list churn (§3.1)");
+      ("e4", "WFRC helping-rate accounting (§3)");
+      ("e5", "per-op latency tails (the real-time argument, §5)");
+      ("e7", "linearizability sweeps (Definition 1, Lemmas 2-5)");
+      ("e8", "exhaustion/OOM behaviour (footnote 4)");
+      ("e9", "ordered-set throughput on all schemes (the §1 boundary)");
+      ("e10", "crash tolerance: blocking vs non-blocking (§1)");
+      ("e11", "metadata space vs thread count (the O(N^2) pool)");
+      ("a1", "ablation: deref step bound vs thread count");
+      ("a2", "ablation: FreeNode placement heuristic (F5-F6)");
+      ("a3", "ablation: allocation helping on/off (A11-A15)");
+    ]
+  in
+  Cmd.v (Cmd.info "list" ~doc)
+    Term.(
+      const (fun () ->
+          List.iter
+            (fun (id, d) -> Printf.printf "  %-4s %s\n" id d)
+            descriptions;
+          0)
+      $ const ())
+
+let schemes_cmd =
+  let doc = "List the registered memory-management schemes" in
+  Cmd.v (Cmd.info "schemes" ~doc)
+    Term.(
+      const (fun () ->
+          List.iter
+            (fun name ->
+              Printf.printf "  %-8s%s\n" name
+                (if List.mem name Harness.Registry.rc_names then
+                   " (reference counting: supports arbitrary structures)"
+                 else " (retire-based: fixed-reference structures only)"))
+            Harness.Registry.names;
+          0)
+      $ const ())
+
+let main_cmd =
+  let doc =
+    "Reproduction harness for 'Wait-Free Reference Counting and Memory \
+     Management' (Sundell, 2005)"
+  in
+  Cmd.group
+    (Cmd.info "wfrc_bench" ~version:"1.0.0" ~doc)
+    [ run_cmd; list_cmd; schemes_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

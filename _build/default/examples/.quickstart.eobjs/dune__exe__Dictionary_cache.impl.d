@@ -1,0 +1,1 @@
+examples/dictionary_cache.ml: Array Harness List Mm_intf Printf Sched Structures

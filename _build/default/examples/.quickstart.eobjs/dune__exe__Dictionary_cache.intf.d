@@ -1,0 +1,1 @@
+examples/dictionary_cache.mli:

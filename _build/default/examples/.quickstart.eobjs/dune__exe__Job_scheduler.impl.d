@@ -1,0 +1,1 @@
+examples/job_scheduler.ml: Array Atomic Domain Harness List Mm_intf Printf Sched Structures

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Harness Mm_intf Printf Shmem

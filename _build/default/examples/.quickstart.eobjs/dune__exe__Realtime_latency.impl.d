@@ -1,0 +1,1 @@
+examples/realtime_latency.ml: Array Atomic Atomics Harness List Mm_intf Printf Sched Shmem

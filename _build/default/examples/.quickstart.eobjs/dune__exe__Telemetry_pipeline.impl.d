@@ -1,0 +1,1 @@
+examples/telemetry_pipeline.ml: Atomic Atomics Domain Harness List Mm_intf Printf Sched Structures

@@ -1,0 +1,1 @@
+lib/atomics/backoff.ml: Domain Schedpoint

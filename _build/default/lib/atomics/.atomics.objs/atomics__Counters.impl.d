@@ -1,0 +1,1 @@
+lib/atomics/counters.ml: Array Fmt List

@@ -1,0 +1,1 @@
+lib/atomics/counters.mli: Format

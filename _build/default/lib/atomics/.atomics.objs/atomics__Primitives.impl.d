@@ -1,0 +1,1 @@
+lib/atomics/primitives.ml: Atomic Schedpoint

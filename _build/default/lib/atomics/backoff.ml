@@ -1,0 +1,26 @@
+(* Bounded exponential backoff.
+
+   Used only by baselines that spin (lock-free retry loops); the
+   wait-free algorithms never need it, which is itself part of the
+   paper's point. [once] spins with [Domain.cpu_relax] so it behaves
+   sensibly both on real cores and under pure time slicing. *)
+
+type t = { min : int; max : int; mutable cur : int }
+
+let create ?(min = 1) ?(max = 256) () =
+  if min < 1 || max < min then invalid_arg "Backoff.create";
+  { min; max; cur = min }
+
+let reset b = b.cur <- b.min
+
+let once b =
+  (* Under the deterministic scheduler spinning would only lengthen
+     traces without changing interleavings, so collapse to one yield. *)
+  if Schedpoint.is_installed () then Schedpoint.hit ()
+  else
+    for _ = 1 to b.cur do
+      Domain.cpu_relax ()
+    done;
+  if b.cur < b.max then b.cur <- b.cur * 2
+
+let current b = b.cur

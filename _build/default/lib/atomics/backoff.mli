@@ -1,0 +1,18 @@
+(** Bounded exponential backoff for the lock-free baselines' retry
+    loops. The wait-free algorithms never use it. *)
+
+type t
+
+val create : ?min:int -> ?max:int -> unit -> t
+(** [create ~min ~max ()] starts at [min] spin iterations, doubling up
+    to [max]. Defaults: [min = 1], [max = 256]. *)
+
+val reset : t -> unit
+(** Reset the spin budget to its minimum (call after a success). *)
+
+val once : t -> unit
+(** Spin for the current budget and double it. Under the deterministic
+    scheduler this collapses to a single scheduling point. *)
+
+val current : t -> int
+(** Current spin budget (for tests). *)

@@ -1,0 +1,32 @@
+(* Word-level atomic primitives of the paper's Figure 2, over OCaml 5
+   [int Atomic.t] cells. Each primitive crosses exactly one scheduling
+   point, so a deterministic scheduler observes the same atomicity
+   granularity the paper assumes. *)
+
+type cell = int Atomic.t
+
+let make = Atomic.make
+
+let read (c : cell) =
+  Schedpoint.hit ();
+  Atomic.get c
+
+let write (c : cell) v =
+  Schedpoint.hit ();
+  Atomic.set c v
+
+(* CAS of the paper: returns whether the swap happened. *)
+let cas (c : cell) ~old ~nw =
+  Schedpoint.hit ();
+  Atomic.compare_and_set c old nw
+
+(* FAA of the paper: no return value is used by the algorithms, but we
+   expose the previous value since it is free and useful for tests. *)
+let faa (c : cell) delta =
+  Schedpoint.hit ();
+  Atomic.fetch_and_add c delta
+
+(* SWAP of the paper: unconditionally stores [v], returns old value. *)
+let swap (c : cell) v =
+  Schedpoint.hit ();
+  Atomic.exchange c v

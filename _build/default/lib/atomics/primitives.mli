@@ -1,0 +1,31 @@
+(** The paper's Figure 2 primitives — FAA, CAS, SWAP — plus plain
+    read/write, over [int Atomic.t] cells.
+
+    Every function crosses exactly one {!Schedpoint} scheduling point,
+    so under the deterministic scheduler each call is one atomic step,
+    matching the granularity at which the paper's proofs reason. *)
+
+type cell = int Atomic.t
+
+val make : int -> cell
+(** [make v] allocates a fresh cell holding [v]. *)
+
+val read : cell -> int
+(** Atomic read of a single word. *)
+
+val write : cell -> int -> unit
+(** Atomic write of a single word. *)
+
+val cas : cell -> old:int -> nw:int -> bool
+(** [cas c ~old ~nw] is the paper's [CAS]: atomically replaces the
+    contents of [c] with [nw] iff it equals [old]; returns whether the
+    replacement happened. *)
+
+val faa : cell -> int -> int
+(** [faa c delta] is the paper's [FAA]: atomically adds [delta] to [c].
+    Returns the previous value (unused by the paper's algorithms but
+    free to expose and convenient for assertions). *)
+
+val swap : cell -> int -> int
+(** [swap c v] is the paper's [SWAP]: atomically stores [v] in [c] and
+    returns the previous value. *)

@@ -1,0 +1,28 @@
+(* The single hook every shared-memory primitive crosses.
+
+   In native parallel runs the hook is a no-op and costs one indirect
+   call. Under the deterministic scheduler ([Sched.Engine]) the hook
+   performs a [Yield] effect, which is what gives the engine one
+   scheduling decision per atomic primitive — the granularity at which
+   the paper's interleavings are defined.
+
+   [noop] is a named closure (not [ignore]): the [%ignore] primitive
+   materialises a fresh closure at every use site, which would break
+   the physical-equality test in [is_installed]. *)
+
+let noop () = ()
+
+let hook : (unit -> unit) ref = ref noop
+
+let hit () = !hook ()
+
+let install f = hook := f
+
+let reset () = hook := noop
+
+let with_hook f body =
+  let saved = !hook in
+  hook := f;
+  Fun.protect ~finally:(fun () -> hook := saved) body
+
+let is_installed () = !hook != noop

@@ -1,0 +1,23 @@
+(** Scheduling hook crossed by every shared-memory primitive.
+
+    Native parallel executions leave the hook as [ignore]; the
+    deterministic scheduler installs an effect-performing hook so that
+    each atomic primitive becomes one scheduling decision. *)
+
+val hit : unit -> unit
+(** [hit ()] invokes the current hook. Called by {!Primitives} before
+    each atomic sub-operation. *)
+
+val install : (unit -> unit) -> unit
+(** [install f] makes [f] the hook. Only meaningful from a
+    single-domain context (the simulator). *)
+
+val reset : unit -> unit
+(** [reset ()] restores the default no-op hook. *)
+
+val with_hook : (unit -> unit) -> (unit -> 'a) -> 'a
+(** [with_hook f body] runs [body] with [f] installed, restoring the
+    previous hook afterwards (also on exceptions). *)
+
+val is_installed : unit -> bool
+(** [is_installed ()] is [true] iff a non-default hook is active. *)

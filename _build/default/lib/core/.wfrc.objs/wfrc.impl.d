@@ -1,0 +1,1 @@
+lib/core/wfrc.ml: Ann Atomics Gc Shmem

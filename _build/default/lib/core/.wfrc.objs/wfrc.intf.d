@@ -1,0 +1,1 @@
+lib/core/wfrc.mli: Ann Gc Mm_intf

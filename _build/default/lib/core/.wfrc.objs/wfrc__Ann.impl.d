@@ -1,0 +1,1 @@
+lib/core/ann.ml: Array Atomic Atomics Printf Shmem

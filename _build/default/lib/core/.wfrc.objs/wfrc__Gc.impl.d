@@ -1,0 +1,1 @@
+lib/core/gc.ml: Ann Array Atomics Mm_intf Printf Shmem

@@ -1,0 +1,1 @@
+lib/core/gc.mli: Ann Atomics Mm_intf Shmem

@@ -1,0 +1,93 @@
+(* The announcement pool of Figure 4:
+
+     annReadAddr[NR_THREADS][NR_THREADS] : LinkOrPointer
+     annIndex[NR_THREADS]                : integer
+     annBusy[NR_THREADS][NR_THREADS]     : integer
+
+   Row [tid] belongs to thread [tid]; it announces a pending
+   de-reference by storing the link (encoded negatively, see
+   [Shmem.Value]) into a slot whose busy count is zero. Helpers answer
+   by CASing the link value into a node pointer. The busy counts are
+   the paper's defence against stale answers: a slot is reused only
+   when no helper holds a pending CAS against it (§3, D1).
+
+   The cells are algorithm globals, not user memory, so they live
+   outside the arena — but they are the same atomic word cells and
+   cross the same scheduling points. *)
+
+module P = Atomics.Primitives
+module Value = Shmem.Value
+
+type t = {
+  n : int;
+  read_addr : P.cell array array;  (* annReadAddr; 0 = ⊥ *)
+  index : P.cell array;            (* annIndex *)
+  busy : P.cell array array;       (* annBusy *)
+}
+
+let create ~threads =
+  if threads < 1 then invalid_arg "Ann.create";
+  {
+    n = threads;
+    read_addr = Array.init threads (fun _ -> Array.init threads (fun _ -> P.make 0));
+    index = Array.init threads (fun _ -> P.make 0);
+    busy = Array.init threads (fun _ -> Array.init threads (fun _ -> P.make 0));
+  }
+
+let threads t = t.n
+
+(* D1: find a slot with busy = 0. The scan is bounded: at most [n-1]
+   helpers can hold a busy claim on this row at any time, and no new
+   claim can be acquired while the row has no live announcement, so at
+   least one slot reads 0 within one pass (see the Lemma 9/10-style
+   argument in DESIGN.md). *)
+let choose_slot t ~tid =
+  let rec scan i =
+    if i >= t.n then
+      failwith "Ann.choose_slot: no free slot — busy-count invariant broken"
+    else if P.read t.busy.(tid).(i) = 0 then i
+    else scan (i + 1)
+  in
+  scan 0
+
+(* D2 *)
+let set_index t ~tid slot = P.write t.index.(tid) slot
+
+(* D3: publish the link. *)
+let announce t ~tid ~slot link =
+  P.write t.read_addr.(tid).(slot) (Value.enc_link link)
+
+(* D6: atomically clear the announcement, returning what was there —
+   either our own link encoding (not helped) or a helper's answer. *)
+let retract t ~tid ~slot = P.swap t.read_addr.(tid).(slot) 0
+
+(* H2 *)
+let read_index t ~id = P.read t.index.(id)
+
+(* H3 *)
+let read_slot t ~id ~slot = P.read t.read_addr.(id).(slot)
+
+(* H4 / H8 *)
+let busy_incr t ~id ~slot = ignore (P.faa t.busy.(id).(slot) 1)
+let busy_decr t ~id ~slot = ignore (P.faa t.busy.(id).(slot) (-1))
+
+(* H6: answer the announcement — replace the link encoding with the
+   freshly de-referenced node pointer. *)
+let answer_cas t ~id ~slot ~link node =
+  P.cas t.read_addr.(id).(slot) ~old:(Value.enc_link link) ~nw:node
+
+(* Quiescent checks ------------------------------------------------- *)
+
+let validate t =
+  for id = 0 to t.n - 1 do
+    for s = 0 to t.n - 1 do
+      let b = Atomic.get t.busy.(id).(s) in
+      if b <> 0 then
+        failwith
+          (Printf.sprintf "Ann: busy[%d][%d] = %d at quiescence" id s b);
+      let v = Atomic.get t.read_addr.(id).(s) in
+      if v <> 0 then
+        failwith
+          (Printf.sprintf "Ann: readAddr[%d][%d] = %d at quiescence" id s v)
+    done
+  done

@@ -1,0 +1,45 @@
+(** The announcement pool of the paper's Figure 4
+    ([annReadAddr]/[annIndex]/[annBusy]).
+
+    Thread [tid] owns row [tid]: it announces a pending de-reference
+    in a busy-free slot, and helpers answer through {!answer_cas}.
+    Busy counts prevent a slot from being reused while a helper still
+    holds a pending answer CAS against it (the ABA defence of §3). *)
+
+type t
+
+val create : threads:int -> t
+val threads : t -> int
+
+val choose_slot : t -> tid:int -> int
+(** Line D1: index of a slot with busy count 0. Bounded single scan;
+    fails only if the busy-count invariant is broken. *)
+
+val set_index : t -> tid:int -> int -> unit
+(** Line D2: publish which slot the next announcement uses. *)
+
+val announce : t -> tid:int -> slot:int -> Shmem.Value.addr -> unit
+(** Line D3: publish the link being de-referenced. *)
+
+val retract : t -> tid:int -> slot:int -> int
+(** Line D6: atomically clear the slot, returning the previous word —
+    the link encoding if unhelped, a helper's node-pointer answer
+    otherwise. *)
+
+val read_index : t -> id:int -> int
+(** Line H2. *)
+
+val read_slot : t -> id:int -> slot:int -> int
+(** Line H3 read. *)
+
+val busy_incr : t -> id:int -> slot:int -> unit
+(** Line H4. *)
+
+val busy_decr : t -> id:int -> slot:int -> unit
+(** Line H8. *)
+
+val answer_cas : t -> id:int -> slot:int -> link:Shmem.Value.addr -> int -> bool
+(** Line H6: try to replace the announced link with the answer. *)
+
+val validate : t -> unit
+(** Quiescent check: all busy counts and announcements cleared. *)

@@ -1,0 +1,337 @@
+(* The paper's algorithms, lines quoted by label:
+
+   - Figure 4: DeRefLink (D1–D10), ReleaseRef (R1–R4), HelpDeRef
+     (H1–H8), over the announcement pool in [Ann].
+   - Figure 5: AllocNode (A1–A18), FreeNode (F1–F10), FixRef, over
+     [2N] free-lists, [currentFreeList], [helpCurrent] and
+     [annAlloc[N]].
+
+   ReleaseRef, FreeNode and AllocNode are mutually entangled (R4 calls
+   FreeNode, A18 calls ReleaseRef), so they live in one module; the
+   user-facing assembly conforming to [Mm_intf.S] is in [Wfrc].
+
+   One deliberate deviation from the pseudocode, documented in
+   DESIGN.md §6: on the F3 donation path, FreeNode inflates the node's
+   reference count by 2 before the CAS into [annAlloc] (and deflates on
+   failure). Without this, a FreeNode-donated node reaches the A4
+   recipient with mm_ref = 1, and A4's FixRef(-1) would hand the user a
+   node with zero references, while the A12 path hands out mm_ref = 2.
+   The inflation makes both donation paths deliver mm_ref = 3, so A4 is
+   uniform — this matches the semantics (1) of Definition 1 and the
+   reference-count reasoning in Lemma 4, which only considers the A12
+   path. The node is exclusively owned at F3 (it was just claimed by
+   R2's CAS), so the transient inflation is unobservable. *)
+
+module P = Atomics.Primitives
+module C = Atomics.Counters
+module Value = Shmem.Value
+module Layout = Shmem.Layout
+module Arena = Shmem.Arena
+
+(* Ablation knobs (experiments E-A2/E-A3; the defaults are the paper's
+   algorithm):
+   - [placement]: [`Paper] follows F5–F6 (pick the free-list the
+     allocator is not near); [`Own_index] always uses freeList[tid].
+   - [help_alloc]: [false] skips A11–A15 and F3's donation, degrading
+     AllocNode from wait-free to lock-free. *)
+type placement = [ `Paper | `Own_index ]
+
+type t = {
+  cfg : Mm_intf.config;
+  arena : Arena.t;
+  ann : Ann.t;
+  ctr : C.t;
+  n : int;                          (* NR_THREADS *)
+  current_free_list : P.cell;       (* currentFreeList *)
+  free_list : P.cell array;         (* freeList[2N]: head pointers *)
+  help_current : P.cell;            (* helpCurrent *)
+  ann_alloc : P.cell array;         (* annAlloc[N]: 0 = ⊥ *)
+  oom_scan_limit : int;
+  placement : placement;
+  help_alloc : bool;
+}
+
+let arena t = t.arena
+let counters t = t.ctr
+let config t = t.cfg
+let announcements t = t.ann
+
+let create ?(placement = `Paper) ?(help_alloc = true) (cfg : Mm_intf.config) =
+  let layout =
+    Layout.create ~num_links:cfg.num_links ~num_data:cfg.num_data
+  in
+  let arena =
+    Arena.create ~layout ~capacity:cfg.capacity ~num_roots:cfg.num_roots
+  in
+  (* Initial free state: all nodes chained into freeList[0], each with
+     mm_ref = 1 (paper: "Initially 1", interpreted as in Valois — odd
+     means claimed-by-allocator, count 0). *)
+  for h = 1 to cfg.capacity do
+    let p = Value.of_handle h in
+    Arena.write_mm_next arena p
+      (if h < cfg.capacity then Value.of_handle (h + 1) else Value.null);
+    Arena.write arena (Arena.mm_ref_addr arena p) 1
+  done;
+  let n = cfg.threads in
+  {
+    cfg;
+    arena;
+    ann = Ann.create ~threads:n;
+    ctr = C.create ~threads:n;
+    n;
+    current_free_list = P.make 0;
+    free_list =
+      Array.init (2 * n) (fun i ->
+          P.make (if i = 0 then Value.of_handle 1 else Value.null));
+    help_current = P.make 0;
+    ann_alloc = Array.init n (fun _ -> P.make 0);
+    oom_scan_limit = (16 * n) + 16;
+    placement;
+    help_alloc;
+  }
+
+(* ---------------- ReleaseRef (R1–R4) + FreeNode (F1–F10) ----------- *)
+
+(* The R3 recursion ("recursively call ReleaseRef for all held
+   references") runs as an explicit work list so cascaded reclamation
+   of long chains uses constant stack. *)
+let rec release t ~tid node =
+  C.incr t.ctr ~tid Release;
+  release_loop t ~tid [ Value.unmark node ]
+
+and release_loop t ~tid = function
+  | [] -> ()
+  | node :: rest ->
+      Arena.faa_mm_ref t.arena node (-2);                           (* R1 *)
+      if
+        Arena.read_mm_ref t.arena node = 0
+        && Arena.cas_mm_ref t.arena node ~old:0 ~nw:1               (* R2 *)
+      then begin
+        (* R3: we own the node exclusively now; collect and clear the
+           references held by its link slots. *)
+        let held = ref rest in
+        let nl = Layout.num_links (Arena.layout t.arena) in
+        for i = 0 to nl - 1 do
+          let v = Arena.read_link t.arena node i in
+          Arena.write_link t.arena node i 0;
+          if not (Value.is_null v) then held := Value.unmark v :: !held
+        done;
+        C.incr t.ctr ~tid Node_reclaimed;
+        free_node t ~tid node;                                      (* R4 *)
+        release_loop t ~tid !held
+      end
+      else release_loop t ~tid rest
+
+and free_node t ~tid node =
+  (* Pre-condition: mm_ref = 1 (claimed), as established by R2 or by
+     the initial chaining. *)
+  C.incr t.ctr ~tid Free;
+  let n = t.n in
+  let help_id = P.read t.help_current in                            (* F1 *)
+  ignore (P.cas t.help_current ~old:help_id ~nw:((help_id + 1) mod n));
+                                                                    (* F2 *)
+  (* F3 with the donation-count correction (see module comment). *)
+  let donated =
+    t.help_alloc
+    && begin
+         Arena.faa_mm_ref t.arena node 2;
+         if P.cas t.ann_alloc.(help_id) ~old:Value.null ~nw:node then true
+         else begin
+           Arena.faa_mm_ref t.arena node (-2);
+           false
+         end
+       end
+  in
+  if donated then C.incr t.ctr ~tid Free_gave_help
+  else begin
+    let current = P.read t.current_free_list in                     (* F4 *)
+    let index =                                                     (* F5 *)
+      match t.placement with
+      | `Own_index -> tid (* ablation E-A2 *)
+      | `Paper ->
+          if current <= tid || current > n + tid then n + tid       (* F6 *)
+          else tid
+    in
+    let rec push index =                                            (* F7 *)
+      let head = P.read t.free_list.(index) in
+      Arena.write_mm_next t.arena node head;                        (* F8 *)
+      if not (P.cas t.free_list.(index) ~old:head ~nw:node) then begin
+                                                                    (* F9 *)
+        C.incr t.ctr ~tid Free_retry;
+        push ((index + n) mod (2 * n))                              (* F10 *)
+      end
+    in
+    push index
+  end
+
+(* ---------------- AllocNode (A1–A18) ------------------------------- *)
+
+let alloc t ~tid =
+  C.incr t.ctr ~tid Alloc;
+  let n = t.n in
+  let helped = ref false in                                         (* A1 *)
+  let help_id = P.read t.help_current in                            (* A2 *)
+  let empty_scans = ref 0 in
+  let result = ref Value.null in
+  let finished = ref false in
+  while not !finished do                                            (* A3 *)
+    if P.read t.ann_alloc.(tid) <> Value.null then begin            (* A4 *)
+      let node = P.swap t.ann_alloc.(tid) Value.null in
+      Arena.faa_mm_ref t.arena node (-1);         (* FixRef(node, -1) *)
+      C.incr t.ctr ~tid Alloc_helped;
+      result := node;
+      finished := true
+    end
+    else begin
+      let current = P.read t.current_free_list in                   (* A5 *)
+      let node = P.read t.free_list.(current) in                    (* A6 *)
+      if Value.is_null node then begin                              (* A7 *)
+        ignore
+          (P.cas t.current_free_list ~old:current
+             ~nw:((current + 1) mod (2 * n)));
+        incr empty_scans;
+        if !empty_scans > t.oom_scan_limit then raise Mm_intf.Out_of_memory;
+        C.incr t.ctr ~tid Alloc_retry
+      end
+      else begin
+        empty_scans := 0;
+        Arena.faa_mm_ref t.arena node 2;                            (* A9 *)
+        let next = Arena.read_mm_next t.arena node in
+        if P.cas t.free_list.(current) ~old:node ~nw:next then begin
+                                                                   (* A10 *)
+          let gave =
+            t.help_alloc
+            && (not !helped)
+            && P.read t.ann_alloc.(help_id) = Value.null            (* A11 *)
+            && P.cas t.ann_alloc.(help_id) ~old:Value.null ~nw:node (* A12 *)
+          in
+          if gave then begin
+            helped := true;                                         (* A13 *)
+            ignore
+              (P.cas t.help_current ~old:help_id
+                 ~nw:((help_id + 1) mod n));                        (* A14 *)
+            C.incr t.ctr ~tid Alloc_gave_help;
+            C.incr t.ctr ~tid Alloc_retry                           (* A15 *)
+          end
+          else begin
+            ignore
+              (P.cas t.help_current ~old:help_id
+                 ~nw:((help_id + 1) mod n));                        (* A16 *)
+            Arena.faa_mm_ref t.arena node (-1);   (* A17: FixRef(-1) *)
+            result := node;
+            finished := true
+          end
+        end
+        else begin
+          release t ~tid node;                                      (* A18 *)
+          C.incr t.ctr ~tid Alloc_retry
+        end
+      end
+    end
+  done;
+  !result
+
+(* ---------------- DeRefLink (D1–D10) / HelpDeRef (H1–H8) ----------- *)
+
+let rec deref t ~tid link =
+  C.incr t.ctr ~tid Deref;
+  let slot = Ann.choose_slot t.ann ~tid in                          (* D1 *)
+  Ann.set_index t.ann ~tid slot;                                    (* D2 *)
+  Ann.announce t.ann ~tid ~slot link;                               (* D3 *)
+  let node = Arena.read t.arena link in                             (* D4 *)
+  if not (Value.is_null node) then Arena.faa_mm_ref t.arena node 2; (* D5 *)
+  let n1 = Ann.retract t.ann ~tid ~slot in                          (* D6 *)
+  if n1 <> Value.enc_link link then begin                           (* D7 *)
+    C.incr t.ctr ~tid Deref_helped;
+    if not (Value.is_null node) then release t ~tid node;           (* D8 *)
+    n1                                                              (* D9 *)
+  end
+  else node                                                        (* D10 *)
+
+and help_deref t ~tid link =
+  for id = 0 to t.n - 1 do                                          (* H1 *)
+    C.incr t.ctr ~tid Help_scan;
+    let slot = Ann.read_index t.ann ~id in                          (* H2 *)
+    if Ann.read_slot t.ann ~id ~slot = Value.enc_link link then begin
+                                                                    (* H3 *)
+      Ann.busy_incr t.ann ~id ~slot;                                (* H4 *)
+      let node = deref t ~tid link in                               (* H5 *)
+      if Ann.answer_cas t.ann ~id ~slot ~link node then             (* H6 *)
+        C.incr t.ctr ~tid Help_answered
+      else begin
+        C.incr t.ctr ~tid Help_refused;
+        if not (Value.is_null node) then release t ~tid node        (* H7 *)
+      end;
+      Ann.busy_decr t.ann ~id ~slot                                 (* H8 *)
+    end
+  done
+
+(* FixRef of Figure 5, exposed for reference copying (§3.2 prescribes
+   FixRef(node, 2) when duplicating a shared pointer). *)
+let fix_ref t node fix =
+  if not (Value.is_null node) then Arena.faa_mm_ref t.arena node fix;
+  node
+
+(* ---------------- Quiescent inspection ----------------------------- *)
+
+(* Walk every free-list chain and [annAlloc], returning the set of
+   free node handles. Only meaningful with no concurrent operations.
+   Checks chain sanity as it goes. *)
+let free_set t =
+  let cap = t.cfg.capacity in
+  let seen = Array.make (cap + 1) false in
+  let record ~where p ~expect_ref =
+    let h = Value.handle p in
+    if seen.(h) then
+      failwith (Printf.sprintf "Gc: node #%d reachable twice (%s)" h where);
+    seen.(h) <- true;
+    let r = Arena.read_mm_ref t.arena p in
+    if r <> expect_ref then
+      failwith
+        (Printf.sprintf "Gc: free node #%d has mm_ref=%d, expected %d (%s)" h
+           r expect_ref where)
+  in
+  Array.iteri
+    (fun i head ->
+      let where = Printf.sprintf "freeList[%d]" i in
+      let rec walk p steps =
+        if steps > cap then failwith ("Gc: cycle in " ^ where)
+        else if not (Value.is_null p) then begin
+          record ~where p ~expect_ref:1;
+          walk (Arena.read_mm_next t.arena p) (steps + 1)
+        end
+      in
+      walk (P.read head) 0)
+    t.free_list;
+  Array.iteri
+    (fun i cell ->
+      let p = P.read cell in
+      if not (Value.is_null p) then
+        record ~where:(Printf.sprintf "annAlloc[%d]" i) p ~expect_ref:3)
+    t.ann_alloc;
+  seen
+
+let free_count t =
+  let seen = free_set t in
+  let c = ref 0 in
+  Array.iter (fun b -> if b then incr c) seen;
+  !c
+
+let validate t =
+  Ann.validate t.ann;
+  let seen = free_set t in
+  (* Allocated nodes must carry an even (unclaimed) reference count. *)
+  Arena.iter_nodes t.arena (fun p ->
+      if not seen.(Value.handle p) then begin
+        let r = Arena.read_mm_ref t.arena p in
+        if r < 0 || r land 1 = 1 then
+          failwith
+            (Printf.sprintf "Gc: allocated node #%d has bad mm_ref=%d"
+               (Value.handle p) r)
+      end);
+  let cur = P.read t.current_free_list in
+  if cur < 0 || cur >= 2 * t.n then
+    failwith (Printf.sprintf "Gc: currentFreeList=%d out of range" cur);
+  let hc = P.read t.help_current in
+  if hc < 0 || hc >= t.n then
+    failwith (Printf.sprintf "Gc: helpCurrent=%d out of range" hc)

@@ -1,0 +1,66 @@
+(** The paper's wait-free reference counting (Figure 4) and wait-free
+    free-list (Figure 5), line-for-line.
+
+    This is the low-level engine; {!Wfrc} packages it behind the
+    scheme-independent {!Mm_intf.S} signature. All operations are
+    wait-free: each finishes in a number of atomic primitives bounded
+    by a function of the thread count (Lemmas 6–10). *)
+
+type t
+
+type placement = [ `Paper | `Own_index ]
+(** Free-list placement policy for {!create}: [`Paper] is the F5–F6
+    heuristic; [`Own_index] always uses [freeList\[tid\]] (ablation
+    E-A2). *)
+
+val create : ?placement:placement -> ?help_alloc:bool -> Mm_intf.config -> t
+(** Build the manager: arena, announcement pool, [2N] free-lists with
+    every node initially chained into [freeList\[0\]] with
+    [mm_ref = 1]. [help_alloc:false] disables the A11–A15/F3 helping
+    (ablation E-A3: allocation becomes merely lock-free). Defaults are
+    the paper's algorithm. *)
+
+val arena : t -> Shmem.Arena.t
+val counters : t -> Atomics.Counters.t
+val config : t -> Mm_intf.config
+val announcements : t -> Ann.t
+
+val alloc : t -> tid:int -> Shmem.Value.ptr
+(** [AllocNode] (A1–A18): returns a node with one reference
+    ([mm_ref = 2]). Raises {!Mm_intf.Out_of_memory} after the bounded
+    retry budget of the paper's footnote 4. *)
+
+val free_node : t -> tid:int -> Shmem.Value.ptr -> unit
+(** [FreeNode] (F1–F10). {b Internal}: per §3.2 user code must never
+    call this directly — reclamation happens through {!release}.
+    Exposed for the free-list experiments (E3) and tests. The node
+    must be exclusively owned with [mm_ref = 1]. *)
+
+val deref : t -> tid:int -> Shmem.Value.addr -> int
+(** [DeRefLink] (D1–D10): read the link and acquire a reference on the
+    target. Returns the raw word (null or a possibly-marked pointer). *)
+
+val release : t -> tid:int -> Shmem.Value.ptr -> unit
+(** [ReleaseRef] (R1–R4); cascade reclamation runs with constant
+    stack. The pointer may be marked; must not be null. *)
+
+val help_deref : t -> tid:int -> Shmem.Value.addr -> unit
+(** [HelpDeRef] (H1–H8). Per §3.2, must be called after every
+    successful CAS on a shared link, before releasing the old
+    target. *)
+
+val fix_ref : t -> Shmem.Value.ptr -> int -> Shmem.Value.ptr
+(** [FixRef]: adjust the reference count by the given amount and
+    return the node. [FixRef(node, 2)] duplicates a held reference. *)
+
+val free_set : t -> bool array
+(** Quiescent: which handles are currently free (reachable from a
+    free-list head or parked in [annAlloc]); index 0 unused. Raises
+    [Failure _] on malformed chains. *)
+
+val free_count : t -> int
+val validate : t -> unit
+(** Quiescent structural invariants: announcement pool clear, free
+    chains acyclic with [mm_ref = 1], donated nodes with [mm_ref = 3],
+    allocated nodes with even non-negative counts, global indices in
+    range. *)

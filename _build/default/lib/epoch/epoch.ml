@@ -1,0 +1,240 @@
+(* Epoch-based reclamation (3-epoch scheme), the other mainstream
+   deferred-reclamation baseline.
+
+   Threads bracket every structure operation with enter/exit; inside
+   the bracket, plain reads of links are safe because a node retired
+   by [terminate] during epoch [e] is only recycled after the global
+   epoch has advanced twice, which requires every active thread to
+   have left epoch [e].
+
+   Like hazard pointers this scheme reclaims on [terminate], so it
+   shares HP's applicability restriction (no multi-level skiplist),
+   and unlike both RC schemes it is not even non-blocking for
+   reclamation: one stalled reader stops the epoch from advancing and
+   memory from being recycled — the trade-off the paper's §1 surveys. *)
+
+module P = Atomics.Primitives
+module C = Atomics.Counters
+module Value = Shmem.Value
+module Layout = Shmem.Layout
+module Arena = Shmem.Arena
+
+type per_thread = {
+  active : P.cell;
+  epoch : P.cell;
+  bags : Value.ptr list array;  (* indexed by epoch mod 3; local *)
+  mutable bag_sizes : int array;
+  mutable last_seen : int;
+  mutable ops : int;
+}
+
+type t = {
+  cfg : Mm_intf.config;
+  arena : Arena.t;
+  ctr : C.t;
+  global : P.cell;
+  head : P.cell; (* stamped free-pool head *)
+  threads : per_thread array;
+  advance_every : int;
+}
+
+let name = "ebr"
+let config t = t.cfg
+let arena t = t.arena
+let counters t = t.ctr
+
+let create (cfg : Mm_intf.config) =
+  let layout =
+    Layout.create ~num_links:cfg.num_links ~num_data:cfg.num_data
+  in
+  let arena =
+    Arena.create ~layout ~capacity:cfg.capacity ~num_roots:cfg.num_roots
+  in
+  for h = 1 to cfg.capacity do
+    let p = Value.of_handle h in
+    Arena.write_mm_next arena p
+      (if h < cfg.capacity then Value.of_handle (h + 1) else Value.null)
+  done;
+  {
+    cfg;
+    arena;
+    ctr = C.create ~threads:cfg.threads;
+    global = P.make 0;
+    head = P.make (Value.pack_stamped ~stamp:0 ~ptr:(Value.of_handle 1));
+    threads =
+      Array.init cfg.threads (fun _ ->
+          {
+            active = P.make 0;
+            epoch = P.make 0;
+            bags = [| []; []; [] |];
+            bag_sizes = Array.make 3 0;
+            last_seen = 0;
+            ops = 0;
+          });
+    advance_every = 4;
+  }
+
+let pool_push t ~tid node =
+  C.incr t.ctr ~tid Free;
+  let rec push () =
+    let hv = P.read t.head in
+    Arena.write_mm_next t.arena node (Value.stamped_ptr hv);
+    let nw =
+      Value.pack_stamped ~stamp:(Value.stamped_stamp hv + 1) ~ptr:node
+    in
+    if not (P.cas t.head ~old:hv ~nw) then begin
+      C.incr t.ctr ~tid Free_retry;
+      push ()
+    end
+  in
+  push ()
+
+(* Free this thread's bag for epoch slot [(e+1) mod 3]: those nodes
+   were retired at epoch [e-2] or earlier and every thread has since
+   passed through at least one epoch boundary. *)
+let collect t ~tid e =
+  let pt = t.threads.(tid) in
+  let slot = (e + 1) mod 3 in
+  let victims = pt.bags.(slot) in
+  if victims <> [] then begin
+    pt.bags.(slot) <- [];
+    pt.bag_sizes.(slot) <- 0;
+    List.iter
+      (fun p ->
+        C.incr t.ctr ~tid Node_reclaimed;
+        pool_push t ~tid p)
+      victims
+  end
+
+let try_advance t ~tid =
+  let e = P.read t.global in
+  let blocked = ref false in
+  Array.iter
+    (fun pt ->
+      if P.read pt.active = 1 && P.read pt.epoch <> e then blocked := true)
+    t.threads;
+  if (not !blocked) && P.cas t.global ~old:e ~nw:(e + 1) then
+    C.incr t.ctr ~tid Epoch_advance
+
+let enter_op t ~tid =
+  let pt = t.threads.(tid) in
+  P.write pt.active 1;
+  let e = P.read t.global in
+  P.write pt.epoch e;
+  if e <> pt.last_seen then begin
+    pt.last_seen <- e;
+    collect t ~tid e
+  end
+
+let exit_op t ~tid =
+  let pt = t.threads.(tid) in
+  P.write pt.active 0;
+  pt.ops <- pt.ops + 1;
+  if pt.ops mod t.advance_every = 0 then try_advance t ~tid
+
+let alloc t ~tid =
+  C.incr t.ctr ~tid Alloc;
+  (* Under pool pressure, try to advance the epoch and drain our own
+     bags a few times before declaring out-of-memory. If another
+     thread is stalled inside an epoch this cannot make progress —
+     EBR's reclamation is blocking, which is part of the comparison. *)
+  let pressure = ref 0 in
+  let rec pop () =
+    let hv = P.read t.head in
+    let node = Value.stamped_ptr hv in
+    if Value.is_null node then begin
+      if !pressure >= 6 then raise Mm_intf.Out_of_memory;
+      incr pressure;
+      (* NB: we may hold epoch-protected references ourselves, so we
+         must not republish our epoch here; at most one advance can
+         happen while we are inside the bracket, draining one bag
+         generation. *)
+      try_advance t ~tid;
+      let e = P.read t.global in
+      let pt = t.threads.(tid) in
+      if e <> pt.last_seen then begin
+        pt.last_seen <- e;
+        collect t ~tid e
+      end;
+      pop ()
+    end
+    else
+      let next = Arena.read_mm_next t.arena node in
+      let nw =
+        Value.pack_stamped ~stamp:(Value.stamped_stamp hv + 1) ~ptr:next
+      in
+      if P.cas t.head ~old:hv ~nw then node
+      else begin
+        C.incr t.ctr ~tid Alloc_retry;
+        pop ()
+      end
+  in
+  pop ()
+
+(* Within the epoch bracket a plain read is already safe. *)
+let deref t ~tid link =
+  C.incr t.ctr ~tid Deref;
+  Arena.read t.arena link
+
+let release t ~tid p =
+  if not (Value.is_null p) then C.incr t.ctr ~tid Release
+
+let copy_ref _t ~tid:_ p = p
+
+let cas_link t ~tid link ~old ~nw =
+  C.incr t.ctr ~tid Cas_attempt;
+  if Arena.cas t.arena link ~old ~nw then true
+  else begin
+    C.incr t.ctr ~tid Cas_failure;
+    false
+  end
+
+let store_link t ~tid:_ link p = Arena.write t.arena link p
+
+let terminate t ~tid p =
+  let pt = t.threads.(tid) in
+  let e = P.read t.global in
+  let slot = e mod 3 in
+  pt.bags.(slot) <- Value.unmark p :: pt.bags.(slot);
+  pt.bag_sizes.(slot) <- pt.bag_sizes.(slot) + 1
+
+(* Quiescent inspection. *)
+let free_set t =
+  let cap = t.cfg.capacity in
+  let seen = Array.make (cap + 1) false in
+  let record where p =
+    let h = Value.handle p in
+    if seen.(h) then failwith ("Epoch: node reachable twice (" ^ where ^ ")");
+    seen.(h) <- true
+  in
+  let rec walk p steps =
+    if steps > cap then failwith "Epoch: cycle in free pool"
+    else if not (Value.is_null p) then begin
+      record "pool" p;
+      walk (Arena.read_mm_next t.arena p) (steps + 1)
+    end
+  in
+  walk (Value.stamped_ptr (P.read t.head)) 0;
+  Array.iter
+    (fun pt ->
+      Array.iter (List.iter (fun p -> record "bag" p)) pt.bags)
+    t.threads;
+  seen
+
+let free_count t =
+  let seen = free_set t in
+  let c = ref 0 in
+  Array.iter (fun b -> if b then incr c) seen;
+  !c
+
+let validate t =
+  ignore (free_set t);
+  Array.iteri
+    (fun tid pt ->
+      if P.read pt.active = 1 then
+        failwith (Printf.sprintf "Epoch: thread %d still active" tid))
+    t.threads
+
+(* Sentinels are never retired, so plain reads of them are always
+   safe; nothing to do. *)
+let make_immortal _t ~tid:_ _p = ()

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Array Atomics Hashtbl Lincheck List Metrics Mm_intf Option Printf Registry Runner Sched Shmem String Structures Table Wfrc Workload

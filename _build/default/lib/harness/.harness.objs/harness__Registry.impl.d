@@ -1,0 +1,1 @@
+lib/harness/registry.ml: Epoch Hazard Lfrc List Lockrc Mm_intf Printf String Wfrc

@@ -1,0 +1,121 @@
+(** The experiment suite — one entry point per experiment id of
+    DESIGN.md §4 / EXPERIMENTS.md. Every function returns a printable
+    {!report}; all randomness is seeded. *)
+
+type report = {
+  id : string;
+  title : string;
+  headers : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+val print : ?csv:bool -> report -> unit
+
+val e1 :
+  ?schemes:string list ->
+  ?threads_list:int list ->
+  ?ops:int ->
+  ?capacity:int ->
+  ?key_range:int ->
+  ?seed:int ->
+  unit ->
+  report
+(** Priority-queue throughput per scheme and thread count — the
+    paper's §5 experiment. *)
+
+val e2 :
+  ?schemes:string list ->
+  ?budgets:int list ->
+  ?seeds:int ->
+  ?seed:int ->
+  unit ->
+  report
+(** Max victim steps for one DeRefLink vs adversary link-flip budget,
+    under the deterministic scheduler: the wait-freedom evidence
+    (Lemmas 6–10 vs the Valois unbounded retry). *)
+
+val e3 :
+  ?schemes:string list ->
+  ?threads_list:int list ->
+  ?ops:int ->
+  ?capacity:int ->
+  ?max_burst:int ->
+  ?seed:int ->
+  unit ->
+  report
+(** Alloc/free churn: the wait-free [2N]-list free-list vs the single
+    Treiber list (§3.1). *)
+
+val e4 :
+  ?threads_list:int list -> ?ops:int -> ?runs:int -> ?seed:int -> unit -> report
+(** Helping-mechanism accounting under the deterministic scheduler. *)
+
+val e5 :
+  ?schemes:string list ->
+  ?threads:int ->
+  ?ops:int ->
+  ?capacity:int ->
+  ?key_range:int ->
+  ?seed:int ->
+  unit ->
+  report
+(** Per-operation latency tails — the real-time argument of §5. *)
+
+val e7 : ?runs:int -> ?seed:int -> unit -> report
+(** Linearizability sweeps (Wing–Gong check per schedule) for link
+    semantics, the alloc multiset, stack, queue and priority queue. *)
+
+val e8 : ?threads_list:int list -> ?capacity:int -> unit -> report
+(** Exhaustion behaviour: OOM detection (footnote 4) and node
+    conservation. *)
+
+val e9 :
+  ?schemes:string list ->
+  ?threads_list:int list ->
+  ?ops:int ->
+  ?capacity:int ->
+  ?key_range:int ->
+  ?seed:int ->
+  unit ->
+  report
+(** Ordered-set throughput on {e all} schemes — the applicability
+    boundary of §1 in numbers (contrast with E1). *)
+
+val e10 :
+  ?schemes:string list -> ?runs:int -> ?ops:int -> ?seed:int -> unit -> report
+(** Crash tolerance under the deterministic scheduler: a peer thread
+    is crashed mid-operation; non-blocking schemes must still let the
+    workers finish (the §1 blocking-vs-non-blocking argument, plus the
+    announcement-pool sizing under a crashed helper). *)
+
+val e11 : ?threads_list:int list -> unit -> report
+(** Scheme metadata space (words) vs thread count: the O(N{^2})
+    announcement-pool cost of wait-freedom, made explicit. *)
+
+val a1 : ?threads_list:int list -> ?seeds:int -> ?seed:int -> unit -> report
+(** Ablation: deref step bound vs thread count (O(N) scans). *)
+
+val a2 :
+  ?threads_list:int list ->
+  ?ops:int ->
+  ?capacity:int ->
+  ?seed:int ->
+  unit ->
+  report
+(** Ablation: FreeNode placement heuristic (F5–F6) vs own-index. *)
+
+val a3 :
+  ?threads_list:int list ->
+  ?ops:int ->
+  ?capacity:int ->
+  ?seed:int ->
+  unit ->
+  report
+(** Ablation: allocation helping (A11–A15/F3) on vs off. *)
+
+val ids : string list
+(** All experiment ids accepted by {!run}. *)
+
+val run : ?quick:bool -> string -> report
+(** Run an experiment by id; [quick] uses reduced parameters. *)

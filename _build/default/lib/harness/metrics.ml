@@ -1,0 +1,101 @@
+(* Latency/step-count statistics.
+
+   [Hist] is a log-bucketed histogram (16 sub-buckets per power of
+   two): good for ns-scale latencies across nine orders of magnitude
+   with bounded memory; exact min/max/mean ride along. Per-thread
+   histograms are merged after a run, so recording is
+   contention-free. *)
+
+module Hist = struct
+  let sub_bits = 4
+  let subs = 1 lsl sub_bits
+  let buckets = 63 * subs
+
+  type t = {
+    counts : int array;
+    mutable n : int;
+    mutable sum : float;
+    mutable min : int;
+    mutable max : int;
+  }
+
+  let create () =
+    { counts = Array.make buckets 0; n = 0; sum = 0.0; min = max_int; max = 0 }
+
+  let log2_floor v =
+    let rec go v acc = if v <= 1 then acc else go (v lsr 1) (acc + 1) in
+    go v 0
+
+  let bucket_of v =
+    if v < subs then max v 0
+    else begin
+      let exp = log2_floor v in
+      let sub = (v lsr (exp - sub_bits)) land (subs - 1) in
+      (exp * subs) + sub
+    end
+
+  (* Upper bound of the values mapping to bucket [b]. *)
+  let bucket_value b =
+    if b < subs then b
+    else begin
+      let exp = b / subs and sub = b mod subs in
+      ((subs + sub + 1) lsl (exp - sub_bits)) - 1
+    end
+
+  let add t v =
+    let v = if v < 0 then 0 else v in
+    let b = bucket_of v in
+    t.counts.(b) <- t.counts.(b) + 1;
+    t.n <- t.n + 1;
+    t.sum <- t.sum +. float_of_int v;
+    if v < t.min then t.min <- v;
+    if v > t.max then t.max <- v
+
+  let merge_into dst src =
+    Array.iteri (fun i c -> dst.counts.(i) <- dst.counts.(i) + c) src.counts;
+    dst.n <- dst.n + src.n;
+    dst.sum <- dst.sum +. src.sum;
+    if src.min < dst.min then dst.min <- src.min;
+    if src.max > dst.max then dst.max <- src.max
+
+  let count t = t.n
+  let max_value t = if t.n = 0 then 0 else t.max
+  let min_value t = if t.n = 0 then 0 else t.min
+  let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+
+  (* Approximate upper bound of the value at quantile [q] in [0, 1]. *)
+  let percentile t q =
+    if t.n = 0 then 0
+    else begin
+      let target =
+        let x = int_of_float (ceil (q *. float_of_int t.n)) in
+        if x < 1 then 1 else if x > t.n then t.n else x
+      in
+      let acc = ref 0 and res = ref t.max and found = ref false in
+      for b = 0 to buckets - 1 do
+        if not !found then begin
+          acc := !acc + t.counts.(b);
+          if !acc >= target then begin
+            res := min (bucket_value b) t.max;
+            found := true
+          end
+        end
+      done;
+      !res
+    end
+end
+
+(* Pretty duration: ns with unit scaling. *)
+let pp_ns ppf ns =
+  if ns < 1_000 then Fmt.pf ppf "%dns" ns
+  else if ns < 1_000_000 then Fmt.pf ppf "%.1fus" (float_of_int ns /. 1e3)
+  else if ns < 1_000_000_000 then Fmt.pf ppf "%.1fms" (float_of_int ns /. 1e6)
+  else Fmt.pf ppf "%.2fs" (float_of_int ns /. 1e9)
+
+let ns_to_string ns = Fmt.str "%a" pp_ns ns
+
+(* Compact ops/s rendering for throughput tables. *)
+let ops_to_string ops =
+  if ops >= 1e6 then Printf.sprintf "%.2fM" (ops /. 1e6)
+  else if ops >= 1e3 then Printf.sprintf "%.1fk" (ops /. 1e3)
+  else Printf.sprintf "%.0f" ops

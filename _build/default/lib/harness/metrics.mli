@@ -1,0 +1,31 @@
+(** Latency/step statistics: log-bucketed histograms with exact
+    min/max/mean, plus duration and rate formatting. *)
+
+module Hist : sig
+  type t
+
+  val create : unit -> t
+
+  val add : t -> int -> unit
+  (** Record one (non-negative; clamped) sample. *)
+
+  val merge_into : t -> t -> unit
+  (** [merge_into dst src] folds [src] into [dst] (per-thread
+      histograms are merged after a run). *)
+
+  val count : t -> int
+  val max_value : t -> int
+  val min_value : t -> int
+  val mean : t -> float
+
+  val percentile : t -> float -> int
+  (** [percentile t q] for [q] in [0,1]: an upper bound on the value
+      at that quantile, exact within one log sub-bucket (~6%). *)
+end
+
+val pp_ns : Format.formatter -> int -> unit
+val ns_to_string : int -> string
+(** ["999ns"], ["1.5us"], ["2.0ms"], ["3.00s"]. *)
+
+val ops_to_string : float -> string
+(** ["2.50M"], ["3.2k"], ["42"]. *)

@@ -1,0 +1,17 @@
+(** Native parallel runner: one Domain per thread id, released by a
+    spin barrier so measurement windows align. *)
+
+type result = {
+  wall_ns : int;              (** barrier release to last join *)
+  per_thread_ns : int array;  (** per-thread busy time *)
+}
+
+val now_ns : unit -> int
+(** Wall-clock nanoseconds (gettimeofday-based). *)
+
+val run : threads:int -> (tid:int -> unit) -> result
+(** [run ~threads body] executes [body ~tid] for every tid in
+    [0..threads-1]; tid 0 runs on the calling domain. *)
+
+val throughput : ops:int -> result -> float
+(** Operations per second over the wall time. *)

@@ -1,0 +1,67 @@
+(* Plain-text table rendering for the experiment reports (aligned
+   ASCII for the console, CSV for post-processing). *)
+
+let render ~headers ~rows =
+  let cols = List.length headers in
+  List.iter
+    (fun r ->
+      if List.length r <> cols then invalid_arg "Table.render: ragged row")
+    rows;
+  let widths = Array.of_list (List.map String.length headers) in
+  List.iter
+    (List.iteri (fun i cell ->
+         if String.length cell > widths.(i) then
+           widths.(i) <- String.length cell))
+    rows;
+  let buf = Buffer.create 256 in
+  let pad i s =
+    let w = widths.(i) in
+    let missing = w - String.length s in
+    (* Right-align numeric-looking cells, left-align the rest. *)
+    let numeric =
+      s <> ""
+      && String.for_all
+           (fun c ->
+             (c >= '0' && c <= '9')
+             || c = '.' || c = '-' || c = '+' || c = 'e' || c = 'x'
+             || c = 'k' || c = 'M' || c = '%' || c = 'n' || c = 'u'
+             || c = 'm' || c = 's')
+           s
+      && s.[0] >= '0' && s.[0] <= '9'
+      || (String.length s > 1 && s.[0] = '-' && s.[1] >= '0' && s.[1] <= '9')
+    in
+    if numeric then String.make missing ' ' ^ s else s ^ String.make missing ' '
+  in
+  let emit_row cells =
+    Buffer.add_string buf "| ";
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf " | ";
+        Buffer.add_string buf (pad i c))
+      cells;
+    Buffer.add_string buf " |\n"
+  in
+  let sep () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  sep ();
+  emit_row headers;
+  sep ();
+  List.iter emit_row rows;
+  sep ();
+  Buffer.contents buf
+
+let csv ~headers ~rows =
+  let quote s =
+    if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+      "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+    else s
+  in
+  let line cells = String.concat "," (List.map quote cells) in
+  String.concat "\n" (line headers :: List.map line rows) ^ "\n"

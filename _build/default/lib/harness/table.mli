@@ -1,0 +1,8 @@
+(** Plain-text experiment tables. *)
+
+val render : headers:string list -> rows:string list list -> string
+(** Aligned ASCII table (numeric-looking cells right-aligned). Raises
+    [Invalid_argument] on ragged rows. *)
+
+val csv : headers:string list -> rows:string list list -> string
+(** RFC-4180-style CSV with quoting. *)

@@ -1,0 +1,30 @@
+(* Deterministic workload generation: every experiment derives its
+   operation streams from seeds, so runs are reproducible and each
+   thread's stream is independent. *)
+
+module Rng = Sched.Rng
+
+type op =
+  | Produce of int  (* push / enqueue / insert(key) *)
+  | Consume         (* pop / dequeue / delete-min *)
+
+(* A mixed stream of [n] operations with the given produce ratio (in
+   percent). Keys/values are uniform in [0, key_range). *)
+let mixed ~rng ~n ~produce_pct ~key_range =
+  Array.init n (fun _ ->
+      if Rng.int rng 100 < produce_pct then Produce (Rng.int rng key_range)
+      else Consume)
+
+(* Alloc/free churn descriptor: each step allocates [burst] nodes then
+   frees them; used for the free-list experiments. *)
+let churn_bursts ~rng ~n ~max_burst =
+  Array.init n (fun _ -> 1 + Rng.int rng max_burst)
+
+(* Pre-seeded per-thread streams. *)
+let per_thread ~threads ~seed f =
+  Array.init threads (fun tid -> f (Rng.create (seed + (tid * 1_000_003))))
+
+let count_produces ops =
+  Array.fold_left
+    (fun acc op -> match op with Produce _ -> acc + 1 | Consume -> acc)
+    0 ops

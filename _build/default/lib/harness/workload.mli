@@ -1,0 +1,19 @@
+(** Deterministic workload generation (all randomness seeded, so every
+    experiment is reproducible). *)
+
+type op =
+  | Produce of int  (** push / enqueue / insert with this key *)
+  | Consume         (** pop / dequeue / delete-min *)
+
+val mixed :
+  rng:Sched.Rng.t -> n:int -> produce_pct:int -> key_range:int -> op array
+(** [n] operations, [produce_pct]% producers, keys uniform in
+    [\[0, key_range)]. *)
+
+val churn_bursts : rng:Sched.Rng.t -> n:int -> max_burst:int -> int array
+(** Alloc/free burst sizes in [\[1, max_burst\]]. *)
+
+val per_thread : threads:int -> seed:int -> (Sched.Rng.t -> 'a) -> 'a array
+(** Independent per-thread streams derived from [seed]. *)
+
+val count_produces : op array -> int

@@ -1,0 +1,310 @@
+(* Michael's hazard pointers [11, 12], behind the common MM signature.
+
+   This is the §1 comparison point the paper criticises for supporting
+   only "a fixed number of references from process owned variables":
+   each thread owns K hazard slots; [deref] publishes the target in a
+   slot and re-validates the link; [terminate] retires the node, and a
+   scan frees retired nodes not present in any thread's slots.
+
+   Consequences faithfully reproduced here:
+   - [deref] is lock-free, not wait-free (revalidation can retry
+     forever under contention);
+   - a thread can hold at most K references at a time ([deref] fails
+     hard beyond that);
+   - reclamation is driven by [terminate] — the client must guarantee
+     the node is unreachable from the structure, which is why the
+     multi-level skiplist (lib/structures/pqueue.ml) does not run on
+     this scheme. That restriction is the paper's point.
+
+   The free pool is a stamp-tagged Treiber stack. Reference-count
+   fields exist in the arena but are not used by this scheme. *)
+
+module P = Atomics.Primitives
+module C = Atomics.Counters
+module Value = Shmem.Value
+module Layout = Shmem.Layout
+module Arena = Shmem.Arena
+
+type per_thread = {
+  slots : P.cell array;   (* shared: scanners read these *)
+  counts : int array;     (* local: references held per slot *)
+  mutable retired : Value.ptr list;
+  mutable retired_len : int;
+}
+
+type t = {
+  cfg : Mm_intf.config;
+  arena : Arena.t;
+  ctr : C.t;
+  head : P.cell;          (* stamped free-pool head *)
+  threads : per_thread array;
+  k : int;
+  threshold : int;
+}
+
+let name = "hp"
+let config t = t.cfg
+let arena t = t.arena
+let counters t = t.ctr
+let slots_per_thread t = t.k
+
+let create (cfg : Mm_intf.config) =
+  let layout =
+    Layout.create ~num_links:cfg.num_links ~num_data:cfg.num_data
+  in
+  let arena =
+    Arena.create ~layout ~capacity:cfg.capacity ~num_roots:cfg.num_roots
+  in
+  for h = 1 to cfg.capacity do
+    let p = Value.of_handle h in
+    Arena.write_mm_next arena p
+      (if h < cfg.capacity then Value.of_handle (h + 1) else Value.null)
+  done;
+  (* Enough slots for the deepest structure we ship plus slack. *)
+  let k = max 16 ((2 * cfg.num_links) + 8) in
+  (* Per-thread retirement threshold: bounded both by the classic
+     2KN rule and by a fraction of the pool divided across threads, so
+     the aggregate retired backlog cannot starve a small arena. *)
+  let threshold =
+    max 2
+      (min (2 * k * cfg.threads) ((cfg.capacity / (4 * cfg.threads)) + 1))
+  in
+  {
+    cfg;
+    arena;
+    ctr = C.create ~threads:cfg.threads;
+    head = P.make (Value.pack_stamped ~stamp:0 ~ptr:(Value.of_handle 1));
+    threads =
+      Array.init cfg.threads (fun _ ->
+          {
+            slots = Array.init k (fun _ -> P.make 0);
+            counts = Array.make k 0;
+            retired = [];
+            retired_len = 0;
+          });
+    k;
+    threshold;
+  }
+
+let enter_op _t ~tid:_ = ()
+let exit_op _t ~tid:_ = ()
+
+let find_slot pt u =
+  let rec go i =
+    if i >= Array.length pt.counts then None
+    else if pt.counts.(i) > 0 && Atomic.get pt.slots.(i) = u then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let find_empty pt =
+  let rec go i =
+    if i >= Array.length pt.counts then
+      failwith "Hazard: out of hazard slots (fixed-reference limit hit)"
+    else if pt.counts.(i) = 0 then i
+    else go (i + 1)
+  in
+  go 0
+
+(* Free-pool push: the node is certainly private here. *)
+let pool_push t ~tid node =
+  C.incr t.ctr ~tid Free;
+  let rec push () =
+    let hv = P.read t.head in
+    Arena.write_mm_next t.arena node (Value.stamped_ptr hv);
+    let nw =
+      Value.pack_stamped ~stamp:(Value.stamped_stamp hv + 1) ~ptr:node
+    in
+    if not (P.cas t.head ~old:hv ~nw) then begin
+      C.incr t.ctr ~tid Free_retry;
+      push ()
+    end
+  in
+  push ()
+
+(* Forward declaration: [scan] is defined below but alloc needs it for
+   pressure-driven reclamation. *)
+let scan_ref :
+    (t -> tid:int -> unit) ref =
+  ref (fun _ ~tid:_ -> ())
+
+let alloc t ~tid =
+  C.incr t.ctr ~tid Alloc;
+  let scanned = ref false in
+  let rec pop () =
+    let hv = P.read t.head in
+    let node = Value.stamped_ptr hv in
+    if Value.is_null node then
+      if not !scanned then begin
+        (* pool pressure: reclaim our own retired backlog and retry *)
+        scanned := true;
+        !scan_ref t ~tid;
+        pop ()
+      end
+      else raise Mm_intf.Out_of_memory
+    else
+    let next = Arena.read_mm_next t.arena node in
+    let nw =
+      Value.pack_stamped ~stamp:(Value.stamped_stamp hv + 1) ~ptr:next
+    in
+    if P.cas t.head ~old:hv ~nw then begin
+      (* Register the fresh node in a hazard slot so the uniform
+         "every acquired reference is released" discipline of
+         Mm_intf applies to allocations too. The node is exclusively
+         owned, so no validation is needed. *)
+      let pt = t.threads.(tid) in
+      let s = find_empty pt in
+      P.write pt.slots.(s) node;
+      pt.counts.(s) <- 1;
+      node
+    end
+    else begin
+      C.incr t.ctr ~tid Alloc_retry;
+      pop ()
+    end
+  in
+  pop ()
+
+let rec deref t ~tid link =
+  C.incr t.ctr ~tid Deref;
+  let pt = t.threads.(tid) in
+  let w = Arena.read t.arena link in
+  if Value.is_null w then w
+  else begin
+    let u = Value.unmark w in
+    match find_slot pt u with
+    | Some s ->
+        (* Already hazarded by us: protected, no revalidation needed. *)
+        pt.counts.(s) <- pt.counts.(s) + 1;
+        w
+    | None ->
+        let s = find_empty pt in
+        P.write pt.slots.(s) u;
+        if Arena.read t.arena link = w then begin
+          pt.counts.(s) <- 1;
+          w
+        end
+        else begin
+          P.write pt.slots.(s) 0;
+          C.incr t.ctr ~tid Deref_retry;
+          deref t ~tid link
+        end
+  end
+
+let release t ~tid p =
+  if not (Value.is_null p) then begin
+    C.incr t.ctr ~tid Release;
+    let pt = t.threads.(tid) in
+    let u = Value.unmark p in
+    match find_slot pt u with
+    | Some s ->
+        pt.counts.(s) <- pt.counts.(s) - 1;
+        if pt.counts.(s) = 0 then P.write pt.slots.(s) 0
+    | None -> failwith "Hazard.release: pointer not held by this thread"
+  end
+
+(* Duplicate a reference. The caller holds the node (a hazard slot or
+   an immortal sentinel), so publishing an extra slot without
+   revalidation is safe. *)
+let copy_ref t ~tid p =
+  if not (Value.is_null p) then begin
+    let pt = t.threads.(tid) in
+    let u = Value.unmark p in
+    match find_slot pt u with
+    | Some s -> pt.counts.(s) <- pt.counts.(s) + 1
+    | None ->
+        let s = find_empty pt in
+        P.write pt.slots.(s) u;
+        pt.counts.(s) <- 1
+  end;
+  p
+
+let cas_link t ~tid link ~old ~nw =
+  C.incr t.ctr ~tid Cas_attempt;
+  if Arena.cas t.arena link ~old ~nw then true
+  else begin
+    C.incr t.ctr ~tid Cas_failure;
+    false
+  end
+
+let store_link t ~tid:_ link p = Arena.write t.arena link p
+
+let scan t ~tid =
+  C.incr t.ctr ~tid Hp_scan;
+  let hazards = Hashtbl.create 64 in
+  Array.iter
+    (fun pt ->
+      Array.iter
+        (fun cell ->
+          let v = P.read cell in
+          if not (Value.is_null v) then Hashtbl.replace hazards v ())
+        pt.slots)
+    t.threads;
+  let pt = t.threads.(tid) in
+  let keep, free =
+    List.partition (fun p -> Hashtbl.mem hazards p) pt.retired
+  in
+  pt.retired <- keep;
+  pt.retired_len <- List.length keep;
+  List.iter
+    (fun p ->
+      C.incr t.ctr ~tid Node_reclaimed;
+      pool_push t ~tid p)
+    free
+
+let terminate t ~tid p =
+  let pt = t.threads.(tid) in
+  pt.retired <- Value.unmark p :: pt.retired;
+  pt.retired_len <- pt.retired_len + 1;
+  if pt.retired_len >= t.threshold then scan t ~tid
+
+(* Quiescent inspection. *)
+let free_set t =
+  let cap = t.cfg.capacity in
+  let seen = Array.make (cap + 1) false in
+  let record where p =
+    let h = Value.handle p in
+    if seen.(h) then failwith ("Hazard: node reachable twice (" ^ where ^ ")");
+    seen.(h) <- true
+  in
+  let rec walk p steps =
+    if steps > cap then failwith "Hazard: cycle in free pool"
+    else if not (Value.is_null p) then begin
+      record "pool" p;
+      walk (Arena.read_mm_next t.arena p) (steps + 1)
+    end
+  in
+  walk (Value.stamped_ptr (P.read t.head)) 0;
+  Array.iter
+    (fun pt -> List.iter (fun p -> record "retired" p) pt.retired)
+    t.threads;
+  seen
+
+let free_count t =
+  let seen = free_set t in
+  let c = ref 0 in
+  Array.iter (fun b -> if b then incr c) seen;
+  !c
+
+let validate t =
+  ignore (free_set t);
+  Array.iteri
+    (fun tid pt ->
+      Array.iteri
+        (fun s c ->
+          if c <> 0 then
+            failwith
+              (Printf.sprintf "Hazard: thread %d slot %d still holds %d refs"
+                 tid s c);
+          let v = Atomic.get pt.slots.(s) in
+          if v <> 0 then
+            failwith
+              (Printf.sprintf "Hazard: thread %d slot %d not cleared" tid s))
+        pt.counts)
+    t.threads
+
+let () = scan_ref := scan
+
+(* Sentinels are never unlinked or retired, so they need no hazard:
+   drop the allocation's slot. *)
+let make_immortal t ~tid p = release t ~tid p

@@ -1,0 +1,209 @@
+(* The "default lock-free memory management scheme" the paper compares
+   against (§5): reference counting in the style of Valois [19] as
+   corrected by Michael & Scott [14].
+
+   - [deref] is the unbounded-retry loop the paper's §3 describes:
+     read the link, FAA the target's count, re-read the link; if it
+     changed, undo and try again. Lock-free, not wait-free — a
+     concurrent updater can force any number of retries (experiment
+     E2 measures exactly this against the paper's bounded scheme).
+   - The free-list is a single Treiber stack whose head carries a
+     modification stamp (tagged pointer), the classic ABA fix; the
+     pop is additionally protected by the reference count, as in §3.1.
+
+   Reference-count conventions are identical to [Wfrc]: two units per
+   reference, odd value = claimed by the allocator. *)
+
+module P = Atomics.Primitives
+module C = Atomics.Counters
+module Value = Shmem.Value
+module Layout = Shmem.Layout
+module Arena = Shmem.Arena
+
+type t = {
+  cfg : Mm_intf.config;
+  arena : Arena.t;
+  ctr : C.t;
+  head : P.cell; (* stamped pointer to the free-list *)
+}
+
+let name = "lfrc"
+let config t = t.cfg
+let arena t = t.arena
+let counters t = t.ctr
+
+let create (cfg : Mm_intf.config) =
+  let layout =
+    Layout.create ~num_links:cfg.num_links ~num_data:cfg.num_data
+  in
+  let arena =
+    Arena.create ~layout ~capacity:cfg.capacity ~num_roots:cfg.num_roots
+  in
+  for h = 1 to cfg.capacity do
+    let p = Value.of_handle h in
+    Arena.write_mm_next arena p
+      (if h < cfg.capacity then Value.of_handle (h + 1) else Value.null);
+    Arena.write arena (Arena.mm_ref_addr arena p) 1
+  done;
+  {
+    cfg;
+    arena;
+    ctr = C.create ~threads:cfg.threads;
+    head = P.make (Value.pack_stamped ~stamp:0 ~ptr:(Value.of_handle 1));
+  }
+
+let enter_op _t ~tid:_ = ()
+let exit_op _t ~tid:_ = ()
+
+(* Release / reclaim: same R1–R2 agreement as the wait-free scheme
+   (this part of Valois' scheme is already wait-free; the lock-freedom
+   gap is in deref and alloc). *)
+let rec release t ~tid p =
+  C.incr t.ctr ~tid Release;
+  release_loop t ~tid [ Value.unmark p ]
+
+and release_loop t ~tid = function
+  | [] -> ()
+  | node :: rest ->
+      Arena.faa_mm_ref t.arena node (-2);
+      if
+        Arena.read_mm_ref t.arena node = 0
+        && Arena.cas_mm_ref t.arena node ~old:0 ~nw:1
+      then begin
+        let held = ref rest in
+        let nl = Layout.num_links (Arena.layout t.arena) in
+        for i = 0 to nl - 1 do
+          let v = Arena.read_link t.arena node i in
+          Arena.write_link t.arena node i 0;
+          if not (Value.is_null v) then held := Value.unmark v :: !held
+        done;
+        C.incr t.ctr ~tid Node_reclaimed;
+        free_node t ~tid node;
+        release_loop t ~tid !held
+      end
+      else release_loop t ~tid rest
+
+and free_node t ~tid node =
+  C.incr t.ctr ~tid Free;
+  let rec push () =
+    let hv = P.read t.head in
+    Arena.write_mm_next t.arena node (Value.stamped_ptr hv);
+    let nw =
+      Value.pack_stamped ~stamp:(Value.stamped_stamp hv + 1) ~ptr:node
+    in
+    if not (P.cas t.head ~old:hv ~nw) then begin
+      C.incr t.ctr ~tid Free_retry;
+      push ()
+    end
+  in
+  push ()
+
+let alloc t ~tid =
+  C.incr t.ctr ~tid Alloc;
+  let rec pop () =
+    let hv = P.read t.head in
+    let node = Value.stamped_ptr hv in
+    if Value.is_null node then raise Mm_intf.Out_of_memory;
+    (* §3.1: raise the count before reading mm_next so the node cannot
+       be reclaimed (and thus re-pushed with a different next). *)
+    Arena.faa_mm_ref t.arena node 2;
+    let next = Arena.read_mm_next t.arena node in
+    let nw =
+      Value.pack_stamped ~stamp:(Value.stamped_stamp hv + 1) ~ptr:next
+    in
+    if P.cas t.head ~old:hv ~nw then begin
+      Arena.faa_mm_ref t.arena node (-1);
+      node
+    end
+    else begin
+      C.incr t.ctr ~tid Alloc_retry;
+      release t ~tid node;
+      pop ()
+    end
+  in
+  pop ()
+
+(* The Valois de-reference: unbounded retries under contention. *)
+let deref t ~tid link =
+  C.incr t.ctr ~tid Deref;
+  let rec attempt () =
+    let node = Arena.read t.arena link in
+    if Value.is_null node then node
+    else begin
+      Arena.faa_mm_ref t.arena node 2;
+      if Arena.read t.arena link = node then node
+      else begin
+        C.incr t.ctr ~tid Deref_retry;
+        release t ~tid node;
+        attempt ()
+      end
+    end
+  in
+  attempt ()
+
+let copy_ref t ~tid:_ p =
+  if not (Value.is_null p) then Arena.faa_mm_ref t.arena p 2;
+  p
+
+let cas_link t ~tid link ~old ~nw =
+  C.incr t.ctr ~tid Cas_attempt;
+  (* Pre-add the link's share on [nw] so no window exists in which the
+     link points at a node whose count omits it. *)
+  if not (Value.is_null nw) then Arena.faa_mm_ref t.arena nw 2;
+  if Arena.cas t.arena link ~old ~nw then begin
+    if not (Value.is_null old) then release t ~tid old;
+    true
+  end
+  else begin
+    if not (Value.is_null nw) then release t ~tid nw;
+    C.incr t.ctr ~tid Cas_failure;
+    false
+  end
+
+(* No-race contexts only (§3.2): re-point the link, moving its share. *)
+let store_link t ~tid link p =
+  let old = Arena.read t.arena link in
+  if not (Value.is_null p) then Arena.faa_mm_ref t.arena p 2;
+  Arena.write t.arena link p;
+  if not (Value.is_null old) then release t ~tid old
+let terminate _t ~tid:_ _p = ()
+
+(* Quiescent inspection. *)
+let free_set t =
+  let cap = t.cfg.capacity in
+  let seen = Array.make (cap + 1) false in
+  let rec walk p steps =
+    if steps > cap then failwith "Lfrc: cycle in free-list"
+    else if not (Value.is_null p) then begin
+      let h = Value.handle p in
+      if seen.(h) then failwith "Lfrc: node reachable twice";
+      seen.(h) <- true;
+      let r = Arena.read_mm_ref t.arena p in
+      if r <> 1 then
+        failwith (Printf.sprintf "Lfrc: free node #%d has mm_ref=%d" h r);
+      walk (Arena.read_mm_next t.arena p) (steps + 1)
+    end
+  in
+  walk (Value.stamped_ptr (P.read t.head)) 0;
+  seen
+
+let free_count t =
+  let seen = free_set t in
+  let c = ref 0 in
+  Array.iter (fun b -> if b then incr c) seen;
+  !c
+
+let validate t =
+  let seen = free_set t in
+  Arena.iter_nodes t.arena (fun p ->
+      if not seen.(Value.handle p) then begin
+        let r = Arena.read_mm_ref t.arena p in
+        if r < 0 || r land 1 = 1 then
+          failwith
+            (Printf.sprintf "Lfrc: allocated node #%d has bad mm_ref=%d"
+               (Value.handle p) r)
+      end)
+
+(* Sentinels need no special handling under reference counting: the
+   creator simply keeps the allocation reference forever. *)
+let make_immortal _t ~tid:_ _p = ()

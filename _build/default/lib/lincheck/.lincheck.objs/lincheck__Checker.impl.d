@@ -1,0 +1,1 @@
+lib/lincheck/checker.ml: Array Fmt Format Hashtbl History List

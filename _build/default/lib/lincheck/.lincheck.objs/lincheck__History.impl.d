@@ -1,0 +1,1 @@
+lib/lincheck/history.ml: Array Atomic Fmt List Sched

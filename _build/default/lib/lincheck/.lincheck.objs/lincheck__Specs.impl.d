@@ -1,0 +1,1 @@
+lib/lincheck/specs.ml: Fmt Hashtbl List

@@ -1,0 +1,90 @@
+(* Linearizability checking by the Wing–Gong search:
+
+   find a total order of the events that (a) respects real-time order
+   (an op returning before another's invocation must precede it) and
+   (b) is a legal sequential execution of the spec. The search
+   memoises failed (linearised-set, state) pairs, which keeps small
+   histories (<= ~20 events) tractable.
+
+   The spec validates a recorded result rather than enumerating
+   possible results, which handles nondeterministic operations (e.g.
+   AllocNode may return any free node) without blow-up. *)
+
+module type SPEC = sig
+  type state
+  type op
+  type res
+
+  val init : unit -> state
+
+  val step : state -> op -> res -> state option
+  (** [step st op res] is [Some st'] iff the sequential object in
+      state [st] can execute [op] yielding exactly [res]. *)
+
+  val hash : state -> int
+  val equal : state -> state -> bool
+  val pp_op : Format.formatter -> op -> unit
+  val pp_res : Format.formatter -> res -> unit
+end
+
+module Make (S : SPEC) = struct
+  type outcome = { ok : bool; explored : int }
+
+  let max_events = 62
+
+  let check_events (events : (S.op, S.res) History.event array) =
+    let n = Array.length events in
+    if n > max_events then
+      invalid_arg "Lincheck: history too long for bitset search";
+    let full = (1 lsl n) - 1 in
+    let explored = ref 0 in
+    (* Failed configurations: mask -> states already proven dead. *)
+    let dead : (int, S.state list ref) Hashtbl.t = Hashtbl.create 256 in
+    let is_dead mask st =
+      match Hashtbl.find_opt dead mask with
+      | None -> false
+      | Some l -> List.exists (S.equal st) !l
+    in
+    let mark_dead mask st =
+      match Hashtbl.find_opt dead mask with
+      | None -> Hashtbl.replace dead mask (ref [ st ])
+      | Some l -> l := st :: !l
+    in
+    let rec go mask st =
+      incr explored;
+      if mask = full then true
+      else if is_dead mask st then false
+      else begin
+        (* Earliest return among unlinearised events. *)
+        let min_ret = ref max_int in
+        for i = 0 to n - 1 do
+          if mask land (1 lsl i) = 0 && events.(i).return < !min_ret then
+            min_ret := events.(i).return
+        done;
+        let ok = ref false in
+        let i = ref 0 in
+        while (not !ok) && !i < n do
+          let e = events.(!i) in
+          if mask land (1 lsl !i) = 0 && e.invoke <= !min_ret then begin
+            match S.step st e.op e.res with
+            | Some st' -> if go (mask lor (1 lsl !i)) st' then ok := true
+            | None -> ()
+          end;
+          incr i
+        done;
+        if not !ok then mark_dead mask st;
+        !ok
+      end
+    in
+    let ok = go 0 (S.init ()) in
+    { ok; explored = !explored }
+
+  let check events = (check_events events).ok
+
+  let pp_history ppf events =
+    Array.iter
+      (fun e ->
+        History.pp_event S.pp_op S.pp_res ppf e;
+        Fmt.pf ppf "@.")
+      events
+end

@@ -1,0 +1,35 @@
+(** Linearizability checking by Wing–Gong search with memoisation of
+    failed (linearised-set, state) configurations. Practical for
+    histories up to ~20 events. *)
+
+module type SPEC = sig
+  type state
+  type op
+  type res
+
+  val init : unit -> state
+
+  val step : state -> op -> res -> state option
+  (** [step st op res] is [Some st'] iff the sequential object in [st]
+      can execute [op] yielding exactly [res] (result-validating form:
+      handles nondeterministic operations like AllocNode without
+      enumeration). *)
+
+  val hash : state -> int
+  val equal : state -> state -> bool
+  val pp_op : Format.formatter -> op -> unit
+  val pp_res : Format.formatter -> res -> unit
+end
+
+module Make (S : SPEC) : sig
+  type outcome = { ok : bool; explored : int }
+
+  val check_events : (S.op, S.res) History.event array -> outcome
+
+  val check : (S.op, S.res) History.event array -> bool
+  (** [true] iff a legal sequential witness respecting real-time order
+      exists. Raises [Invalid_argument] beyond 62 events. *)
+
+  val pp_history :
+    Format.formatter -> (S.op, S.res) History.event array -> unit
+end

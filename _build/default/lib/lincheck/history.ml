@@ -1,0 +1,50 @@
+(* Concurrent-history recording.
+
+   Events are stamped with the deterministic engine's logical clock
+   ([Sched.Engine.now]) when running under the simulator, falling back
+   to a shared atomic counter for native runs. Each thread appends to
+   its own buffer; [events] merges after the run. *)
+
+type ('op, 'res) event = {
+  tid : int;
+  op : 'op;
+  res : 'res;
+  invoke : int;
+  return : int;
+}
+
+type ('op, 'res) t = {
+  buffers : ('op, 'res) event list ref array;
+  clock : int Atomic.t; (* fallback logical clock for native runs *)
+}
+
+let create ~threads =
+  {
+    buffers = Array.init threads (fun _ -> ref []);
+    clock = Atomic.make 0;
+  }
+
+let now t =
+  if Sched.Engine.active () then Sched.Engine.now ()
+  else Atomic.fetch_and_add t.clock 1
+
+let record t ~tid op f =
+  let invoke = now t in
+  let res = f () in
+  let return = now t in
+  t.buffers.(tid) := { tid; op; res; invoke; return } :: !(t.buffers.(tid));
+  res
+
+let events t =
+  let all =
+    Array.to_list t.buffers |> List.concat_map (fun b -> !b)
+  in
+  let arr = Array.of_list all in
+  Array.sort (fun a b -> compare a.invoke b.invoke) arr;
+  arr
+
+let clear t = Array.iter (fun b -> b := []) t.buffers
+
+let pp_event pp_op pp_res ppf e =
+  Fmt.pf ppf "[t%d %d..%d] %a -> %a" e.tid e.invoke e.return pp_op e.op
+    pp_res e.res

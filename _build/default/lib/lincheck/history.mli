@@ -1,0 +1,33 @@
+(** Concurrent-history recording for linearizability checking.
+
+    Timestamps come from the deterministic engine's step clock when a
+    simulation is active, else from a shared atomic counter. Threads
+    append to private buffers; {!events} merges and sorts. *)
+
+type ('op, 'res) event = {
+  tid : int;
+  op : 'op;
+  res : 'res;
+  invoke : int;
+  return : int;
+}
+
+type ('op, 'res) t
+
+val create : threads:int -> ('op, 'res) t
+
+val record : ('op, 'res) t -> tid:int -> 'op -> (unit -> 'res) -> 'res
+(** [record t ~tid op f] runs [f], logging the operation with its
+    invocation/response stamps, and returns [f ()]'s result. *)
+
+val events : ('op, 'res) t -> ('op, 'res) event array
+(** All recorded events, sorted by invocation time. *)
+
+val clear : ('op, 'res) t -> unit
+
+val pp_event :
+  (Format.formatter -> 'op -> unit) ->
+  (Format.formatter -> 'res -> unit) ->
+  Format.formatter ->
+  ('op, 'res) event ->
+  unit

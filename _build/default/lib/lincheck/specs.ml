@@ -1,0 +1,224 @@
+(* Sequential specifications used by the linearizability experiments
+   (E7) and the test suite. Each spec validates recorded results, so
+   nondeterministic operations (AllocNode) are handled naturally. *)
+
+(* -- Shared-link semantics: DeRefLink / CompareAndSwapLink / store --
+   State: the contents of each observed link. This is the object
+   whose linearizability the paper's Lemmas 2–5 establish. *)
+module Link_ops = struct
+  type op =
+    | Deref of int                (* link address *)
+    | Cas of int * int * int      (* link, old, new *)
+    | Store of int * int          (* link, value *)
+
+  type res = Word of int | Bool of bool | Unit
+
+  (* Sorted association list: canonical representation so structural
+     equality and hashing are sound. *)
+  type state = (int * int) list
+
+  let initial : (int * int) list ref = ref []
+  let init () = !initial
+  let set_initial links = initial := List.sort compare links
+
+  let get st l = match List.assoc_opt l st with Some v -> v | None -> 0
+
+  let set st l v =
+    let rec go = function
+      | [] -> [ (l, v) ]
+      | (l', _) :: rest when l' = l -> (l, v) :: rest
+      | (l', _) as hd :: rest when l' < l -> hd :: go rest
+      | rest -> (l, v) :: rest
+    in
+    go st
+
+  let step st op res =
+    match (op, res) with
+    | Deref l, Word w -> if get st l = w then Some st else None
+    | Cas (l, old, nw), Bool true ->
+        if get st l = old then Some (set st l nw) else None
+    | Cas (l, old, _), Bool false -> if get st l <> old then Some st else None
+    | Store (l, v), Unit -> Some (set st l v)
+    | _ -> None
+
+  let hash = Hashtbl.hash
+  let equal = ( = )
+
+  let pp_op ppf = function
+    | Deref l -> Fmt.pf ppf "deref(&%d)" l
+    | Cas (l, o, n) -> Fmt.pf ppf "cas(&%d,%d,%d)" l o n
+    | Store (l, v) -> Fmt.pf ppf "store(&%d,%d)" l v
+
+  let pp_res ppf = function
+    | Word w -> Fmt.pf ppf "%d" w
+    | Bool b -> Fmt.pf ppf "%b" b
+    | Unit -> Fmt.pf ppf "()"
+end
+
+(* -- Free-multiset semantics of AllocNode/FreeNode (Definition 1):
+   AN() = n requires n ∈ F; FN(n) requires n ∉ F. We observe alloc
+   and release-to-zero (the point Del(n) is fulfilled) from outside,
+   so the spec tracks the allocated set. *)
+module Alloc_ops = struct
+  type op = Alloc | Free of int
+  type res = Node of int | Unit
+
+  type state = int list (* sorted allocated handles *)
+
+  let init () = []
+
+  let rec insert_sorted x = function
+    | [] -> [ x ]
+    | y :: rest when y < x -> y :: insert_sorted x rest
+    | rest -> x :: rest
+
+  let step st op res =
+    match (op, res) with
+    | Alloc, Node n ->
+        if List.mem n st then None (* double allocation! *)
+        else Some (insert_sorted n st)
+    | Free n, Unit ->
+        if List.mem n st then Some (List.filter (fun x -> x <> n) st)
+        else None (* freeing something not allocated *)
+    | _ -> None
+
+  let hash = Hashtbl.hash
+  let equal = ( = )
+
+  let pp_op ppf = function
+    | Alloc -> Fmt.string ppf "alloc"
+    | Free n -> Fmt.pf ppf "free(%d)" n
+
+  let pp_res ppf = function
+    | Node n -> Fmt.pf ppf "#%d" n
+    | Unit -> Fmt.string ppf "()"
+end
+
+(* -- LIFO stack over ints. *)
+module Stack_ops = struct
+  type op = Push of int | Pop
+  type res = Unit | Value of int | Empty
+  type state = int list
+
+  let init () = []
+
+  let step st op res =
+    match (op, res, st) with
+    | Push v, Unit, _ -> Some (v :: st)
+    | Pop, Empty, [] -> Some []
+    | Pop, Value v, x :: rest when x = v -> Some rest
+    | _ -> None
+
+  let hash = Hashtbl.hash
+  let equal = ( = )
+
+  let pp_op ppf = function
+    | Push v -> Fmt.pf ppf "push(%d)" v
+    | Pop -> Fmt.string ppf "pop"
+
+  let pp_res ppf = function
+    | Unit -> Fmt.string ppf "()"
+    | Value v -> Fmt.pf ppf "%d" v
+    | Empty -> Fmt.string ppf "empty"
+end
+
+(* -- FIFO queue over ints. *)
+module Queue_ops = struct
+  type op = Enq of int | Deq
+  type res = Unit | Value of int | Empty
+  type state = int list (* front at head *)
+
+  let init () = []
+
+  let step st op res =
+    match (op, res, st) with
+    | Enq v, Unit, _ -> Some (st @ [ v ])
+    | Deq, Empty, [] -> Some []
+    | Deq, Value v, x :: rest when x = v -> Some rest
+    | _ -> None
+
+  let hash = Hashtbl.hash
+  let equal = ( = )
+
+  let pp_op ppf = function
+    | Enq v -> Fmt.pf ppf "enq(%d)" v
+    | Deq -> Fmt.string ppf "deq"
+
+  let pp_res ppf = function
+    | Unit -> Fmt.string ppf "()"
+    | Value v -> Fmt.pf ppf "%d" v
+    | Empty -> Fmt.string ppf "empty"
+end
+
+(* -- Ordered set over int keys: insert is a no-op returning false on
+   duplicates; remove returns whether the key was present; mem is a
+   pure query. *)
+module Set_ops = struct
+  type op = Insert of int | Remove of int | Mem of int
+  type res = Bool of bool
+  type state = int list (* sorted keys *)
+
+  let init () = []
+
+  let rec insert_sorted x = function
+    | [] -> [ x ]
+    | y :: rest when y < x -> y :: insert_sorted x rest
+    | rest -> x :: rest
+
+  let step st op res =
+    match (op, res) with
+    | Insert k, Bool r ->
+        let fresh = not (List.mem k st) in
+        if r = fresh then Some (if fresh then insert_sorted k st else st)
+        else None
+    | Remove k, Bool r ->
+        let present = List.mem k st in
+        if r = present then
+          Some (if present then List.filter (fun x -> x <> k) st else st)
+        else None
+    | Mem k, Bool r -> if r = List.mem k st then Some st else None
+
+  let hash = Hashtbl.hash
+  let equal = ( = )
+
+  let pp_op ppf = function
+    | Insert k -> Fmt.pf ppf "insert(%d)" k
+    | Remove k -> Fmt.pf ppf "remove(%d)" k
+    | Mem k -> Fmt.pf ppf "mem(%d)" k
+
+  let pp_res ppf (Bool b) = Fmt.pf ppf "%b" b
+end
+
+(* -- Priority queue over int keys (values ignored for the spec).
+   delete_min must return a minimal key present. *)
+module Pqueue_ops = struct
+  type op = Insert of int | DelMin
+  type res = Unit | Key of int | Empty
+  type state = int list (* sorted keys *)
+
+  let init () = []
+
+  let rec insert_sorted x = function
+    | [] -> [ x ]
+    | y :: rest when y < x -> y :: insert_sorted x rest
+    | rest -> x :: rest
+
+  let step st op res =
+    match (op, res, st) with
+    | Insert k, Unit, _ -> Some (insert_sorted k st)
+    | DelMin, Empty, [] -> Some []
+    | DelMin, Key k, x :: rest when x = k -> Some rest
+    | _ -> None
+
+  let hash = Hashtbl.hash
+  let equal = ( = )
+
+  let pp_op ppf = function
+    | Insert k -> Fmt.pf ppf "insert(%d)" k
+    | DelMin -> Fmt.string ppf "delmin"
+
+  let pp_res ppf = function
+    | Unit -> Fmt.string ppf "()"
+    | Key k -> Fmt.pf ppf "%d" k
+    | Empty -> Fmt.string ppf "empty"
+end

@@ -1,0 +1,189 @@
+(* The blocking strawman of the paper's §1: reference counting with
+   every memory-management operation serialised by one test-and-set
+   spinlock. Correct and simple, but a preempted lock holder stalls
+   every other thread — the priority-inversion/convoying behaviour
+   real-time systems cannot accept, and the reason the paper insists
+   on non-blocking schemes.
+
+   The lock is a CAS spinlock on an atomic cell (not an OS mutex) so
+   the scheme also runs under the deterministic scheduler, where the
+   blocking shows up as unbounded victim step counts in E2.
+
+   Reference-count conventions match [Wfrc]: two units per reference,
+   free nodes carry mm_ref = 1. *)
+
+module P = Atomics.Primitives
+module C = Atomics.Counters
+module Value = Shmem.Value
+module Layout = Shmem.Layout
+module Arena = Shmem.Arena
+
+type t = {
+  cfg : Mm_intf.config;
+  arena : Arena.t;
+  ctr : C.t;
+  lock : P.cell;
+  free_head : P.cell;
+}
+
+let name = "lockrc"
+let config t = t.cfg
+let arena t = t.arena
+let counters t = t.ctr
+
+let create (cfg : Mm_intf.config) =
+  let layout =
+    Layout.create ~num_links:cfg.num_links ~num_data:cfg.num_data
+  in
+  let arena =
+    Arena.create ~layout ~capacity:cfg.capacity ~num_roots:cfg.num_roots
+  in
+  for h = 1 to cfg.capacity do
+    let p = Value.of_handle h in
+    Arena.write_mm_next arena p
+      (if h < cfg.capacity then Value.of_handle (h + 1) else Value.null);
+    Arena.write arena (Arena.mm_ref_addr arena p) 1
+  done;
+  {
+    cfg;
+    arena;
+    ctr = C.create ~threads:cfg.threads;
+    lock = P.make 0;
+    free_head = P.make (Value.of_handle 1);
+  }
+
+let with_lock t ~tid f =
+  let b = Atomics.Backoff.create () in
+  let rec acquire () =
+    if not (P.cas t.lock ~old:0 ~nw:1) then begin
+      Atomics.Backoff.once b;
+      acquire ()
+    end
+  in
+  acquire ();
+  C.incr t.ctr ~tid Lock_acquire;
+  match f () with
+  | v ->
+      P.write t.lock 0;
+      v
+  | exception e ->
+      P.write t.lock 0;
+      raise e
+
+let enter_op _t ~tid:_ = ()
+let exit_op _t ~tid:_ = ()
+
+(* All bodies below run under the lock, so plain sequential reasoning
+   applies; the arena operations are atomic anyway. *)
+
+let reclaim t ~tid node0 =
+  let nl = Layout.num_links (Arena.layout t.arena) in
+  let rec drop node =
+    Arena.faa_mm_ref t.arena node (-2);
+    if Arena.read_mm_ref t.arena node = 0 then begin
+      Arena.write t.arena (Arena.mm_ref_addr t.arena node) 1;
+      let held = ref [] in
+      for i = 0 to nl - 1 do
+        let v = Arena.read_link t.arena node i in
+        Arena.write_link t.arena node i 0;
+        if not (Value.is_null v) then held := Value.unmark v :: !held
+      done;
+      C.incr t.ctr ~tid Node_reclaimed;
+      C.incr t.ctr ~tid Free;
+      Arena.write_mm_next t.arena node (P.read t.free_head);
+      P.write t.free_head node;
+      List.iter drop !held
+    end
+  in
+  drop node0
+
+let release t ~tid p =
+  if not (Value.is_null p) then begin
+    C.incr t.ctr ~tid Release;
+    with_lock t ~tid (fun () -> reclaim t ~tid (Value.unmark p))
+  end
+
+let alloc t ~tid =
+  C.incr t.ctr ~tid Alloc;
+  with_lock t ~tid (fun () ->
+      let node = P.read t.free_head in
+      if Value.is_null node then raise Mm_intf.Out_of_memory;
+      P.write t.free_head (Arena.read_mm_next t.arena node);
+      Arena.write t.arena (Arena.mm_ref_addr t.arena node) 2;
+      node)
+
+let deref t ~tid link =
+  C.incr t.ctr ~tid Deref;
+  with_lock t ~tid (fun () ->
+      let w = Arena.read t.arena link in
+      if not (Value.is_null w) then Arena.faa_mm_ref t.arena w 2;
+      w)
+
+let copy_ref t ~tid p =
+  if not (Value.is_null p) then
+    with_lock t ~tid (fun () -> Arena.faa_mm_ref t.arena p 2);
+  p
+
+let cas_link t ~tid link ~old ~nw =
+  C.incr t.ctr ~tid Cas_attempt;
+  with_lock t ~tid (fun () ->
+      if Arena.read t.arena link = old then begin
+        if not (Value.is_null nw) then Arena.faa_mm_ref t.arena nw 2;
+        Arena.write t.arena link nw;
+        if not (Value.is_null old) then reclaim t ~tid (Value.unmark old);
+        true
+      end
+      else begin
+        C.incr t.ctr ~tid Cas_failure;
+        false
+      end)
+
+(* No-race contexts only (§3.2): re-point the link, moving its share. *)
+let store_link t ~tid link p =
+  with_lock t ~tid (fun () ->
+      let old = Arena.read t.arena link in
+      if not (Value.is_null p) then Arena.faa_mm_ref t.arena p 2;
+      Arena.write t.arena link p;
+      if not (Value.is_null old) then reclaim t ~tid (Value.unmark old))
+let terminate _t ~tid:_ _p = ()
+
+(* Quiescent inspection (same shape as the other RC schemes). *)
+let free_set t =
+  let cap = t.cfg.capacity in
+  let seen = Array.make (cap + 1) false in
+  let rec walk p steps =
+    if steps > cap then failwith "Lockrc: cycle in free-list"
+    else if not (Value.is_null p) then begin
+      let h = Value.handle p in
+      if seen.(h) then failwith "Lockrc: node reachable twice";
+      seen.(h) <- true;
+      let r = Arena.read_mm_ref t.arena p in
+      if r <> 1 then
+        failwith (Printf.sprintf "Lockrc: free node #%d has mm_ref=%d" h r);
+      walk (Arena.read_mm_next t.arena p) (steps + 1)
+    end
+  in
+  walk (P.read t.free_head) 0;
+  seen
+
+let free_count t =
+  let seen = free_set t in
+  let c = ref 0 in
+  Array.iter (fun b -> if b then incr c) seen;
+  !c
+
+let validate t =
+  if P.read t.lock <> 0 then failwith "Lockrc: lock held at quiescence";
+  let seen = free_set t in
+  Arena.iter_nodes t.arena (fun p ->
+      if not seen.(Value.handle p) then begin
+        let r = Arena.read_mm_ref t.arena p in
+        if r < 0 || r land 1 = 1 then
+          failwith
+            (Printf.sprintf "Lockrc: allocated node #%d has bad mm_ref=%d"
+               (Value.handle p) r)
+      end)
+
+(* Sentinels need no special handling under reference counting: the
+   creator simply keeps the allocation reference forever. *)
+let make_immortal _t ~tid:_ _p = ()

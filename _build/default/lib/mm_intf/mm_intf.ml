@@ -1,0 +1,150 @@
+(* The common memory-manager contract.
+
+   This is the paper's §3.2 user model, factored as a signature so the
+   same data-structure code runs on the wait-free scheme (lib/core),
+   the Valois-style lock-free baseline, hazard pointers, epochs and
+   the lock-based strawman. The operations mirror the paper's API:
+
+     alloc      = AllocNode          deref  = DeRefLink
+     release    = ReleaseRef         copy   = FixRef(node, +2)
+     cas_link   = CompareAndSwapLink (Figure 6: CAS + HelpDeRef duty)
+     store_link = direct write, only valid when the old value is known
+                  to be null and no update races (§3.2)
+     terminate  = "this node is now fully unlinked": a no-op for
+                  reference counting, the retire point for HP/EBR.
+
+   Pointers may carry deletion-mark bits (as in the skiplist of [18]);
+   managers ignore marks and operate on the underlying node. *)
+
+exception Out_of_memory
+(* Raised by [alloc] when the free-list is exhausted (paper fn. 4). *)
+
+type config = {
+  threads : int;      (* fixed number of participating threads (N) *)
+  capacity : int;     (* number of nodes in the arena *)
+  num_links : int;    (* link slots per node, released on reclaim (R3) *)
+  num_data : int;     (* uninterpreted data words per node *)
+  num_roots : int;    (* root link cells for the client structure *)
+}
+
+let config ?(num_links = 0) ?(num_data = 0) ?(num_roots = 0) ~threads
+    ~capacity () =
+  if threads < 1 then invalid_arg "Mm_intf.config: threads";
+  if capacity < 1 then invalid_arg "Mm_intf.config: capacity";
+  { threads; capacity; num_links; num_data; num_roots }
+
+module type S = sig
+  type t
+
+  val name : string
+  (** Short scheme identifier used in reports ("wfrc", "lfrc", ...). *)
+
+  val create : config -> t
+  (** Build the manager; all [capacity] nodes start free. *)
+
+  val config : t -> config
+  val arena : t -> Shmem.Arena.t
+  val counters : t -> Atomics.Counters.t
+
+  val enter_op : t -> tid:int -> unit
+  (** Bracket opening a client data-structure operation. No-op for
+      reference-counting schemes; EBR pins its epoch here. *)
+
+  val exit_op : t -> tid:int -> unit
+  (** Bracket closing an operation; HP clears slots, EBR unpins. *)
+
+  val alloc : t -> tid:int -> Shmem.Value.ptr
+  (** The paper's [AllocNode]: a fresh node holding one reference owned
+      by the caller. Raises {!Out_of_memory} when exhausted. *)
+
+  val deref : t -> tid:int -> Shmem.Value.addr -> int
+  (** The paper's [DeRefLink]: read link and acquire a guaranteed-safe
+      reference to the node it points to. The result is the raw word
+      (possibly null, possibly mark-tagged). *)
+
+  val release : t -> tid:int -> Shmem.Value.ptr -> unit
+  (** The paper's [ReleaseRef]; accepts null (no-op) and marked
+      pointers (mark ignored). *)
+
+  val copy_ref : t -> tid:int -> Shmem.Value.ptr -> Shmem.Value.ptr
+  (** Duplicate a held reference (the paper's [FixRef(node, 2)]);
+      returns its argument for convenience. Null is a no-op. *)
+
+  val cas_link :
+    t -> tid:int -> Shmem.Value.addr -> old:int -> nw:int -> bool
+  (** The paper's [CompareAndSwapLink] (Figure 6): CAS the link and, on
+      success, perform the scheme's post-update duty (for WFRC,
+      [HelpDeRef]). The {e link's own} reference is managed internally:
+      on success, reference-counting schemes transfer the link's share
+      from [old] to [nw] (FixRef(+2) on [nw] before the CAS, release of
+      [old]'s share after the help). The caller must hold its own
+      reference on [nw] across the call and remains responsible only
+      for the references it acquired itself via [alloc]/[deref]/
+      [copy_ref]. *)
+
+  val store_link : t -> tid:int -> Shmem.Value.addr -> Shmem.Value.ptr -> unit
+  (** Plain link write, legal only when no concurrent update can race
+      (private nodes, initialisation — §3.2). Manages the link's share
+      like {!cas_link}: acquires a share on the new value and releases
+      the share held through the previous value, so it can also be
+      used to clear or re-point private link slots. *)
+
+  val terminate : t -> tid:int -> Shmem.Value.ptr -> unit
+  (** Client promise: the node is no longer reachable from the
+      structure's links. Reference-counting schemes ignore this;
+      HP/EBR use it as the retire point. *)
+
+  val make_immortal : t -> tid:int -> Shmem.Value.ptr -> unit
+  (** Declare a freshly allocated node a permanent sentinel: it will
+      never be unlinked, released or terminated. Reference-counting
+      schemes keep the allocation reference (no-op); hazard pointers
+      drop the hazard slot (the node needs no protection since it is
+      never retired). Call at structure-creation time only. *)
+
+  val validate : t -> unit
+  (** Quiescent invariant check (single-threaded): raises
+      [Failure _] describing the first violated invariant. *)
+
+  val free_count : t -> int
+  (** Quiescent count of nodes currently free (reachable by the
+      allocator). For conservation tests. *)
+end
+
+(* First-class packaging so the harness can treat schemes uniformly. *)
+
+module type INSTANCE = sig
+  module M : S
+
+  val it : M.t
+end
+
+type instance = (module INSTANCE)
+
+let instantiate (module M : S) cfg : instance =
+  (module struct
+    module M = M
+
+    let it = M.create cfg
+  end)
+
+let name (module I : INSTANCE) = I.M.name
+let arena (module I : INSTANCE) = I.M.arena I.it
+let counters (module I : INSTANCE) = I.M.counters I.it
+let conf (module I : INSTANCE) = I.M.config I.it
+let enter_op (module I : INSTANCE) ~tid = I.M.enter_op I.it ~tid
+let exit_op (module I : INSTANCE) ~tid = I.M.exit_op I.it ~tid
+let alloc (module I : INSTANCE) ~tid = I.M.alloc I.it ~tid
+let deref (module I : INSTANCE) ~tid addr = I.M.deref I.it ~tid addr
+let release (module I : INSTANCE) ~tid p = I.M.release I.it ~tid p
+let copy_ref (module I : INSTANCE) ~tid p = I.M.copy_ref I.it ~tid p
+
+let cas_link (module I : INSTANCE) ~tid addr ~old ~nw =
+  I.M.cas_link I.it ~tid addr ~old ~nw
+
+let store_link (module I : INSTANCE) ~tid addr p =
+  I.M.store_link I.it ~tid addr p
+
+let terminate (module I : INSTANCE) ~tid p = I.M.terminate I.it ~tid p
+let make_immortal (module I : INSTANCE) ~tid p = I.M.make_immortal I.it ~tid p
+let validate (module I : INSTANCE) = I.M.validate I.it
+let free_count (module I : INSTANCE) = I.M.free_count I.it

@@ -1,0 +1,1 @@
+lib/sched/engine.ml: Array Atomics Effect List Policy

@@ -1,0 +1,1 @@
+lib/sched/explore.ml: Array Engine List Policy Stack

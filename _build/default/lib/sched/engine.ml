@@ -1,0 +1,150 @@
+(* Deterministic cooperative scheduler.
+
+   Thread bodies run as effect-based fibers on a single domain. Every
+   shared-memory primitive crosses [Atomics.Schedpoint], whose hook we
+   replace with a [Yield] effect for the duration of the run; each
+   resumption therefore executes the fiber up to (and including) its
+   next atomic primitive — one "step" in the sense of the paper's
+   wait-freedom bounds. The policy picks which runnable fiber performs
+   the next step, so any interleaving of primitives can be produced
+   and reproduced exactly.
+
+   Only one run may be active at a time (single global hook); this is
+   enforced with [running]. *)
+
+open Effect
+open Effect.Deep
+
+type _ Effect.t += Yield : unit Effect.t
+
+exception Fiber_failed of int * exn
+exception Out_of_steps
+
+type state =
+  | Not_started of (unit -> unit)
+  | Suspended of (unit, unit) continuation
+  | Running
+  | Finished
+  | Failed of exn
+
+type outcome = {
+  steps : int array;
+  total_steps : int;
+  schedule : int array;
+}
+
+let cur_tid = ref (-1)
+let cur_step = ref 0
+let running = ref false
+
+let current_tid () = !cur_tid
+let now () = !cur_step
+let active () = !running
+
+(* [quorum] (default: everyone) is the set of fibers whose completion
+   ends the run; the rest may be abandoned mid-operation — the model
+   of a crashed/stopped process used by the fault-tolerance
+   experiments (E10). Combine with [Policy.crashed] so abandoned
+   fibers are never scheduled. *)
+let run ?(max_steps = 2_000_000) ?quorum ~threads ~policy body =
+  if threads <= 0 then invalid_arg "Engine.run: threads";
+  if !running then invalid_arg "Engine.run: nested runs are not supported";
+  let states = Array.init threads (fun i -> Not_started (fun () -> body i)) in
+  let steps = Array.make threads 0 in
+  let sched_rev = ref [] in
+  let handler tid =
+    {
+      retc = (fun () -> states.(tid) <- Finished);
+      exnc = (fun e -> states.(tid) <- Failed e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  states.(tid) <- Suspended k)
+          | _ -> None);
+    }
+  in
+  let quorum =
+    match quorum with
+    | None -> Array.make threads true
+    | Some tids ->
+        let q = Array.make threads false in
+        List.iter
+          (fun tid ->
+            if tid < 0 || tid >= threads then
+              invalid_arg "Engine.run: quorum tid out of range";
+            q.(tid) <- true)
+          tids;
+        q
+  in
+  let quorum_done () =
+    let all = ref true in
+    for i = 0 to threads - 1 do
+      if quorum.(i) then
+        match states.(i) with
+        | Finished | Failed _ -> ()
+        | Not_started _ | Suspended _ | Running -> all := false
+    done;
+    !all
+  in
+  let runnable () =
+    let acc = ref [] in
+    for i = threads - 1 downto 0 do
+      match states.(i) with
+      | Not_started _ | Suspended _ -> acc := i :: !acc
+      | Running -> assert false
+      | Finished | Failed _ -> ()
+    done;
+    !acc
+  in
+  let yield () = perform Yield in
+  (* All argument validation is done; from here on, [running] is
+     always reset on every exit path. *)
+  running := true;
+  cur_step := 0;
+  cur_tid := -1;
+  let finish () =
+    running := false;
+    cur_tid := -1
+  in
+  (try
+     Atomics.Schedpoint.with_hook yield (fun () ->
+         let rec loop () =
+           if quorum_done () then ()
+           else
+           match runnable () with
+           | [] -> ()
+           | rs ->
+               if !cur_step >= max_steps then raise Out_of_steps;
+               let tid = Policy.next policy ~runnable:rs ~step:!cur_step in
+               if not (List.mem tid rs) then
+                 invalid_arg "Engine.run: policy chose a non-runnable tid";
+               cur_tid := tid;
+               incr cur_step;
+               steps.(tid) <- steps.(tid) + 1;
+               sched_rev := tid :: !sched_rev;
+               (match states.(tid) with
+               | Not_started f ->
+                   states.(tid) <- Running;
+                   match_with f () (handler tid)
+               | Suspended k ->
+                   states.(tid) <- Running;
+                   continue k ()
+               | Running | Finished | Failed _ -> assert false);
+               loop ()
+         in
+         loop ())
+   with e ->
+     finish ();
+     raise e);
+  finish ();
+  Array.iteri
+    (fun i s -> match s with Failed e -> raise (Fiber_failed (i, e)) | _ -> ())
+    states;
+  {
+    steps;
+    total_steps = !cur_step;
+    schedule = Array.of_list (List.rev !sched_rev);
+  }

@@ -1,0 +1,45 @@
+(** Deterministic cooperative scheduler over OCaml effects.
+
+    Runs [threads] fibers on one domain; each fiber is advanced one
+    atomic primitive at a time (via the {!Atomics.Schedpoint} hook),
+    with a {!Policy} choosing who steps next. This reproduces, exactly
+    and reproducibly, the interleavings the paper's proofs quantify
+    over, and counts each thread's steps — the unit of the paper's
+    wait-freedom bounds. *)
+
+exception Fiber_failed of int * exn
+(** A fiber raised: carries its tid and the original exception. *)
+
+exception Out_of_steps
+(** The run exceeded [max_steps] with fibers still runnable. *)
+
+type outcome = {
+  steps : int array;       (** scheduling steps granted to each tid *)
+  total_steps : int;
+  schedule : int array;    (** the tid chosen at each step, replayable *)
+}
+
+val run :
+  ?max_steps:int ->
+  ?quorum:int list ->
+  threads:int ->
+  policy:Policy.t ->
+  (int -> unit) ->
+  outcome
+(** [run ~threads ~policy body] executes [body 0 .. body (threads-1)]
+    as fibers under [policy]. Runs until every fiber in [quorum]
+    (default: all) has completed; the rest may be abandoned
+    mid-operation — the crashed-process model of the fault-tolerance
+    experiments. Pair a partial quorum with {!Policy.crashed} so the
+    abandoned fibers are never scheduled. Raises {!Fiber_failed} if
+    any scheduled fiber raised. Not reentrant. *)
+
+val current_tid : unit -> int
+(** The tid of the fiber currently executing (valid inside a run). *)
+
+val now : unit -> int
+(** The current global step number (valid inside a run); used as the
+    logical clock for history recording. *)
+
+val active : unit -> bool
+(** Whether a run is in progress. *)

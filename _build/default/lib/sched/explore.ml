@@ -1,0 +1,141 @@
+(* Schedule exploration on top of the deterministic engine.
+
+   [exhaustive] enumerates interleavings by stateless replay: each
+   pending prefix is re-run from a fresh instance of the program, the
+   policy follows the prefix and then always picks the first runnable
+   thread, pushing every alternative branch point it passes. This is a
+   plain DFS over the schedule tree — exponential, so callers bound it
+   with [max_schedules]; it is meant for 2–3 thread micro-programs
+   around a handful of primitives, which is exactly the granularity of
+   the paper's lemmas.
+
+   [random_sweep] runs many seeds of the uniform random policy, which
+   scales to larger programs at the price of completeness. *)
+
+type failure = { schedule : int array; exn : exn }
+
+type result = {
+  schedules_run : int;
+  exhausted : bool;       (* every schedule up to the bounds was run *)
+  failure : failure option;
+}
+
+let record taken policy =
+  Policy.make ~name:(Policy.name policy) (fun ~runnable ~step ->
+      let c = Policy.next policy ~runnable ~step in
+      taken := c :: !taken;
+      c)
+
+let run_one ~max_steps ~threads ~policy mk =
+  let taken = ref [] in
+  let body, check = mk () in
+  match Engine.run ~max_steps ~threads ~policy:(record taken policy) body with
+  | _outcome -> (
+      match check () with
+      | () -> None
+      | exception e ->
+          Some { schedule = Array.of_list (List.rev !taken); exn = e })
+  | exception e -> Some { schedule = Array.of_list (List.rev !taken); exn = e }
+
+let exhaustive ?(max_steps = 100_000) ?(max_schedules = 100_000) ~threads mk =
+  let pending = Stack.create () in
+  Stack.push [] pending;
+  let count = ref 0 in
+  let failure = ref None in
+  let truncated = ref false in
+  while (not (Stack.is_empty pending)) && !failure = None && not !truncated do
+    if !count >= max_schedules then truncated := true
+    else begin
+      let prefix = Array.of_list (Stack.pop pending) in
+      incr count;
+      let taken = ref [] in
+      let pos = ref 0 in
+      let policy =
+        Policy.make ~name:"dfs" (fun ~runnable ~step:_ ->
+            let i = !pos in
+            incr pos;
+            let choice =
+              if i < Array.length prefix then
+                (* Replays are deterministic, so the recorded choice is
+                   still runnable; fall back defensively if a body is
+                   not deterministic. *)
+                if List.mem prefix.(i) runnable then prefix.(i)
+                else List.hd runnable
+              else
+                match runnable with
+                | c :: rest ->
+                    List.iter
+                      (fun r -> Stack.push (List.rev (r :: !taken)) pending)
+                      rest;
+                    c
+                | [] -> assert false
+            in
+            taken := choice :: !taken;
+            choice)
+      in
+      let body, check = mk () in
+      match Engine.run ~max_steps ~threads ~policy body with
+      | _outcome -> (
+          match check () with
+          | () -> ()
+          | exception e ->
+              failure :=
+                Some { schedule = Array.of_list (List.rev !taken); exn = e })
+      | exception e ->
+          failure :=
+            Some { schedule = Array.of_list (List.rev !taken); exn = e }
+    end
+  done;
+  {
+    schedules_run = !count;
+    exhausted = Stack.is_empty pending && !failure = None && not !truncated;
+    failure = !failure;
+  }
+
+let random_sweep ?(max_steps = 2_000_000) ~threads ~runs ~seed mk =
+  let failure = ref None in
+  let i = ref 0 in
+  while !i < runs && !failure = None do
+    let policy = Policy.random ~seed:(seed + !i) in
+    failure := run_one ~max_steps ~threads ~policy mk;
+    incr i
+  done;
+  { schedules_run = !i; exhausted = false; failure = !failure }
+
+let replay ?(max_steps = 2_000_000) ~threads ~schedule mk =
+  run_one ~max_steps ~threads ~policy:(Policy.replay schedule) mk
+
+(* Counterexample minimisation: delta-debug a failing schedule down to
+   a locally minimal one. Works because the replay policy falls back
+   to the first runnable fiber when the recording runs out, so every
+   subsequence of a schedule is itself a complete, runnable schedule.
+   Each candidate is verified by a full replay, so the result is a
+   real failing schedule, just shorter. *)
+let shrink ?(max_steps = 2_000_000) ~threads ~schedule mk =
+  let fails sched = run_one ~max_steps ~threads ~policy:(Policy.replay sched) mk <> None in
+  if not (fails schedule) then None
+  else begin
+    let cur = ref schedule in
+    let improved = ref true in
+    while !improved do
+      improved := false;
+      let chunk = ref (max 1 (Array.length !cur / 4)) in
+      while !chunk >= 1 do
+        let i = ref 0 in
+        while !i + !chunk <= Array.length !cur do
+          let n = Array.length !cur in
+          let cand =
+            Array.append (Array.sub !cur 0 !i)
+              (Array.sub !cur (!i + !chunk) (n - !i - !chunk))
+          in
+          if fails cand then begin
+            cur := cand;
+            improved := true
+          end
+          else i := !i + !chunk
+        done;
+        chunk := !chunk / 2
+      done
+    done;
+    Some !cur
+  end

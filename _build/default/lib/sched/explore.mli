@@ -1,0 +1,52 @@
+(** Schedule exploration: bounded-exhaustive DFS and random sweeps.
+
+    Programs are supplied as a factory [mk : unit -> body * check] so
+    each schedule runs against a fresh instance; [check] is called
+    after the run and signals a violation by raising. *)
+
+type failure = { schedule : int array; exn : exn }
+
+type result = {
+  schedules_run : int;
+  exhausted : bool;
+      (** [true] iff the whole schedule tree was covered (no failure,
+          no truncation by [max_schedules]). *)
+  failure : failure option;
+}
+
+val exhaustive :
+  ?max_steps:int ->
+  ?max_schedules:int ->
+  threads:int ->
+  (unit -> (int -> unit) * (unit -> unit)) ->
+  result
+(** Depth-first enumeration of every interleaving (up to the bounds)
+    of a small program. Stops at the first failure. *)
+
+val random_sweep :
+  ?max_steps:int ->
+  threads:int ->
+  runs:int ->
+  seed:int ->
+  (unit -> (int -> unit) * (unit -> unit)) ->
+  result
+(** [runs] runs under the uniform random policy with seeds
+    [seed, seed+1, ...]; stops at the first failure. *)
+
+val replay :
+  ?max_steps:int ->
+  threads:int ->
+  schedule:int array ->
+  (unit -> (int -> unit) * (unit -> unit)) ->
+  failure option
+(** Re-run one recorded schedule (e.g. a counterexample). *)
+
+val shrink :
+  ?max_steps:int ->
+  threads:int ->
+  schedule:int array ->
+  (unit -> (int -> unit) * (unit -> unit)) ->
+  int array option
+(** Delta-debug a failing schedule to a locally minimal failing one
+    (every candidate is verified by replay). [None] if the given
+    schedule does not reproduce a failure. *)

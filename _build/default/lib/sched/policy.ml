@@ -1,0 +1,102 @@
+(* Scheduling policies for the deterministic engine.
+
+   A policy is asked, at each step, to pick one of the currently
+   runnable thread ids. The engine validates the choice, so a policy
+   may be sloppy about threads that have already finished. *)
+
+type t = {
+  name : string;
+  next : runnable:int list -> step:int -> int;
+}
+
+let name t = t.name
+let next t = t.next
+
+let make ~name next = { name; next }
+
+let round_robin () =
+  let last = ref (-1) in
+  let next ~runnable ~step:_ =
+    let pick =
+      match List.find_opt (fun i -> i > !last) runnable with
+      | Some i -> i
+      | None -> List.hd runnable
+    in
+    last := pick;
+    pick
+  in
+  { name = "round_robin"; next }
+
+let random ~seed =
+  let rng = Rng.create seed in
+  let next ~runnable ~step:_ =
+    List.nth runnable (Rng.int rng (List.length runnable))
+  in
+  { name = Printf.sprintf "random(seed=%d)" seed; next }
+
+(* Follow a recorded schedule; fall back to the first runnable thread
+   once the recording is exhausted or names a finished thread. Used to
+   replay counterexamples from Explore. *)
+let replay schedule =
+  let pos = ref 0 in
+  let next ~runnable ~step:_ =
+    let fallback () = List.hd runnable in
+    if !pos >= Array.length schedule then fallback ()
+    else begin
+      let tid = schedule.(!pos) in
+      incr pos;
+      if List.mem tid runnable then tid else fallback ()
+    end
+  in
+  { name = "replay"; next }
+
+(* Starve [victim]: run any other runnable thread first. This is the
+   adversary of experiment E2 — against a lock-free de-reference the
+   other threads' link updates force retries; against the paper's
+   wait-free one the victim still finishes in a bounded number of its
+   own steps once it runs. *)
+let others_first ~victim =
+  let next ~runnable ~step:_ =
+    match List.filter (fun i -> i <> victim) runnable with
+    | [] -> victim
+    | i :: _ -> i
+  in
+  { name = Printf.sprintf "others_first(victim=%d)" victim; next }
+
+(* Probabilistic starvation: pick the victim with probability
+   1/(weight+1) whenever someone else is runnable. Interleaves the
+   victim's steps with adversary steps, which is what actually triggers
+   the Valois retry loop. *)
+let biased ~seed ~victim ~weight =
+  if weight < 0 then invalid_arg "Policy.biased";
+  let rng = Rng.create seed in
+  let next ~runnable ~step:_ =
+    let others = List.filter (fun i -> i <> victim) runnable in
+    if others = [] then victim
+    else if not (List.mem victim runnable) then
+      List.nth others (Rng.int rng (List.length others))
+    else if Rng.int rng (weight + 1) = 0 then victim
+    else List.nth others (Rng.int rng (List.length others))
+  in
+  { name = Printf.sprintf "biased(victim=%d,weight=%d)" victim weight; next }
+
+(* Crash modelling: fibers in [dead] are never scheduled (after an
+   optional [after] step count at which they die), so they stall at
+   whatever primitive they had reached — a stopped/crashed process.
+   Use together with [Engine.run ~quorum]. *)
+let crashed ~dead ?(after = 0) inner =
+  let next ~runnable ~step =
+    let alive =
+      if step < after then runnable
+      else List.filter (fun i -> not (List.mem i dead)) runnable
+    in
+    match alive with
+    | [] -> List.hd runnable (* nothing else left; let it run out *)
+    | alive -> next inner ~runnable:alive ~step
+  in
+  {
+    name = Printf.sprintf "crashed(%s)@%d+%s"
+        (String.concat "," (List.map string_of_int dead))
+        after (name inner);
+    next;
+  }

@@ -1,0 +1,34 @@
+(** Scheduling policies for the deterministic engine. *)
+
+type t
+
+val name : t -> string
+val next : t -> runnable:int list -> step:int -> int
+
+val make : name:string -> (runnable:int list -> step:int -> int) -> t
+
+val round_robin : unit -> t
+(** Fair rotation over runnable threads. *)
+
+val random : seed:int -> t
+(** Uniform choice among runnable threads, reproducible from [seed]. *)
+
+val replay : int array -> t
+(** Follow a recorded schedule (e.g. a counterexample from
+    {!Explore}), falling back to the lowest runnable id when the
+    recording runs out. *)
+
+val others_first : victim:int -> t
+(** Run the victim only when nothing else is runnable — maximal
+    starvation of one thread. *)
+
+val biased : seed:int -> victim:int -> weight:int -> t
+(** Run the victim with probability [1/(weight+1)] when others are
+    runnable: interleaves victim steps with adversary steps, the
+    schedule shape that forces lock-free retry loops (experiment E2). *)
+
+val crashed : dead:int list -> ?after:int -> t -> t
+(** [crashed ~dead ~after inner]: schedule with [inner], but never
+    pick a fiber in [dead] once [after] steps have elapsed — those
+    fibers stall at their current primitive forever, modelling crashed
+    processes. Use with [Engine.run ~quorum]. *)

@@ -1,0 +1,43 @@
+(* SplitMix64: a small, fast, splittable PRNG with independent streams
+   per seed. Used by scheduling policies and (via this module) by the
+   harness workload generators, so every experiment is reproducible
+   from its printed seed. *)
+
+type t = { mutable s : int64 }
+
+let create seed = { s = Int64.of_int seed }
+
+let copy t = { s = t.s }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next64 t =
+  t.s <- Int64.add t.s golden;
+  let z = t.s in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* A non-negative 62-bit int. *)
+let next_int t = Int64.to_int (Int64.shift_right_logical (next64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  next_int t mod bound
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+let float t =
+  (* 53 uniform bits in [0, 1). *)
+  Int64.to_float (Int64.shift_right_logical (next64 t) 11) /. 9007199254740992.0
+
+let split t = create (Int64.to_int (next64 t))
+
+(* Fisher–Yates shuffle in place. *)
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,23 @@
+(** SplitMix64 PRNG — deterministic, seedable, splittable. All
+    randomness in schedules and workloads flows through this so runs
+    are reproducible from their seeds. *)
+
+type t
+
+val create : int -> t
+val copy : t -> t
+val next64 : t -> int64
+val next_int : t -> int
+(** Non-negative 62-bit integer. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform-ish in [\[0, bound)]; [bound > 0]. *)
+
+val bool : t -> bool
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val split : t -> t
+(** An independent stream derived from this one. *)
+
+val shuffle : t -> 'a array -> unit

@@ -1,0 +1,1 @@
+lib/shmem/arena.ml: Array Atomics Fmt Layout Value

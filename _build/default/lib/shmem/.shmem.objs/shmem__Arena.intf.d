@@ -1,0 +1,1 @@
+lib/shmem/arena.mli: Atomics Format Layout Value

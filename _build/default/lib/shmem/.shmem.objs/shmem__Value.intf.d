@@ -1,0 +1,1 @@
+lib/shmem/value.mli: Format

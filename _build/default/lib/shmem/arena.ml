@@ -1,0 +1,108 @@
+(* The simulated shared memory.
+
+   One flat array of atomic cells plays the role of the machine's
+   shared memory (paper §2). The first [num_roots] cells are "root
+   links" — the global link variables a data structure needs (queue
+   head/tail, skiplist head links, ...). Nodes follow, each occupying
+   [Layout.node_size] consecutive cells. Node handle [h] (1-based) maps
+   to base cell [num_roots + (h-1) * node_size].
+
+   Cells are never deallocated, so the [mm_ref] word of a reclaimed
+   node remains readable and FAA-able forever — precisely the
+   "indefinitely present mm_ref field" assumption of paper §3. *)
+
+module P = Atomics.Primitives
+
+type t = {
+  layout : Layout.t;
+  capacity : int;
+  num_roots : int;
+  cells : P.cell array;
+}
+
+let create ~layout ~capacity ~num_roots =
+  if capacity < 1 then invalid_arg "Arena.create: capacity";
+  if num_roots < 0 then invalid_arg "Arena.create: num_roots";
+  let size = num_roots + (capacity * Layout.node_size layout) in
+  { layout; capacity; num_roots; cells = Array.init size (fun _ -> P.make 0) }
+
+let layout t = t.layout
+let capacity t = t.capacity
+let num_roots t = t.num_roots
+let num_cells t = Array.length t.cells
+
+(* Addressing ------------------------------------------------------- *)
+
+let root_addr t r =
+  if r < 0 || r >= t.num_roots then invalid_arg "Arena.root_addr";
+  r
+
+let check_handle t h =
+  if h < 1 || h > t.capacity then invalid_arg "Arena.check_handle"
+
+let node_base t h =
+  check_handle t h;
+  t.num_roots + ((h - 1) * Layout.node_size t.layout)
+
+let mm_ref_addr t p = node_base t (Value.handle p) + Layout.mm_ref_offset
+let mm_next_addr t p = node_base t (Value.handle p) + Layout.mm_next_offset
+
+let link_addr t p i =
+  node_base t (Value.handle p) + Layout.link_offset t.layout i
+
+let data_addr t p j =
+  node_base t (Value.handle p) + Layout.data_offset t.layout j
+
+(* [owner_of addr] inverts the mapping: which node (if any) contains
+   this cell, and at which offset. Used by invariant checkers. *)
+let owner_of t addr =
+  if addr < 0 || addr >= Array.length t.cells then
+    invalid_arg "Arena.owner_of"
+  else if addr < t.num_roots then `Root addr
+  else
+    let off = addr - t.num_roots in
+    let size = Layout.node_size t.layout in
+    `Node (1 + (off / size), off mod size)
+
+(* Word operations -------------------------------------------------- *)
+
+let cell t addr = t.cells.(addr)
+let read t addr = P.read t.cells.(addr)
+let write t addr v = P.write t.cells.(addr) v
+let cas t addr ~old ~nw = P.cas t.cells.(addr) ~old ~nw
+let faa t addr delta = P.faa t.cells.(addr) delta
+let swap t addr v = P.swap t.cells.(addr) v
+
+(* mm-field conveniences (all atomic word ops on the cells above). *)
+
+let read_mm_ref t p = read t (mm_ref_addr t p)
+let faa_mm_ref t p delta = ignore (faa t (mm_ref_addr t p) delta)
+let cas_mm_ref t p ~old ~nw = cas t (mm_ref_addr t p) ~old ~nw
+let read_mm_next t p = read t (mm_next_addr t p)
+let write_mm_next t p v = write t (mm_next_addr t p) v
+
+let read_link t p i = read t (link_addr t p i)
+let write_link t p i v = write t (link_addr t p i) v
+let read_data t p j = read t (data_addr t p j)
+let write_data t p j v = write t (data_addr t p j) v
+
+(* Iteration and debug ---------------------------------------------- *)
+
+let iter_nodes t f =
+  for h = 1 to t.capacity do
+    f (Value.of_handle h)
+  done
+
+let dump_node ppf t p =
+  let h = Value.handle p in
+  let base = node_base t h in
+  Fmt.pf ppf "node #%d: ref=%d next=%a" h
+    (read t (base + Layout.mm_ref_offset))
+    Value.pp_ptr
+    (read t (base + Layout.mm_next_offset));
+  for i = 0 to Layout.num_links t.layout - 1 do
+    Fmt.pf ppf " l%d=%a" i Value.pp_word (read_link t p i)
+  done;
+  for j = 0 to Layout.num_data t.layout - 1 do
+    Fmt.pf ppf " d%d=%d" j (read_data t p j)
+  done

@@ -1,0 +1,59 @@
+(** The simulated shared memory: a flat array of atomic cells holding
+    root links followed by fixed-size node blocks.
+
+    Cells live for the lifetime of the arena, so the [mm_ref] word of
+    a reclaimed node stays accessible — the paper's §3 assumption. All
+    word operations are atomic and cross one scheduling point each. *)
+
+type t
+
+val create : layout:Layout.t -> capacity:int -> num_roots:int -> t
+(** [create ~layout ~capacity ~num_roots] builds an arena of
+    [capacity] nodes (handles [1..capacity]) preceded by [num_roots]
+    root link cells. All cells start at 0 (= null pointer). *)
+
+val layout : t -> Layout.t
+val capacity : t -> int
+val num_roots : t -> int
+val num_cells : t -> int
+
+(** {1 Addressing} *)
+
+val root_addr : t -> int -> Value.addr
+val node_base : t -> int -> Value.addr
+val mm_ref_addr : t -> Value.ptr -> Value.addr
+val mm_next_addr : t -> Value.ptr -> Value.addr
+val link_addr : t -> Value.ptr -> int -> Value.addr
+val data_addr : t -> Value.ptr -> int -> Value.addr
+
+val owner_of : t -> Value.addr -> [ `Root of int | `Node of int * int ]
+(** Inverse mapping: root index, or (node handle, cell offset). *)
+
+(** {1 Atomic word operations (paper Figure 2)} *)
+
+val cell : t -> Value.addr -> Atomics.Primitives.cell
+val read : t -> Value.addr -> int
+val write : t -> Value.addr -> int -> unit
+val cas : t -> Value.addr -> old:int -> nw:int -> bool
+val faa : t -> Value.addr -> int -> int
+val swap : t -> Value.addr -> int -> int
+
+(** {1 mm-field conveniences} *)
+
+val read_mm_ref : t -> Value.ptr -> int
+val faa_mm_ref : t -> Value.ptr -> int -> unit
+val cas_mm_ref : t -> Value.ptr -> old:int -> nw:int -> bool
+val read_mm_next : t -> Value.ptr -> Value.ptr
+val write_mm_next : t -> Value.ptr -> Value.ptr -> unit
+val read_link : t -> Value.ptr -> int -> int
+val write_link : t -> Value.ptr -> int -> int -> unit
+val read_data : t -> Value.ptr -> int -> int
+val write_data : t -> Value.ptr -> int -> int -> unit
+
+(** {1 Iteration and debugging} *)
+
+val iter_nodes : t -> (Value.ptr -> unit) -> unit
+(** Apply to every node pointer, in handle order. Not atomic; for
+    quiescent checks only. *)
+
+val dump_node : Format.formatter -> t -> Value.ptr -> unit

@@ -1,0 +1,37 @@
+(* Node layout: the paper's Node structure (Figure 3) generalised.
+
+   Every node starts with [mm_ref] (offset 0) and [mm_next] (offset 1),
+   followed by [num_links] link slots — the shared links the memory
+   manager must release recursively when reclaiming the node (line R3)
+   — and [num_data] plain data words the manager never interprets.
+
+   [mm_ref] being at offset 0 is load-bearing: the paper's Lemma 1
+   rests on a link never being the first field of a node. Our encoding
+   makes links and pointers disjoint by sign as well, but we keep the
+   layout faithful. *)
+
+type t = { num_links : int; num_data : int; node_size : int }
+
+let mm_ref_offset = 0
+let mm_next_offset = 1
+let header_size = 2
+
+let create ~num_links ~num_data =
+  if num_links < 0 || num_data < 0 then invalid_arg "Layout.create";
+  { num_links; num_data; node_size = header_size + num_links + num_data }
+
+let num_links t = t.num_links
+let num_data t = t.num_data
+let node_size t = t.node_size
+
+let link_offset t i =
+  if i < 0 || i >= t.num_links then invalid_arg "Layout.link_offset";
+  header_size + i
+
+let data_offset t j =
+  if j < 0 || j >= t.num_data then invalid_arg "Layout.data_offset";
+  header_size + t.num_links + j
+
+let pp ppf t =
+  Fmt.pf ppf "layout(links=%d, data=%d, size=%d)" t.num_links t.num_data
+    t.node_size

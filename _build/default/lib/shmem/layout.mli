@@ -1,0 +1,25 @@
+(** Node layout: [mm_ref]; [mm_next]; [num_links] link slots that the
+    memory manager releases recursively on reclamation (paper line R3);
+    [num_data] uninterpreted data words. *)
+
+type t
+
+val create : num_links:int -> num_data:int -> t
+
+val mm_ref_offset : int
+(** Always 0 — the paper's Lemma 1 depends on [mm_ref] being first. *)
+
+val mm_next_offset : int
+val header_size : int
+
+val num_links : t -> int
+val num_data : t -> int
+val node_size : t -> int
+
+val link_offset : t -> int -> int
+(** [link_offset t i] is the cell offset of link slot [i]. *)
+
+val data_offset : t -> int -> int
+(** [data_offset t j] is the cell offset of data word [j]. *)
+
+val pp : Format.formatter -> t -> unit

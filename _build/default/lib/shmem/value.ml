@@ -1,0 +1,75 @@
+(* Word encodings for the simulated shared memory.
+
+   The paper stores three kinds of values in single machine words:
+
+   - node pointers (possibly null, possibly carrying a deletion mark
+     in data-structure links, as in the skiplist of [18]);
+   - link addresses (the [LinkOrPointer] union of Figure 4);
+   - stamped pointers (used only by the Valois-baseline free-list to
+     rule out ABA, the classic tagged-pointer fix).
+
+   We encode node pointers as [handle lsl 1 lor mark] with [null = 0]
+   and handles starting at 1, and link addresses as [-(addr+1)]. Links
+   are therefore strictly negative and pointers non-negative: the two
+   value spaces are disjoint, which is exactly the property the paper's
+   Lemma 1 derives from its field layout. *)
+
+type ptr = int
+type addr = int
+
+let null : ptr = 0
+
+let is_null (p : ptr) = p = 0
+
+let of_handle h =
+  if h < 1 then invalid_arg "Value.of_handle: handles start at 1";
+  h lsl 1
+
+let handle (p : ptr) =
+  if p <= 0 then invalid_arg "Value.handle: null or link";
+  p lsr 1
+
+let is_marked (p : ptr) = p land 1 = 1
+
+let mark (p : ptr) =
+  if is_null p then invalid_arg "Value.mark: null";
+  p lor 1
+
+let unmark (p : ptr) = p land lnot 1
+
+let same_node (a : ptr) (b : ptr) = unmark a = unmark b && not (is_null a)
+
+(* Link-address encoding for the announcement cells. *)
+
+let enc_link (a : addr) =
+  if a < 0 then invalid_arg "Value.enc_link: negative address";
+  -(a + 1)
+
+let dec_link v =
+  if v >= 0 then invalid_arg "Value.dec_link: not a link";
+  -v - 1
+
+let is_link v = v < 0
+
+(* Stamped pointers for the baseline free-list: [stamp] in the high
+   bits, pointer in the low 32. Stamps wrap at 2^30 so the packed value
+   stays a positive OCaml int. *)
+
+let stamp_bits = 30
+let ptr_bits = 32
+let max_stamp = (1 lsl stamp_bits) - 1
+
+let pack_stamped ~stamp ~ptr =
+  if ptr < 0 || ptr >= 1 lsl ptr_bits then invalid_arg "Value.pack_stamped";
+  ((stamp land max_stamp) lsl ptr_bits) lor ptr
+
+let stamped_ptr v = v land ((1 lsl ptr_bits) - 1)
+let stamped_stamp v = (v lsr ptr_bits) land max_stamp
+
+let pp_ptr ppf p =
+  if is_null p then Fmt.string ppf "⊥"
+  else if is_marked p then Fmt.pf ppf "#%d!" (handle p)
+  else Fmt.pf ppf "#%d" (handle p)
+
+let pp_word ppf v =
+  if is_link v then Fmt.pf ppf "&%d" (dec_link v) else pp_ptr ppf v

@@ -1,0 +1,49 @@
+(** Word encodings for the simulated shared memory.
+
+    Node pointers are [handle lsl 1 lor mark] with [null = 0]; link
+    addresses are stored negated. Pointers are non-negative and links
+    strictly negative, implementing the disjointness of the paper's
+    Lemma 1 directly in the value space. *)
+
+type ptr = int
+(** An encoded node pointer: [null], or a handle plus a deletion-mark
+    bit (bit 0). Non-negative by construction. *)
+
+type addr = int
+(** A cell index in an {!Arena} — the paper's "pointer to Node"
+    location, i.e. a link. Non-negative. *)
+
+val null : ptr
+val is_null : ptr -> bool
+
+val of_handle : int -> ptr
+(** [of_handle h] is the unmarked pointer to node [h]; [h >= 1]. *)
+
+val handle : ptr -> int
+(** Node handle of a non-null pointer (mark ignored). *)
+
+val is_marked : ptr -> bool
+val mark : ptr -> ptr
+val unmark : ptr -> ptr
+
+val same_node : ptr -> ptr -> bool
+(** [same_node a b] iff both point at the same node, marks ignored. *)
+
+val enc_link : addr -> int
+(** Encode a link address for storage in an announcement cell
+    ([LinkOrPointer] of Figure 4). Strictly negative. *)
+
+val dec_link : int -> addr
+val is_link : int -> bool
+
+val max_stamp : int
+
+val pack_stamped : stamp:int -> ptr:ptr -> int
+(** Stamped pointer for the baseline free-list's ABA protection:
+    pointer in the low 32 bits, stamp (mod 2{^30}) above. *)
+
+val stamped_ptr : int -> ptr
+val stamped_stamp : int -> int
+
+val pp_ptr : Format.formatter -> ptr -> unit
+val pp_word : Format.formatter -> int -> unit

@@ -1,0 +1,1 @@
+lib/structures/hmap.ml: Array List Mm_intf Oset

@@ -1,0 +1,1 @@
+lib/structures/hmap.mli: Mm_intf

@@ -1,0 +1,1 @@
+lib/structures/oset.ml: Fun List Mm_intf Shmem

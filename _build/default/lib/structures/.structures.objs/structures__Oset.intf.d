@@ -1,0 +1,1 @@
+lib/structures/oset.mli: Mm_intf

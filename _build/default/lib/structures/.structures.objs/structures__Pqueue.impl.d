@@ -1,0 +1,1 @@
+lib/structures/pqueue.ml: Array Fun List Mm_intf Sched Shmem

@@ -1,0 +1,1 @@
+lib/structures/pqueue.mli: Mm_intf

@@ -1,0 +1,1 @@
+lib/structures/queue.ml: Fun List Mm_intf Shmem

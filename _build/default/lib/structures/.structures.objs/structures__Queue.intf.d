@@ -1,0 +1,1 @@
+lib/structures/queue.mli: Mm_intf

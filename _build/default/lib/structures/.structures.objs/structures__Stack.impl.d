@@ -1,0 +1,1 @@
+lib/structures/stack.ml: Fun List Mm_intf Shmem

@@ -1,0 +1,1 @@
+lib/structures/stack.mli: Mm_intf

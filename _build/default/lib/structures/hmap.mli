@@ -1,0 +1,23 @@
+(** Lock-free hash map: a fixed power-of-two array of {!Oset} buckets
+    sharing one memory manager (Michael's hash-map construction).
+    Scheme-generic like {!Oset}. Each map consumes two sentinel nodes
+    per bucket. *)
+
+type t
+
+val create : Mm_intf.instance -> buckets:int -> tid:int -> t
+(** [buckets] must be a positive power of two. *)
+
+val num_buckets : t -> int
+val insert : t -> tid:int -> int -> int -> bool
+val remove : t -> tid:int -> int -> bool
+val mem : t -> tid:int -> int -> bool
+val lookup : t -> tid:int -> int -> int option
+
+val size : t -> tid:int -> int
+(** Quiescent count (sums bucket snapshots). *)
+
+val to_list : t -> tid:int -> (int * int) list
+(** Quiescent ascending (key, value) snapshot. *)
+
+val clear : t -> tid:int -> int

@@ -1,0 +1,34 @@
+(** Lock-free ordered set / dictionary — Michael's list-based set
+    (PODC 2002), scheme-generic.
+
+    Runs on {e every} registered scheme, including hazard pointers and
+    epochs: traversal never follows a marked link, and a node is
+    retired exactly once, by the thread whose CAS unlinked it.
+    Contrast with {!Pqueue}, which requires reference counting — the
+    two structures together demonstrate the applicability boundary the
+    paper's §1 describes.
+
+    Layout requirements: ≥1 link slot, ≥2 data words (key, value).
+    Keys strictly between [min_int] and [max_int]; at most one binding
+    per key. Two nodes are permanently consumed as sentinels. *)
+
+type t
+
+val create : Mm_intf.instance -> tid:int -> t
+
+val insert : t -> tid:int -> int -> int -> bool
+(** [insert t ~tid k v] binds [k -> v]; [false] if [k] present. *)
+
+val remove : t -> tid:int -> int -> bool
+(** [remove t ~tid k] unbinds [k]; [false] if absent. *)
+
+val mem : t -> tid:int -> int -> bool
+val lookup : t -> tid:int -> int -> int option
+
+val to_list : t -> tid:int -> (int * int) list
+(** Ascending (key, value) snapshot; quiescent use only. *)
+
+val size : t -> tid:int -> int
+
+val clear : t -> tid:int -> int
+(** Remove everything (quiescent); returns how many were removed. *)

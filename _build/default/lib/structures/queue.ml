@@ -1,0 +1,129 @@
+(* Michael–Scott queue against the scheme-independent MM signature.
+
+   Two root cells (head, tail) and a sentinel node. The dequeuer never
+   moves head past tail (the standard first==last check), which keeps
+   the tail link pointing at a node still in the queue — necessary for
+   the HP/EBR schemes, whose safety derives from [terminate] being
+   called only on unlinked nodes.
+
+   Node layout: link 0 = next, data 0 = value. *)
+
+module Mm = Mm_intf
+module Value = Shmem.Value
+
+type t = {
+  mm : Mm.instance;
+  head : Value.addr;
+  tail : Value.addr;
+}
+
+let create mm ~head_root ~tail_root ~tid =
+  let arena = Mm.arena mm in
+  if Shmem.Layout.num_links (Shmem.Arena.layout arena) < 1 then
+    invalid_arg "Queue.create: layout needs a next link";
+  if Shmem.Layout.num_data (Shmem.Arena.layout arena) < 1 then
+    invalid_arg "Queue.create: layout needs a value word";
+  let head = Shmem.Arena.root_addr arena head_root in
+  let tail = Shmem.Arena.root_addr arena tail_root in
+  let dummy = Mm.alloc mm ~tid in
+  Mm.store_link mm ~tid (Shmem.Arena.link_addr arena dummy 0) Value.null;
+  Mm.store_link mm ~tid head dummy;
+  Mm.store_link mm ~tid tail dummy;
+  Mm.release mm ~tid dummy;
+  { mm; head; tail }
+
+let next_addr t p = Shmem.Arena.link_addr (Mm.arena t.mm) p 0
+
+let enqueue t ~tid v =
+  Mm.enter_op t.mm ~tid;
+  Fun.protect ~finally:(fun () -> Mm.exit_op t.mm ~tid) @@ fun () ->
+  let arena = Mm.arena t.mm in
+  let n = Mm.alloc t.mm ~tid in
+  Shmem.Arena.write_data arena n 0 v;
+  Mm.store_link t.mm ~tid (next_addr t n) Value.null;
+  let rec attempt () =
+    let last = Mm.deref t.mm ~tid t.tail in
+    let nextw = Mm.deref t.mm ~tid (next_addr t last) in
+    if not (Value.is_null nextw) then begin
+      (* Tail is lagging: help advance it, then retry. *)
+      ignore (Mm.cas_link t.mm ~tid t.tail ~old:last ~nw:(Value.unmark nextw));
+      Mm.release t.mm ~tid nextw;
+      Mm.release t.mm ~tid last;
+      attempt ()
+    end
+    else if Mm.cas_link t.mm ~tid (next_addr t last) ~old:Value.null ~nw:n
+    then begin
+      (* Linked; swing the tail (best effort). *)
+      ignore (Mm.cas_link t.mm ~tid t.tail ~old:last ~nw:n);
+      Mm.release t.mm ~tid last
+    end
+    else begin
+      Mm.release t.mm ~tid last;
+      attempt ()
+    end
+  in
+  attempt ();
+  Mm.release t.mm ~tid n
+
+let dequeue t ~tid =
+  Mm.enter_op t.mm ~tid;
+  Fun.protect ~finally:(fun () -> Mm.exit_op t.mm ~tid) @@ fun () ->
+  let arena = Mm.arena t.mm in
+  let rec attempt () =
+    let first = Mm.deref t.mm ~tid t.head in
+    let last = Mm.deref t.mm ~tid t.tail in
+    let nextw = Mm.deref t.mm ~tid (next_addr t first) in
+    let release_all () =
+      if not (Value.is_null nextw) then Mm.release t.mm ~tid nextw;
+      Mm.release t.mm ~tid last;
+      Mm.release t.mm ~tid first
+    in
+    if first = last then
+      if Value.is_null nextw then begin
+        release_all ();
+        None
+      end
+      else begin
+        (* Tail lagging behind a pending enqueue: help, retry. *)
+        ignore
+          (Mm.cas_link t.mm ~tid t.tail ~old:last ~nw:(Value.unmark nextw));
+        release_all ();
+        attempt ()
+      end
+    else if Value.is_null nextw then begin
+      (* Transient: head moved under us; retry. *)
+      release_all ();
+      attempt ()
+    end
+    else begin
+      let v = Shmem.Arena.read_data arena (Value.unmark nextw) 0 in
+      if Mm.cas_link t.mm ~tid t.head ~old:first ~nw:(Value.unmark nextw)
+      then begin
+        release_all ();
+        Mm.terminate t.mm ~tid first;
+        Some v
+      end
+      else begin
+        release_all ();
+        attempt ()
+      end
+    end
+  in
+  attempt ()
+
+let is_empty t ~tid =
+  Mm.enter_op t.mm ~tid;
+  Fun.protect ~finally:(fun () -> Mm.exit_op t.mm ~tid) @@ fun () ->
+  let first = Mm.deref t.mm ~tid t.head in
+  let nextw = Mm.deref t.mm ~tid (next_addr t first) in
+  let e = Value.is_null nextw in
+  if not e then Mm.release t.mm ~tid nextw;
+  Mm.release t.mm ~tid first;
+  e
+
+let drain t ~tid =
+  let rec go acc = match dequeue t ~tid with
+    | None -> List.rev acc
+    | Some v -> go (v :: acc)
+  in
+  go []

@@ -1,0 +1,18 @@
+(** Michael–Scott FIFO queue over any {!Mm_intf.S} scheme.
+
+    Layout requirements: at least one link slot and one data word; two
+    arena root cells (head and tail links). The queue permanently
+    holds one sentinel node. *)
+
+type t
+
+val create : Mm_intf.instance -> head_root:int -> tail_root:int -> tid:int -> t
+(** Allocates the sentinel from the manager (so an empty queue holds
+    one node). *)
+
+val enqueue : t -> tid:int -> int -> unit
+val dequeue : t -> tid:int -> int option
+val is_empty : t -> tid:int -> bool
+
+val drain : t -> tid:int -> int list
+(** Dequeue until empty, in FIFO order. Quiescent teardown helper. *)

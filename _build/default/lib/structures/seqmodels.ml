@@ -1,0 +1,75 @@
+(* Sequential reference models for differential testing: the
+   concurrent structures, run single-threaded or checked at
+   quiescence, must agree with these observationally. *)
+
+module Stack_model = struct
+  type t = int list ref
+
+  let create () = ref []
+  let push t v = t := v :: !t
+
+  let pop t =
+    match !t with
+    | [] -> None
+    | v :: rest ->
+        t := rest;
+        Some v
+
+  let is_empty t = !t = []
+  let to_list t = !t
+end
+
+module Queue_model = struct
+  (* Two-list queue with amortised O(1) operations. *)
+  type t = { mutable front : int list; mutable back : int list }
+
+  let create () = { front = []; back = [] }
+  let push t v = t.back <- v :: t.back
+
+  let pop t =
+    match t.front with
+    | v :: rest ->
+        t.front <- rest;
+        Some v
+    | [] -> (
+        match List.rev t.back with
+        | [] -> None
+        | v :: rest ->
+            t.front <- rest;
+            t.back <- [];
+            Some v)
+
+  let is_empty t = t.front = [] && t.back = []
+  let to_list t = t.front @ List.rev t.back
+end
+
+module Pqueue_model = struct
+  (* Sorted association list keyed by priority; duplicates kept in
+     insertion order (the concurrent queue makes no promise about the
+     relative order of equal keys, so comparisons must account for
+     that). *)
+  type t = (int * int) list ref
+
+  let create () = ref []
+
+  let insert t k v =
+    let rec go = function
+      | [] -> [ (k, v) ]
+      | (k', _) as hd :: rest when k' <= k -> hd :: go rest
+      | rest -> (k, v) :: rest
+    in
+    t := go !t
+
+  let delete_min t =
+    match !t with
+    | [] -> None
+    | kv :: rest ->
+        t := rest;
+        Some kv
+
+  let is_empty t = !t = []
+  let to_list t = !t
+
+  (* Multiset view for order-insensitive comparison of equal keys. *)
+  let sorted_keys t = List.map fst !t
+end

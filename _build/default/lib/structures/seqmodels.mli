@@ -1,0 +1,37 @@
+(** Sequential reference models for differential testing of the
+    concurrent structures. *)
+
+module Stack_model : sig
+  type t
+
+  val create : unit -> t
+  val push : t -> int -> unit
+  val pop : t -> int option
+  val is_empty : t -> bool
+  val to_list : t -> int list
+  (** Top first. *)
+end
+
+module Queue_model : sig
+  type t
+
+  val create : unit -> t
+  val push : t -> int -> unit
+  val pop : t -> int option
+  val is_empty : t -> bool
+  val to_list : t -> int list
+  (** Front first. *)
+end
+
+module Pqueue_model : sig
+  type t
+
+  val create : unit -> t
+  val insert : t -> int -> int -> unit
+  val delete_min : t -> (int * int) option
+  (** Stable for equal keys (insertion order). *)
+
+  val is_empty : t -> bool
+  val to_list : t -> (int * int) list
+  val sorted_keys : t -> int list
+end

@@ -1,0 +1,16 @@
+(** Treiber stack over any {!Mm_intf.S} scheme (the §3.2 usage model).
+
+    Layout requirements: at least one link slot (next) and one data
+    word (value); one arena root cell for the top link. *)
+
+type t
+
+val create : Mm_intf.instance -> root:int -> t
+(** [create mm ~root] uses arena root cell [root] as the top link. *)
+
+val push : t -> tid:int -> int -> unit
+val pop : t -> tid:int -> int option
+val is_empty : t -> tid:int -> bool
+
+val drain : t -> tid:int -> int list
+(** Pop until empty (top-to-bottom order). Quiescent teardown helper. *)

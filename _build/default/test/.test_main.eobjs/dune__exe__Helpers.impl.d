@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Harness List Mm_intf Printexc QCheck QCheck_alcotest Sched Shmem String

@@ -1,0 +1,1 @@
+test/t_atomics.ml: Array Atomics Domain Helpers List

@@ -1,0 +1,1 @@
+test/t_baselines.ml: Alcotest Atomics Harness Helpers List Mm_intf Printf Sched Shmem

@@ -1,0 +1,1 @@
+test/t_experiments.ml: Alcotest Harness Helpers List Printf String

@@ -1,0 +1,1 @@
+test/t_harness.ml: Alcotest Array Atomics Gen Harness Helpers List Mm_intf QCheck Sched Shmem String

@@ -1,0 +1,1 @@
+test/t_hmap.ml: Gen Harness Hashtbl Helpers List Mm_intf Printf QCheck Sched Structures

@@ -1,0 +1,1 @@
+test/t_lincheck.ml: Array Atomics Helpers Lincheck Printf Sched

@@ -1,0 +1,1 @@
+test/t_models.ml: Helpers List QCheck Structures

@@ -1,0 +1,1 @@
+test/t_multiway.ml: Array Helpers List Mm_intf Printf Shmem String Structures

@@ -1,0 +1,1 @@
+test/t_oset.ml: Alcotest Array Gen Harness Hashtbl Helpers List Mm_intf Printf QCheck Sched Structures

@@ -1,0 +1,1 @@
+test/t_pqueue.ml: Array Atomic Gen Harness Helpers List Mm_intf Printf QCheck Sched String Structures

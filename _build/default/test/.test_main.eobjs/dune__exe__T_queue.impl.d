@@ -1,0 +1,1 @@
+test/t_queue.ml: Array Domain Gen Harness Helpers List Mm_intf Printf QCheck Sched Structures

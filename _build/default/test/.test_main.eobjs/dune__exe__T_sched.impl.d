@@ -1,0 +1,1 @@
+test/t_sched.ml: Alcotest Array Atomic Atomics Fun Helpers List Mm_intf Printf QCheck Sched Shmem

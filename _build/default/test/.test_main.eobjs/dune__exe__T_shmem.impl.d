@@ -1,0 +1,1 @@
+test/t_shmem.ml: Alcotest Helpers List QCheck Shmem

@@ -1,0 +1,1 @@
+test/t_stack.ml: Array Atomic Gen Harness Hashtbl Helpers List Mm_intf Printf QCheck Sched Shmem Structures

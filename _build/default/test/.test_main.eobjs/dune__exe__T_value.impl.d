@@ -1,0 +1,1 @@
+test/t_value.ml: Fmt Helpers QCheck Shmem

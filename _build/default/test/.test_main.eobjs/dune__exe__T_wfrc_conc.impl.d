@@ -1,0 +1,1 @@
+test/t_wfrc_conc.ml: Array Atomic Domain Harness Helpers List Mm_intf Sched Shmem

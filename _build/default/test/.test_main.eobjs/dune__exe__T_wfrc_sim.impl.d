@@ -1,0 +1,1 @@
+test/t_wfrc_sim.ml: Alcotest Array Atomics Helpers Lincheck List Mm_intf Printf Sched Shmem String

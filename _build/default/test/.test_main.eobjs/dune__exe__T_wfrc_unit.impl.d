@@ -1,0 +1,1 @@
+test/t_wfrc_unit.ml: Alcotest Array Hashtbl Helpers List Mm_intf Printf QCheck Shmem Wfrc

@@ -1,0 +1,152 @@
+(* Primitives, counters, backoff and the scheduling hook. *)
+
+open Helpers
+module P = Atomics.Primitives
+module C = Atomics.Counters
+
+let primitives_tests =
+  [
+    tc "figure 2 semantics" (fun () ->
+        let c = P.make 10 in
+        check_int "read" 10 (P.read c);
+        P.write c 20;
+        check_int "write" 20 (P.read c);
+        check_int "faa returns old" 20 (P.faa c 5);
+        check_int "faa added" 25 (P.read c);
+        check_int "faa negative" 25 (P.faa c (-10));
+        check_int "after" 15 (P.read c);
+        check_bool "cas hit" true (P.cas c ~old:15 ~nw:1);
+        check_bool "cas miss leaves value" false (P.cas c ~old:15 ~nw:99);
+        check_int "value" 1 (P.read c);
+        check_int "swap returns old" 1 (P.swap c 7);
+        check_int "swap stored" 7 (P.read c));
+    tc "parallel faa counter is exact" (fun () ->
+        let c = P.make 0 in
+        let domains =
+          Array.init 4 (fun _ ->
+              Domain.spawn (fun () ->
+                  for _ = 1 to 10_000 do
+                    ignore (P.faa c 1)
+                  done))
+        in
+        Array.iter Domain.join domains;
+        check_int "sum" 40_000 (P.read c));
+    tc "parallel cas increments are exact" (fun () ->
+        let c = P.make 0 in
+        let domains =
+          Array.init 3 (fun _ ->
+              Domain.spawn (fun () ->
+                  for _ = 1 to 2_000 do
+                    let rec incr () =
+                      let v = P.read c in
+                      if not (P.cas c ~old:v ~nw:(v + 1)) then incr ()
+                    in
+                    incr ()
+                  done))
+        in
+        Array.iter Domain.join domains;
+        check_int "sum" 6_000 (P.read c));
+  ]
+
+let schedpoint_tests =
+  [
+    tc "default hook is a no-op" (fun () ->
+        Atomics.Schedpoint.reset ();
+        check_bool "not installed" false (Atomics.Schedpoint.is_installed ());
+        Atomics.Schedpoint.hit () (* must not raise *));
+    tc "with_hook counts primitive crossings" (fun () ->
+        let n = ref 0 in
+        Atomics.Schedpoint.with_hook
+          (fun () -> incr n)
+          (fun () ->
+            let c = P.make 0 in
+            ignore (P.read c);
+            ignore (P.faa c 1);
+            ignore (P.swap c 2);
+            ignore (P.cas c ~old:2 ~nw:3);
+            P.write c 4);
+        check_int "five crossings" 5 !n;
+        check_bool "restored" false (Atomics.Schedpoint.is_installed ()));
+    tc "with_hook restores on exception" (fun () ->
+        (try
+           Atomics.Schedpoint.with_hook ignore (fun () -> failwith "boom")
+         with Failure _ -> ());
+        check_bool "restored" false (Atomics.Schedpoint.is_installed ()));
+  ]
+
+let counters_tests =
+  [
+    tc "incr/add/get/total" (fun () ->
+        let t = C.create ~threads:3 in
+        C.incr t ~tid:0 Alloc;
+        C.add t ~tid:1 Alloc 4;
+        C.incr t ~tid:2 Free;
+        check_int "tid0" 1 (C.get t ~tid:0 Alloc);
+        check_int "tid1" 4 (C.get t ~tid:1 Alloc);
+        check_int "total alloc" 5 (C.total t Alloc);
+        check_int "total free" 1 (C.total t Free);
+        check_int "untouched" 0 (C.total t Cas_failure));
+    tc "reset clears everything" (fun () ->
+        let t = C.create ~threads:2 in
+        C.add t ~tid:0 Deref 9;
+        C.reset t;
+        check_int "cleared" 0 (C.total t Deref));
+    tc "snapshot lists only non-zero events" (fun () ->
+        let t = C.create ~threads:1 in
+        C.incr t ~tid:0 Swap;
+        C.add t ~tid:0 Release 3;
+        let snap = C.snapshot t in
+        check_int "two entries" 2 (List.length snap);
+        check_bool "has swap" true (List.mem_assoc C.Swap snap));
+    tc "bad tid rejected" (fun () ->
+        let t = C.create ~threads:2 in
+        fails_with (fun () -> C.incr t ~tid:2 Alloc);
+        fails_with (fun () -> C.get t ~tid:(-1) Alloc));
+    tc "event names unique" (fun () ->
+        let names = List.map C.event_name C.all_events in
+        check_int "no duplicates"
+          (List.length names)
+          (List.length (List.sort_uniq compare names)));
+    tc "parallel per-thread increments don't interfere" (fun () ->
+        let t = C.create ~threads:4 in
+        let domains =
+          Array.init 4 (fun tid ->
+              Domain.spawn (fun () ->
+                  for _ = 1 to 5_000 do
+                    C.incr t ~tid Cas_attempt
+                  done))
+        in
+        Array.iter Domain.join domains;
+        check_int "total" 20_000 (C.total t Cas_attempt);
+        for tid = 0 to 3 do
+          check_int "per thread" 5_000 (C.get t ~tid Cas_attempt)
+        done);
+  ]
+
+let backoff_tests =
+  [
+    tc "doubles up to max" (fun () ->
+        let b = Atomics.Backoff.create ~min:2 ~max:16 () in
+        check_int "start" 2 (Atomics.Backoff.current b);
+        Atomics.Backoff.once b;
+        check_int "doubled" 4 (Atomics.Backoff.current b);
+        Atomics.Backoff.once b;
+        Atomics.Backoff.once b;
+        Atomics.Backoff.once b;
+        check_int "capped" 16 (Atomics.Backoff.current b);
+        Atomics.Backoff.reset b;
+        check_int "reset" 2 (Atomics.Backoff.current b));
+    tc "invalid bounds rejected" (fun () ->
+        fails_with (fun () -> Atomics.Backoff.create ~min:0 ~max:4 ());
+        fails_with (fun () -> Atomics.Backoff.create ~min:8 ~max:4 ()));
+    tc "under a hook it yields instead of spinning" (fun () ->
+        let hits = ref 0 in
+        Atomics.Schedpoint.with_hook
+          (fun () -> incr hits)
+          (fun () ->
+            let b = Atomics.Backoff.create ~min:1024 ~max:4096 () in
+            Atomics.Backoff.once b);
+        check_int "one yield, no spin" 1 !hits);
+  ]
+
+let suite = primitives_tests @ schedpoint_tests @ counters_tests @ backoff_tests

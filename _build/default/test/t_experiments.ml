@@ -1,0 +1,134 @@
+(* Experiment shape checks: every experiment must run (at reduced
+   parameters), produce a well-formed table, and reproduce the
+   paper-shaped qualitative result it exists for. *)
+
+open Helpers
+
+let wellformed (r : Harness.Experiments.report) =
+  check_bool "has rows" true (r.rows <> []);
+  let cols = List.length r.headers in
+  List.iter
+    (fun row -> check_int "row arity" cols (List.length row))
+    r.rows
+
+let parse_int s = int_of_string (String.trim s)
+
+let suite =
+  [
+    tc_slow "E1 runs and covers all RC schemes" (fun () ->
+        let r =
+          Harness.Experiments.e1 ~threads_list:[ 1; 2 ] ~ops:2_000
+            ~capacity:1024 ()
+        in
+        wellformed r;
+        let schemes = List.map List.hd r.rows in
+        check_bool "wfrc present" true (List.mem "wfrc" schemes);
+        check_bool "lfrc present" true (List.mem "lfrc" schemes));
+    tc_slow "E2 shape: wfrc bounded, lfrc grows" (fun () ->
+        let r =
+          Harness.Experiments.e2 ~schemes:[ "wfrc"; "lfrc" ]
+            ~budgets:[ 0; 16 ] ~seeds:10 ()
+        in
+        wellformed r;
+        match r.rows with
+        | [ [ _; w0; l0 ]; [ _; w16; l16 ] ] ->
+            let w0 = parse_int w0
+            and l0 = parse_int l0
+            and w16 = parse_int w16
+            and l16 = parse_int l16 in
+            (* the wait-free bound: a fixed constant for N=2 *)
+            check_bool "wfrc bounded" true (w16 <= 60 && w0 <= 60);
+            (* the lock-free baseline visibly grows *)
+            check_bool "lfrc grows" true (l16 > l0)
+        | _ -> Alcotest.fail "unexpected table shape");
+    tc_slow "E3 runs for all three free-list schemes" (fun () ->
+        let r =
+          Harness.Experiments.e3 ~threads_list:[ 1; 2 ] ~ops:4_000
+            ~capacity:512 ()
+        in
+        wellformed r;
+        check_int "rows = schemes x thread counts" 6 (List.length r.rows));
+    tc_slow "E4 helping counters are exercised" (fun () ->
+        let r = Harness.Experiments.e4 ~threads_list:[ 2 ] ~ops:10 ~runs:20 () in
+        wellformed r;
+        match r.rows with
+        | [ row ] ->
+            let derefs = parse_int (List.nth row 1) in
+            check_bool "derefs happened" true (derefs > 0)
+        | _ -> Alcotest.fail "one row expected");
+    tc_slow "E5 latency columns parse and are ordered" (fun () ->
+        let r =
+          Harness.Experiments.e5 ~schemes:[ "wfrc" ] ~threads:2 ~ops:2_000
+            ~capacity:1024 ()
+        in
+        wellformed r;
+        check_int "one scheme" 1 (List.length r.rows));
+    tc_slow "E7 finds no violations" (fun () ->
+        let r = Harness.Experiments.e7 ~runs:25 () in
+        wellformed r;
+        List.iter
+          (fun row ->
+            check_string
+              (Printf.sprintf "%s/%s clean" (List.nth row 0) (List.nth row 1))
+              "none" (List.nth row 3))
+          r.rows);
+    tc_slow "E8 conservation holds at exhaustion" (fun () ->
+        let r = Harness.Experiments.e8 ~threads_list:[ 1; 2 ] ~capacity:16 () in
+        wellformed r;
+        List.iter
+          (fun row ->
+            check_string "conservation column" "ok" (List.nth row 6);
+            let allocated = parse_int (List.nth row 2) in
+            let parked = parse_int (List.nth row 3) in
+            let lost = parse_int (List.nth row 4) in
+            check_int "nothing lost" 0 lost;
+            check_int "allocated+parked = capacity" 16 (allocated + parked))
+          r.rows);
+    tc_slow "E9 covers all five schemes" (fun () ->
+        let r =
+          Harness.Experiments.e9 ~threads_list:[ 1; 2 ] ~ops:3_000
+            ~capacity:512 ()
+        in
+        wellformed r;
+        check_int "five schemes" 5 (List.length r.rows));
+    tc_slow "E10 non-blocking schemes never stall; lockrc can" (fun () ->
+        let r = Harness.Experiments.e10 ~runs:15 ~ops:8 () in
+        wellformed r;
+        List.iter
+          (fun row ->
+            let scheme = List.nth row 0 in
+            let stalled = parse_int (List.nth row 3) in
+            if scheme <> "lockrc" then
+              check_int (scheme ^ " never stalls") 0 stalled)
+          r.rows);
+    tc_slow "A1 bound grows at most linearly in N" (fun () ->
+        let r =
+          Harness.Experiments.a1 ~threads_list:[ 2; 8 ] ~seeds:6 ()
+        in
+        wellformed r;
+        match r.rows with
+        | [ [ _; s2 ]; [ _; s8 ] ] ->
+            let s2 = parse_int s2 and s8 = parse_int s8 in
+            (* linear-ish: N grew 4x; allow 8x slack but not explosion *)
+            check_bool
+              (Printf.sprintf "s2=%d s8=%d linearish" s2 s8)
+              true
+              (s8 <= 8 * s2)
+        | _ -> Alcotest.fail "two rows expected");
+    tc_slow "A2 and A3 run" (fun () ->
+        wellformed
+          (Harness.Experiments.a2 ~threads_list:[ 2 ] ~ops:4_000
+             ~capacity:512 ());
+        wellformed
+          (Harness.Experiments.a3 ~threads_list:[ 2 ] ~ops:4_000
+             ~capacity:512 ()));
+    tc "experiment registry resolves every id" (fun () ->
+        List.iter
+          (fun id ->
+            match List.assoc_opt id (List.map (fun i -> (i, ())) Harness.Experiments.ids) with
+            | Some () -> ()
+            | None -> Alcotest.failf "id %s missing" id)
+          [ "e1"; "e2"; "e3"; "e4"; "e5"; "e7"; "e8"; "e9"; "e10"; "e11"; "a1"; "a2"; "a3" ];
+        fails_with ~substring:"unknown experiment" (fun () ->
+            Harness.Experiments.run "e99"));
+  ]

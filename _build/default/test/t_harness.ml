@@ -1,0 +1,195 @@
+(* Harness components: histogram statistics, table rendering, workload
+   generation, the runner and the registry. *)
+
+open Helpers
+module Hist = Harness.Metrics.Hist
+
+let hist_tests =
+  [
+    tc "empty histogram" (fun () ->
+        let h = Hist.create () in
+        check_int "count" 0 (Hist.count h);
+        check_int "max" 0 (Hist.max_value h);
+        check_int "p99" 0 (Hist.percentile h 0.99);
+        check_bool "mean" true (Hist.mean h = 0.0));
+    tc "single value" (fun () ->
+        let h = Hist.create () in
+        Hist.add h 500;
+        check_int "count" 1 (Hist.count h);
+        check_int "min" 500 (Hist.min_value h);
+        check_int "max" 500 (Hist.max_value h);
+        check_bool "mean" true (Hist.mean h = 500.0);
+        check_int "p50 = the value" 500 (Hist.percentile h 0.5));
+    tc "percentiles are monotone and bounded by max" (fun () ->
+        let h = Hist.create () in
+        for i = 1 to 10_000 do
+          Hist.add h i
+        done;
+        let p50 = Hist.percentile h 0.5 in
+        let p90 = Hist.percentile h 0.9 in
+        let p999 = Hist.percentile h 0.999 in
+        check_bool "monotone" true (p50 <= p90 && p90 <= p999);
+        check_bool "bounded" true (p999 <= Hist.max_value h);
+        (* log-bucket error is bounded by one sub-bucket (~6%) *)
+        check_bool "p50 near 5000" true (p50 >= 5_000 && p50 <= 5_700);
+        check_bool "p90 near 9000" true (p90 >= 9_000 && p90 <= 10_000));
+    tc "merge_into combines counts and extremes" (fun () ->
+        let a = Hist.create () and b = Hist.create () in
+        Hist.add a 10;
+        Hist.add b 1_000_000;
+        Hist.merge_into a b;
+        check_int "count" 2 (Hist.count a);
+        check_int "min" 10 (Hist.min_value a);
+        check_int "max" 1_000_000 (Hist.max_value a));
+    tc "negative values clamp to zero" (fun () ->
+        let h = Hist.create () in
+        Hist.add h (-5);
+        check_int "min" 0 (Hist.min_value h));
+    qc "max is exact, percentile(1.0) equals it"
+      QCheck.(list_of_size (Gen.int_range 1 200) (int_range 0 1_000_000))
+      (fun vs ->
+        let h = Hist.create () in
+        List.iter (Hist.add h) vs;
+        Hist.max_value h = List.fold_left max 0 vs
+        && Hist.percentile h 1.0 = Hist.max_value h);
+    qc "mean matches a direct computation"
+      QCheck.(list_of_size (Gen.int_range 1 100) (int_range 0 100_000))
+      (fun vs ->
+        let h = Hist.create () in
+        List.iter (Hist.add h) vs;
+        let direct =
+          float_of_int (List.fold_left ( + ) 0 vs)
+          /. float_of_int (List.length vs)
+        in
+        abs_float (Hist.mean h -. direct) < 0.001);
+  ]
+
+let fmt_tests =
+  [
+    tc "duration formatting" (fun () ->
+        check_string "ns" "999ns" (Harness.Metrics.ns_to_string 999);
+        check_string "us" "1.5us" (Harness.Metrics.ns_to_string 1_500);
+        check_string "ms" "2.0ms" (Harness.Metrics.ns_to_string 2_000_000);
+        check_string "s" "3.00s" (Harness.Metrics.ns_to_string 3_000_000_000));
+    tc "ops formatting" (fun () ->
+        check_string "M" "2.50M" (Harness.Metrics.ops_to_string 2.5e6);
+        check_string "k" "3.2k" (Harness.Metrics.ops_to_string 3_200.0);
+        check_string "plain" "42" (Harness.Metrics.ops_to_string 42.0));
+  ]
+
+let table_tests =
+  [
+    tc "render aligns columns" (fun () ->
+        let out =
+          Harness.Table.render ~headers:[ "name"; "n" ]
+            ~rows:[ [ "alpha"; "1" ]; [ "b"; "10000" ] ]
+        in
+        let lines = String.split_on_char '\n' out in
+        let widths =
+          List.filter_map
+            (fun l -> if l = "" then None else Some (String.length l))
+            lines
+        in
+        check_bool "all lines same width" true
+          (List.for_all (fun w -> w = List.hd widths) widths));
+    tc "render rejects ragged rows" (fun () ->
+        fails_with (fun () ->
+            Harness.Table.render ~headers:[ "a"; "b" ] ~rows:[ [ "1" ] ]));
+    tc "csv quotes what needs quoting" (fun () ->
+        let out =
+          Harness.Table.csv ~headers:[ "x" ] ~rows:[ [ "a,b" ]; [ "c\"d" ] ]
+        in
+        check_bool "comma quoted" true (contains out "\"a,b\"");
+        check_bool "quote doubled" true (contains out "\"c\"\"d\""));
+  ]
+
+let workload_tests =
+  [
+    tc "mixed respects the produce ratio (statistically)" (fun () ->
+        let rng = Sched.Rng.create 4 in
+        let ops =
+          Harness.Workload.mixed ~rng ~n:10_000 ~produce_pct:30 ~key_range:100
+        in
+        let produces = Harness.Workload.count_produces ops in
+        check_bool "close to 30%" true (produces > 2_500 && produces < 3_500));
+    tc "mixed keys stay in range" (fun () ->
+        let rng = Sched.Rng.create 5 in
+        let ops =
+          Harness.Workload.mixed ~rng ~n:1_000 ~produce_pct:100 ~key_range:7
+        in
+        Array.iter
+          (function
+            | Harness.Workload.Produce k ->
+                if k < 0 || k >= 7 then Alcotest.failf "key %d" k
+            | Consume -> Alcotest.fail "no consumes expected")
+          ops);
+    tc "per_thread streams are independent and reproducible" (fun () ->
+        let gen rng = Array.init 5 (fun _ -> Sched.Rng.int rng 1000) in
+        let a = Harness.Workload.per_thread ~threads:3 ~seed:9 gen in
+        let b = Harness.Workload.per_thread ~threads:3 ~seed:9 gen in
+        check_bool "reproducible" true (a = b);
+        check_bool "distinct across threads" true (a.(0) <> a.(1)));
+    tc "churn bursts within bounds" (fun () ->
+        let rng = Sched.Rng.create 6 in
+        let bursts = Harness.Workload.churn_bursts ~rng ~n:500 ~max_burst:8 in
+        Array.iter
+          (fun b -> if b < 1 || b > 8 then Alcotest.failf "burst %d" b)
+          bursts);
+  ]
+
+let runner_tests =
+  [
+    tc "runner executes every tid exactly once" (fun () ->
+        let hits = Array.make 4 0 in
+        let r = Harness.Runner.run ~threads:4 (fun ~tid -> hits.(tid) <- hits.(tid) + 1) in
+        check_bool "all ran once" true (hits = [| 1; 1; 1; 1 |]);
+        check_bool "wall time positive" true (r.wall_ns >= 0));
+    tc "throughput arithmetic" (fun () ->
+        let r = { Harness.Runner.wall_ns = 1_000_000_000; per_thread_ns = [| 0 |] } in
+        check_bool "1000 ops in 1s" true
+          (abs_float (Harness.Runner.throughput ~ops:1000 r -. 1000.0) < 0.01));
+    tc "single-thread runner works" (fun () ->
+        let x = ref 0 in
+        ignore (Harness.Runner.run ~threads:1 (fun ~tid -> x := tid + 41));
+        check_int "ran" 41 !x);
+  ]
+
+let config_tests =
+  [
+    tc "config rejects non-positive sizes" (fun () ->
+        fails_with (fun () -> Mm_intf.config ~threads:0 ~capacity:4 ());
+        fails_with (fun () -> Mm_intf.config ~threads:2 ~capacity:0 ()));
+    tc "config defaults are zero-extras" (fun () ->
+        let c = Mm_intf.config ~threads:2 ~capacity:4 () in
+        check_int "links" 0 c.num_links;
+        check_int "data" 0 c.num_data;
+        check_int "roots" 0 c.num_roots);
+    tc "instance accessors agree with the config" (fun () ->
+        let c = small_cfg ~threads:3 ~capacity:32 () in
+        let mm = mm_of "wfrc" c in
+        check_int "threads" 3 (Mm_intf.conf mm).threads;
+        check_int "capacity" 32 (Shmem.Arena.capacity (Mm_intf.arena mm));
+        check_int "counters rows" 3
+          (Atomics.Counters.threads (Mm_intf.counters mm)));
+  ]
+
+let registry_tests =
+  [
+    tc "all five schemes are registered" (fun () ->
+        check_int "count" 5 (List.length Harness.Registry.names);
+        List.iter
+          (fun s ->
+            let mm = mm_of s (small_cfg ()) in
+            check_string "name matches" s (Mm_intf.name mm))
+          Harness.Registry.names);
+    tc "rc subset is correct" (fun () ->
+        check_bool "wfrc rc" true (List.mem "wfrc" Harness.Registry.rc_names);
+        check_bool "hp not rc" false (List.mem "hp" Harness.Registry.rc_names));
+    tc "unknown scheme rejected with the known list" (fun () ->
+        fails_with ~substring:"unknown scheme" (fun () ->
+            Harness.Registry.find "nope"));
+  ]
+
+let suite =
+  hist_tests @ fmt_tests @ table_tests @ workload_tests @ runner_tests
+  @ config_tests @ registry_tests

@@ -1,0 +1,220 @@
+(* The linearizability checker itself: hand-crafted histories with
+   known verdicts, spec unit tests, and recorder behaviour. *)
+
+open Helpers
+module H = Lincheck.History
+module Specs = Lincheck.Specs
+module Stack_check = Lincheck.Checker.Make (Specs.Stack_ops)
+module Queue_check = Lincheck.Checker.Make (Specs.Queue_ops)
+module Link_check = Lincheck.Checker.Make (Specs.Link_ops)
+module Alloc_check = Lincheck.Checker.Make (Specs.Alloc_ops)
+
+let ev tid op res invoke return = { H.tid; op; res; invoke; return }
+
+let stack_tests =
+  let open Specs.Stack_ops in
+  [
+    tc "sequential legal history accepted" (fun () ->
+        let h =
+          [|
+            ev 0 (Push 1) Unit 0 1;
+            ev 0 Pop (Value 1) 2 3;
+            ev 0 Pop Empty 4 5;
+          |]
+        in
+        check_bool "ok" true (Stack_check.check h));
+    tc "sequential illegal history rejected (wrong pop)" (fun () ->
+        let h = [| ev 0 (Push 1) Unit 0 1; ev 0 Pop (Value 2) 2 3 |] in
+        check_bool "rejected" false (Stack_check.check h));
+    tc "pop-empty with a completed push before it is illegal" (fun () ->
+        let h = [| ev 0 (Push 1) Unit 0 1; ev 0 Pop Empty 2 3 |] in
+        check_bool "rejected" false (Stack_check.check h));
+    tc "overlapping ops may commute" (fun () ->
+        (* pop overlaps push: Empty is fine (pop first) and Value 1 is
+           fine (push first) *)
+        let ok_empty = [| ev 0 (Push 1) Unit 0 5; ev 1 Pop Empty 1 2 |] in
+        let ok_value = [| ev 0 (Push 1) Unit 0 5; ev 1 Pop (Value 1) 1 2 |] in
+        check_bool "empty ok" true (Stack_check.check ok_empty);
+        check_bool "value ok" true (Stack_check.check ok_value));
+    tc "real-time order is respected" (fun () ->
+        (* push(1) completes before push(2) begins; pops see 2 then 1 *)
+        let good =
+          [|
+            ev 0 (Push 1) Unit 0 1;
+            ev 0 (Push 2) Unit 2 3;
+            ev 1 Pop (Value 2) 4 5;
+            ev 1 Pop (Value 1) 6 7;
+          |]
+        in
+        let bad =
+          [|
+            ev 0 (Push 1) Unit 0 1;
+            ev 0 (Push 2) Unit 2 3;
+            ev 1 Pop (Value 1) 4 5;
+            ev 1 Pop (Value 2) 6 7;
+          |]
+        in
+        check_bool "good" true (Stack_check.check good);
+        check_bool "bad" false (Stack_check.check bad));
+    tc "double delivery of one element rejected" (fun () ->
+        let h =
+          [|
+            ev 0 (Push 7) Unit 0 1;
+            ev 0 Pop (Value 7) 2 3;
+            ev 1 Pop (Value 7) 2 3;
+          |]
+        in
+        check_bool "rejected" false (Stack_check.check h));
+    tc "empty history is linearizable" (fun () ->
+        check_bool "ok" true (Stack_check.check [||]));
+  ]
+
+let queue_tests =
+  let open Specs.Queue_ops in
+  [
+    tc "FIFO must hold across threads" (fun () ->
+        let good =
+          [|
+            ev 0 (Enq 1) Unit 0 1;
+            ev 0 (Enq 2) Unit 2 3;
+            ev 1 Deq (Value 1) 4 5;
+            ev 1 Deq (Value 2) 6 7;
+          |]
+        in
+        let bad =
+          [|
+            ev 0 (Enq 1) Unit 0 1;
+            ev 0 (Enq 2) Unit 2 3;
+            ev 1 Deq (Value 2) 4 5;
+            ev 1 Deq (Value 1) 6 7;
+          |]
+        in
+        check_bool "good" true (Queue_check.check good);
+        check_bool "bad (LIFO order)" false (Queue_check.check bad));
+    tc "overlapping enqueues may land in either order" (fun () ->
+        let h order =
+          [|
+            ev 0 (Enq 1) Unit 0 10;
+            ev 1 (Enq 2) Unit 0 10;
+            ev 0 Deq (Value order) 11 12;
+          |]
+        in
+        check_bool "1 first" true (Queue_check.check (h 1));
+        check_bool "2 first" true (Queue_check.check (h 2)));
+  ]
+
+let link_tests =
+  let open Specs.Link_ops in
+  [
+    tc "deref must return a value the link held" (fun () ->
+        Specs.Link_ops.set_initial [ (0, 10) ];
+        let good =
+          [| ev 0 (Cas (0, 10, 20)) (Bool true) 0 1; ev 1 (Deref 0) (Word 20) 2 3 |]
+        in
+        let bad =
+          [| ev 0 (Cas (0, 10, 20)) (Bool true) 0 1; ev 1 (Deref 0) (Word 10) 2 3 |]
+        in
+        check_bool "good" true (Link_check.check good);
+        check_bool "bad (stale read after cas)" false (Link_check.check bad));
+    tc "overlapping deref can see either side of a cas" (fun () ->
+        Specs.Link_ops.set_initial [ (0, 10) ];
+        let h v =
+          [| ev 0 (Cas (0, 10, 20)) (Bool true) 0 10; ev 1 (Deref 0) (Word v) 1 2 |]
+        in
+        check_bool "old value" true (Link_check.check (h 10));
+        check_bool "new value" true (Link_check.check (h 20));
+        check_bool "invented value" false (Link_check.check (h 99)));
+    tc "failed cas must not change the link" (fun () ->
+        Specs.Link_ops.set_initial [ (0, 10) ];
+        let h =
+          [|
+            ev 0 (Cas (0, 99, 20)) (Bool false) 0 1;
+            ev 1 (Deref 0) (Word 10) 2 3;
+          |]
+        in
+        check_bool "ok" true (Link_check.check h));
+    tc "cas claiming success from a wrong old value is rejected" (fun () ->
+        Specs.Link_ops.set_initial [ (0, 10) ];
+        let h = [| ev 0 (Cas (0, 99, 20)) (Bool true) 0 1 |] in
+        check_bool "rejected" false (Link_check.check h));
+  ]
+
+let alloc_tests =
+  let open Specs.Alloc_ops in
+  [
+    tc "double allocation without free is rejected" (fun () ->
+        let h =
+          [| ev 0 Alloc (Node 3) 0 1; ev 1 Alloc (Node 3) 2 3 |]
+        in
+        check_bool "rejected" false (Alloc_check.check h));
+    tc "alloc-free-alloc of the same node is fine" (fun () ->
+        let h =
+          [|
+            ev 0 Alloc (Node 3) 0 1;
+            ev 0 (Free 3) Unit 2 3;
+            ev 1 Alloc (Node 3) 4 5;
+          |]
+        in
+        check_bool "ok" true (Alloc_check.check h));
+    tc "overlapping alloc and free may reuse the node" (fun () ->
+        let h =
+          [|
+            ev 0 Alloc (Node 3) 0 1;
+            ev 0 (Free 3) Unit 2 9;
+            ev 1 Alloc (Node 3) 3 4;
+          |]
+        in
+        check_bool "ok (free linearizes first)" true (Alloc_check.check h));
+    tc "freeing an unallocated node is rejected" (fun () ->
+        let h = [| ev 0 (Free 5) Unit 0 1 |] in
+        check_bool "rejected" false (Alloc_check.check h));
+  ]
+
+let recorder_tests =
+  [
+    tc "recorder produces invoke<return and sorted output" (fun () ->
+        let h = H.create ~threads:2 in
+        ignore
+          (H.record h ~tid:0 "a" (fun () ->
+               ignore (H.record h ~tid:1 "nested" (fun () -> 1));
+               2));
+        let evs = H.events h in
+        check_int "two events" 2 (Array.length evs);
+        Array.iter
+          (fun e -> check_bool "ordered stamps" true (e.H.invoke < e.H.return))
+          evs;
+        check_bool "sorted by invoke" true
+          (evs.(0).H.invoke <= evs.(1).H.invoke));
+    tc "recorder under the sim engine uses the step clock" (fun () ->
+        let h = H.create ~threads:2 in
+        ignore
+          (Sched.Engine.run ~threads:2
+             ~policy:(Sched.Policy.round_robin ())
+             (fun tid ->
+               ignore
+                 (H.record h ~tid (Printf.sprintf "op%d" tid) (fun () ->
+                      let c = Atomics.Primitives.make 0 in
+                      ignore (Atomics.Primitives.faa c 1)))));
+        let evs = H.events h in
+        check_int "both recorded" 2 (Array.length evs);
+        Array.iter
+          (fun e ->
+            check_bool "stamps within run" true
+              (e.H.invoke >= 0 && e.H.return > e.H.invoke))
+          evs);
+    tc "clear resets the history" (fun () ->
+        let h = H.create ~threads:1 in
+        ignore (H.record h ~tid:0 "x" (fun () -> ()));
+        H.clear h;
+        check_int "empty" 0 (Array.length (H.events h)));
+    tc "checker rejects oversized histories" (fun () ->
+        let big =
+          Array.init 63 (fun i ->
+              ev 0 (Specs.Stack_ops.Push i) Specs.Stack_ops.Unit (2 * i)
+                ((2 * i) + 1))
+        in
+        fails_with (fun () -> ignore (Stack_check.check big)));
+  ]
+
+let suite =
+  stack_tests @ queue_tests @ link_tests @ alloc_tests @ recorder_tests

@@ -1,0 +1,90 @@
+(* The sequential reference models themselves must be right, or the
+   differential tests prove nothing. *)
+
+open Helpers
+module SM = Structures.Seqmodels
+
+let stack_tests =
+  [
+    tc "stack model LIFO" (fun () ->
+        let m = SM.Stack_model.create () in
+        SM.Stack_model.push m 1;
+        SM.Stack_model.push m 2;
+        check_bool "pop 2" true (SM.Stack_model.pop m = Some 2);
+        check_bool "pop 1" true (SM.Stack_model.pop m = Some 1);
+        check_bool "empty" true (SM.Stack_model.pop m = None);
+        check_bool "is_empty" true (SM.Stack_model.is_empty m));
+    qc "stack model = List semantics" QCheck.(list (option small_int))
+      (fun script ->
+        let m = SM.Stack_model.create () in
+        let l = ref [] in
+        List.for_all
+          (fun op ->
+            match op with
+            | Some v ->
+                SM.Stack_model.push m v;
+                l := v :: !l;
+                true
+            | None -> (
+                match !l with
+                | [] -> SM.Stack_model.pop m = None
+                | x :: rest ->
+                    l := rest;
+                    SM.Stack_model.pop m = Some x))
+          script
+        && SM.Stack_model.to_list m = !l);
+  ]
+
+let queue_tests =
+  [
+    tc "queue model FIFO across front/back shuffles" (fun () ->
+        let m = SM.Queue_model.create () in
+        SM.Queue_model.push m 1;
+        SM.Queue_model.push m 2;
+        check_bool "pop 1" true (SM.Queue_model.pop m = Some 1);
+        SM.Queue_model.push m 3;
+        check_bool "pop 2" true (SM.Queue_model.pop m = Some 2);
+        check_bool "pop 3" true (SM.Queue_model.pop m = Some 3);
+        check_bool "empty" true (SM.Queue_model.pop m = None));
+    qc "queue model = naive list queue" QCheck.(list (option small_int))
+      (fun script ->
+        let m = SM.Queue_model.create () in
+        let l = ref [] in
+        List.for_all
+          (fun op ->
+            match op with
+            | Some v ->
+                SM.Queue_model.push m v;
+                l := !l @ [ v ];
+                true
+            | None -> (
+                match !l with
+                | [] -> SM.Queue_model.pop m = None
+                | x :: rest ->
+                    l := rest;
+                    SM.Queue_model.pop m = Some x))
+          script
+        && SM.Queue_model.to_list m = !l);
+  ]
+
+let pq_tests =
+  [
+    tc "pqueue model delivers minima, stable for equal keys" (fun () ->
+        let m = SM.Pqueue_model.create () in
+        SM.Pqueue_model.insert m 5 1;
+        SM.Pqueue_model.insert m 3 2;
+        SM.Pqueue_model.insert m 5 3;
+        check_bool "min first" true (SM.Pqueue_model.delete_min m = Some (3, 2));
+        check_bool "stable dup 1" true
+          (SM.Pqueue_model.delete_min m = Some (5, 1));
+        check_bool "stable dup 2" true
+          (SM.Pqueue_model.delete_min m = Some (5, 3));
+        check_bool "empty" true (SM.Pqueue_model.delete_min m = None));
+    qc "pqueue model keys always ascend" QCheck.(list (int_range 0 50))
+      (fun keys ->
+        let m = SM.Pqueue_model.create () in
+        List.iter (fun k -> SM.Pqueue_model.insert m k k) keys;
+        SM.Pqueue_model.sorted_keys m = List.sort compare keys);
+  ]
+
+let suite = stack_tests @ queue_tests @ pq_tests

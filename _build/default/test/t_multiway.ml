@@ -1,0 +1,170 @@
+(* Wider deterministic-scheduler sweeps: three and four fibers mixing
+   operations on each structure, with full conservation + invariant
+   checks after every schedule. These are the interleavings native
+   time slicing almost never produces (multiple threads inside the
+   same few primitives), and exactly where helping, marks and
+   donations interact. *)
+
+open Helpers
+module Mm = Mm_intf
+module Value = Shmem.Value
+
+let stack_threeway scheme =
+  tc
+    (Printf.sprintf "%s: stack 3-fiber push/pop storm" scheme)
+    (fun () ->
+      sweep_ok ~runs:120 ~threads:3 (fun () ->
+          let cfg = small_cfg ~threads:3 ~capacity:24 ~num_roots:1 () in
+          let mm = mm_of scheme cfg in
+          let s = Structures.Stack.create mm ~root:0 in
+          let popped = Array.make 3 [] in
+          let body tid =
+            Structures.Stack.push s ~tid (100 + tid);
+            (match Structures.Stack.pop s ~tid with
+            | Some v -> popped.(tid) <- v :: popped.(tid)
+            | None -> failwith "pop missed with >=1 element present");
+            Structures.Stack.push s ~tid (200 + tid)
+          in
+          let check () =
+            let rest = Structures.Stack.drain s ~tid:0 in
+            let got =
+              List.sort compare
+                (rest @ popped.(0) @ popped.(1) @ popped.(2))
+            in
+            let want =
+              List.sort compare [ 100; 101; 102; 200; 201; 202 ]
+            in
+            if got <> want then
+              failwith
+                ("value conservation: "
+                ^ String.concat "," (List.map string_of_int got));
+            for _ = 1 to 60 do
+              Mm.enter_op mm ~tid:0;
+              Mm.exit_op mm ~tid:0
+            done;
+            Mm.validate mm;
+            if Mm.free_count mm <> 24 then failwith "leak"
+          in
+          (body, check)))
+
+let queue_threeway scheme =
+  tc
+    (Printf.sprintf "%s: queue 2-producer/1-consumer FIFO" scheme)
+    (fun () ->
+      sweep_ok ~runs:120 ~threads:3 (fun () ->
+          let cfg = small_cfg ~threads:3 ~capacity:24 ~num_roots:2 () in
+          let mm = mm_of scheme cfg in
+          let q = Structures.Queue.create mm ~head_root:0 ~tail_root:1 ~tid:0 in
+          let consumed = ref [] in
+          let body tid =
+            if tid < 2 then begin
+              Structures.Queue.enqueue q ~tid ((tid * 10) + 1);
+              Structures.Queue.enqueue q ~tid ((tid * 10) + 2)
+            end
+            else
+              for _ = 1 to 2 do
+                match Structures.Queue.dequeue q ~tid with
+                | Some v -> consumed := v :: !consumed
+                | None -> ()
+              done
+          in
+          let check () =
+            let rest = Structures.Queue.drain q ~tid:0 in
+            let all = List.rev !consumed @ rest in
+            (* per-producer order must survive any interleaving *)
+            let of_producer p = List.filter (fun v -> v / 10 = p) all in
+            if of_producer 0 <> [ 1; 2 ] then failwith "producer 0 disorder";
+            if of_producer 1 <> [ 11; 12 ] then failwith "producer 1 disorder";
+            for _ = 1 to 60 do
+              Mm.enter_op mm ~tid:0;
+              Mm.exit_op mm ~tid:0
+            done;
+            Mm.validate mm;
+            if Mm.free_count mm <> 23 then failwith "leak"
+          in
+          (body, check)))
+
+let pqueue_threeway scheme =
+  tc
+    (Printf.sprintf "%s: pqueue 3-fiber insert/delmin mix" scheme)
+    (fun () ->
+      sweep_ok ~runs:100 ~threads:3 (fun () ->
+          let cfg =
+            Mm.config ~threads:3 ~capacity:32 ~num_links:3 ~num_data:3
+              ~num_roots:0 ()
+          in
+          let mm = mm_of scheme cfg in
+          let pq = Structures.Pqueue.create mm ~seed:77 ~tid:0 in
+          Structures.Pqueue.insert pq ~tid:0 100 0;
+          let taken = Array.make 3 [] in
+          let body tid =
+            Structures.Pqueue.insert pq ~tid (10 + tid) tid;
+            match Structures.Pqueue.delete_min pq ~tid with
+            | Some (k, _) -> taken.(tid) <- k :: taken.(tid)
+            | None -> failwith "delete_min missed"
+          in
+          let check () =
+            let rest = List.map fst (Structures.Pqueue.drain pq ~tid:0) in
+            let got =
+              List.sort compare
+                (rest @ taken.(0) @ taken.(1) @ taken.(2))
+            in
+            if got <> [ 10; 11; 12; 100 ] then
+              failwith
+                ("key conservation: "
+                ^ String.concat "," (List.map string_of_int got));
+            Mm.validate mm;
+            (* capacity 32 minus the two immortal sentinels *)
+            if Mm.free_count mm <> 30 then failwith "leak"
+          in
+          (body, check)))
+
+let oset_fourway scheme =
+  tc
+    (Printf.sprintf "%s: oset 4-fiber insert/remove/mem weave" scheme)
+    (fun () ->
+      sweep_ok ~runs:80 ~threads:4 (fun () ->
+          let cfg =
+            Mm.config ~threads:4 ~capacity:24 ~num_links:1 ~num_data:2
+              ~num_roots:0 ()
+          in
+          let mm = mm_of scheme cfg in
+          let s = Structures.Oset.create mm ~tid:0 in
+          ignore (Structures.Oset.insert s ~tid:0 50 0);
+          let body tid =
+            match tid with
+            | 0 ->
+                ignore (Structures.Oset.insert s ~tid 10 0);
+                ignore (Structures.Oset.remove s ~tid 50)
+            | 1 ->
+                ignore (Structures.Oset.insert s ~tid 20 1);
+                ignore (Structures.Oset.mem s ~tid 10)
+            | 2 ->
+                ignore (Structures.Oset.remove s ~tid 20);
+                ignore (Structures.Oset.insert s ~tid 30 2)
+            | _ ->
+                ignore (Structures.Oset.mem s ~tid 50);
+                ignore (Structures.Oset.remove s ~tid 10)
+          in
+          let check () =
+            let keys = List.map fst (Structures.Oset.to_list s ~tid:0) in
+            if List.sort_uniq compare keys <> keys then failwith "dup keys";
+            (* 50 removed exactly once; 30 must be present; 20 present
+               iff t1's insert linearised after t2's remove *)
+            if List.mem 50 keys then failwith "remove of 50 lost";
+            if not (List.mem 30 keys) then failwith "insert of 30 lost";
+            ignore (Structures.Oset.clear s ~tid:0);
+            for _ = 1 to 80 do
+              Mm.enter_op mm ~tid:0;
+              Mm.exit_op mm ~tid:0
+            done;
+            Mm.validate mm;
+            if Mm.free_count mm <> 22 then failwith "leak"
+          in
+          (body, check)))
+
+let suite =
+  List.map stack_threeway [ "wfrc"; "lfrc"; "hp" ]
+  @ List.map queue_threeway [ "wfrc"; "ebr" ]
+  @ List.map pqueue_threeway rc_schemes
+  @ List.map oset_fourway [ "wfrc"; "hp"; "ebr" ]

@@ -1,0 +1,148 @@
+(* Layout and arena tests: addressing, field isolation, atomic word
+   operations, inverse mapping. *)
+
+open Helpers
+module Layout = Shmem.Layout
+module Value = Shmem.Value
+module Arena = Shmem.Arena
+
+let layout_tests =
+  [
+    tc "node_size accounting" (fun () ->
+        let l = Layout.create ~num_links:3 ~num_data:2 in
+        check_int "size" 7 (Layout.node_size l);
+        check_int "links" 3 (Layout.num_links l);
+        check_int "data" 2 (Layout.num_data l));
+    tc "mm_ref is the first field (Lemma 1 layout)" (fun () ->
+        check_int "offset" 0 Layout.mm_ref_offset;
+        check_int "next" 1 Layout.mm_next_offset);
+    tc "offsets are disjoint and ordered" (fun () ->
+        let l = Layout.create ~num_links:2 ~num_data:2 in
+        check_int "link0" 2 (Layout.link_offset l 0);
+        check_int "link1" 3 (Layout.link_offset l 1);
+        check_int "data0" 4 (Layout.data_offset l 0);
+        check_int "data1" 5 (Layout.data_offset l 1));
+    tc "out-of-range offsets rejected" (fun () ->
+        let l = Layout.create ~num_links:1 ~num_data:1 in
+        fails_with (fun () -> Layout.link_offset l 1);
+        fails_with (fun () -> Layout.link_offset l (-1));
+        fails_with (fun () -> Layout.data_offset l 1));
+    tc "zero links and data allowed" (fun () ->
+        let l = Layout.create ~num_links:0 ~num_data:0 in
+        check_int "header only" Layout.header_size (Layout.node_size l));
+    tc "negative sizes rejected" (fun () ->
+        fails_with (fun () -> Layout.create ~num_links:(-1) ~num_data:0));
+  ]
+
+let mk_arena ?(capacity = 8) ?(num_roots = 3) () =
+  let layout = Layout.create ~num_links:2 ~num_data:2 in
+  Arena.create ~layout ~capacity ~num_roots
+
+let arena_tests =
+  [
+    tc "creation geometry" (fun () ->
+        let a = mk_arena () in
+        check_int "capacity" 8 (Arena.capacity a);
+        check_int "roots" 3 (Arena.num_roots a);
+        check_int "cells" (3 + (8 * 6)) (Arena.num_cells a));
+    tc "cells start at zero (null)" (fun () ->
+        let a = mk_arena () in
+        for i = 0 to Arena.num_cells a - 1 do
+          if Arena.read a i <> 0 then Alcotest.failf "cell %d not zero" i
+        done);
+    tc "root addresses are the first cells" (fun () ->
+        let a = mk_arena () in
+        check_int "root0" 0 (Arena.root_addr a 0);
+        check_int "root2" 2 (Arena.root_addr a 2);
+        fails_with (fun () -> Arena.root_addr a 3));
+    tc "node_base and handle bounds" (fun () ->
+        let a = mk_arena () in
+        check_int "first node after roots" 3 (Arena.node_base a 1);
+        check_int "second node" 9 (Arena.node_base a 2);
+        fails_with (fun () -> Arena.node_base a 0);
+        fails_with (fun () -> Arena.node_base a 9));
+    tc "field writes are isolated" (fun () ->
+        let a = mk_arena () in
+        let p1 = Value.of_handle 1 and p2 = Value.of_handle 2 in
+        Arena.write a (Arena.mm_ref_addr a p1) 42;
+        Arena.write_link a p1 0 7;
+        Arena.write_link a p1 1 8;
+        Arena.write_data a p1 0 9;
+        Arena.write_data a p1 1 10;
+        Arena.write_mm_next a p1 p2;
+        check_int "ref" 42 (Arena.read_mm_ref a p1);
+        check_int "l0" 7 (Arena.read_link a p1 0);
+        check_int "l1" 8 (Arena.read_link a p1 1);
+        check_int "d0" 9 (Arena.read_data a p1 0);
+        check_int "d1" 10 (Arena.read_data a p1 1);
+        check_int "next" p2 (Arena.read_mm_next a p1);
+        (* neighbour untouched *)
+        check_int "p2 ref" 0 (Arena.read_mm_ref a p2);
+        check_int "p2 l0" 0 (Arena.read_link a p2 0));
+    tc "marked pointers address the same node" (fun () ->
+        let a = mk_arena () in
+        let p = Value.of_handle 3 in
+        check_int "ref addr" (Arena.mm_ref_addr a p)
+          (Arena.mm_ref_addr a (Value.mark p));
+        check_int "link addr" (Arena.link_addr a p 1)
+          (Arena.link_addr a (Value.mark p) 1));
+    tc "cas/faa/swap word semantics" (fun () ->
+        let a = mk_arena () in
+        let addr = Arena.root_addr a 0 in
+        check_bool "cas hit" true (Arena.cas a addr ~old:0 ~nw:5);
+        check_bool "cas miss" false (Arena.cas a addr ~old:0 ~nw:9);
+        check_int "after cas" 5 (Arena.read a addr);
+        let prev = Arena.faa a addr 3 in
+        check_int "faa returns previous" 5 prev;
+        check_int "after faa" 8 (Arena.read a addr);
+        let old = Arena.swap a addr 100 in
+        check_int "swap returns old" 8 old;
+        check_int "after swap" 100 (Arena.read a addr));
+    tc "owner_of inverse mapping" (fun () ->
+        let a = mk_arena () in
+        (match Arena.owner_of a 1 with
+        | `Root 1 -> ()
+        | _ -> Alcotest.fail "expected root 1");
+        (match Arena.owner_of a (Arena.node_base a 2 + 4) with
+        | `Node (2, 4) -> ()
+        | _ -> Alcotest.fail "expected node 2 offset 4");
+        fails_with (fun () -> Arena.owner_of a (-1));
+        fails_with (fun () -> Arena.owner_of a (Arena.num_cells a)));
+    tc "iter_nodes covers every handle once" (fun () ->
+        let a = mk_arena () in
+        let seen = ref [] in
+        Arena.iter_nodes a (fun p -> seen := Value.handle p :: !seen);
+        check_int "count" 8 (List.length !seen);
+        check_bool "in order" true
+          (List.rev !seen = List.init 8 (fun i -> i + 1)));
+    tc "faa on mm_ref accumulates" (fun () ->
+        let a = mk_arena () in
+        let p = Value.of_handle 5 in
+        Arena.faa_mm_ref a p 2;
+        Arena.faa_mm_ref a p 2;
+        Arena.faa_mm_ref a p (-2);
+        check_int "net" 2 (Arena.read_mm_ref a p));
+    tc "invalid creation rejected" (fun () ->
+        let layout = Layout.create ~num_links:0 ~num_data:0 in
+        fails_with (fun () -> Arena.create ~layout ~capacity:0 ~num_roots:0);
+        fails_with (fun () -> Arena.create ~layout ~capacity:4 ~num_roots:(-1)));
+  ]
+
+let prop_tests =
+  [
+    qc "owner_of is a true inverse"
+      QCheck.(pair (int_range 1 8) (int_range 0 5))
+      (fun (h, off) ->
+        let a = mk_arena () in
+        match Arena.owner_of a (Arena.node_base a h + off) with
+        | `Node (h', off') -> h' = h && off' = off
+        | `Root _ -> false);
+    qc "swap sequence preserves last write" (QCheck.list QCheck.small_int)
+      (fun vs ->
+        let a = mk_arena () in
+        let addr = Arena.root_addr a 0 in
+        List.iter (fun v -> ignore (Arena.swap a addr v)) vs;
+        Arena.read a addr = (match List.rev vs with [] -> 0 | v :: _ -> v));
+  ]
+
+let suite = layout_tests @ arena_tests @ prop_tests

@@ -1,0 +1,99 @@
+(* Word-encoding tests: pointer/mark/link/stamped representations and
+   the Lemma 1 disjointness property they implement. *)
+
+open Helpers
+module Value = Shmem.Value
+
+let handle_gen = QCheck.int_range 1 1_000_000
+let addr_gen = QCheck.int_range 0 1_000_000
+
+let unit_tests =
+  [
+    tc "null is null" (fun () ->
+        check_bool "is_null" true (Value.is_null Value.null);
+        check_int "null encoding" 0 Value.null);
+    tc "of_handle/handle roundtrip" (fun () ->
+        check_int "h=1" 1 (Value.handle (Value.of_handle 1));
+        check_int "h=77" 77 (Value.handle (Value.of_handle 77)));
+    tc "of_handle rejects zero and negatives" (fun () ->
+        fails_with (fun () -> Value.of_handle 0);
+        fails_with (fun () -> Value.of_handle (-3)));
+    tc "handle rejects null and links" (fun () ->
+        fails_with (fun () -> Value.handle Value.null);
+        fails_with (fun () -> Value.handle (Value.enc_link 5)));
+    tc "mark sets bit 0 only" (fun () ->
+        let p = Value.of_handle 9 in
+        let m = Value.mark p in
+        check_bool "marked" true (Value.is_marked m);
+        check_bool "orig unmarked" false (Value.is_marked p);
+        check_int "same handle" 9 (Value.handle m);
+        check_int "unmark restores" p (Value.unmark m));
+    tc "mark of null rejected" (fun () ->
+        fails_with (fun () -> Value.mark Value.null));
+    tc "unmark of null is null" (fun () ->
+        check_int "unmark null" Value.null (Value.unmark Value.null));
+    tc "mark is idempotent through unmark" (fun () ->
+        let p = Value.of_handle 3 in
+        check_int "unmark∘mark∘mark" p (Value.unmark (Value.mark (Value.mark p))));
+    tc "same_node ignores marks, rejects null" (fun () ->
+        let p = Value.of_handle 4 in
+        check_bool "p ~ mark p" true (Value.same_node p (Value.mark p));
+        check_bool "different nodes" false
+          (Value.same_node p (Value.of_handle 5));
+        check_bool "null never same" false (Value.same_node Value.null Value.null));
+    tc "enc_link is negative; dec_link inverts" (fun () ->
+        check_bool "negative" true (Value.enc_link 0 < 0);
+        check_int "dec∘enc 0" 0 (Value.dec_link (Value.enc_link 0));
+        check_int "dec∘enc 12345" 12345 (Value.dec_link (Value.enc_link 12345)));
+    tc "enc_link rejects negative addresses" (fun () ->
+        fails_with (fun () -> Value.enc_link (-1)));
+    tc "dec_link rejects non-links" (fun () ->
+        fails_with (fun () -> Value.dec_link 0);
+        fails_with (fun () -> Value.dec_link (Value.of_handle 2)));
+    tc "stamped pack/unpack roundtrip" (fun () ->
+        let v = Value.pack_stamped ~stamp:77 ~ptr:(Value.of_handle 123) in
+        check_int "ptr" (Value.of_handle 123) (Value.stamped_ptr v);
+        check_int "stamp" 77 (Value.stamped_stamp v));
+    tc "stamp wraps modulo 2^30" (fun () ->
+        let v =
+          Value.pack_stamped ~stamp:(Value.max_stamp + 3) ~ptr:Value.null
+        in
+        check_int "wrapped" 2 (Value.stamped_stamp v));
+    tc "pp formats" (fun () ->
+        check_string "null" "⊥" (Fmt.str "%a" Value.pp_ptr Value.null);
+        check_string "ptr" "#5" (Fmt.str "%a" Value.pp_ptr (Value.of_handle 5));
+        check_string "marked" "#5!"
+          (Fmt.str "%a" Value.pp_ptr (Value.mark (Value.of_handle 5)));
+        check_string "link" "&9"
+          (Fmt.str "%a" Value.pp_word (Value.enc_link 9)));
+  ]
+
+let prop_tests =
+  [
+    qc "handle roundtrip" handle_gen (fun h ->
+        Value.handle (Value.of_handle h) = h);
+    qc "pointers are non-negative and even (unmarked)" handle_gen (fun h ->
+        let p = Value.of_handle h in
+        p > 0 && p land 1 = 0);
+    qc "mark/unmark preserve handle" handle_gen (fun h ->
+        let p = Value.of_handle h in
+        Value.handle (Value.mark p) = h && Value.unmark (Value.mark p) = p);
+    (* Lemma 1: link encodings and pointer encodings are disjoint. *)
+    qc "Lemma 1 disjointness"
+      QCheck.(pair handle_gen addr_gen)
+      (fun (h, a) ->
+        let p = Value.of_handle h in
+        let l = Value.enc_link a in
+        l <> p && l <> Value.mark p && l <> Value.null);
+    qc "link roundtrip" addr_gen (fun a ->
+        Value.dec_link (Value.enc_link a) = a && Value.is_link (Value.enc_link a));
+    qc "stamped roundtrip"
+      QCheck.(pair (int_range 0 Value.max_stamp) handle_gen)
+      (fun (s, h) ->
+        let p = Value.of_handle (h land 0x3FFFFFF) in
+        let p = if p = 0 then Value.of_handle 1 else p in
+        let v = Value.pack_stamped ~stamp:s ~ptr:p in
+        Value.stamped_ptr v = p && Value.stamped_stamp v = s);
+  ]
+
+let suite = unit_tests @ prop_tests
