@@ -17,29 +17,25 @@ open Toolkit
 module Mm = Mm_intf
 module Value = Shmem.Value
 
-let primitives_tests () =
-  let cell = Atomics.Primitives.make 0 in
+let primitives_tests (module P : Atomics.Backend.PRIMS) =
+  let cell = P.make 0 in
   [
-    Test.make ~name:"read"
-      (Staged.stage (fun () -> Atomics.Primitives.read cell));
-    Test.make ~name:"write"
-      (Staged.stage (fun () -> Atomics.Primitives.write cell 1));
-    Test.make ~name:"faa"
-      (Staged.stage (fun () -> Atomics.Primitives.faa cell 2));
-    Test.make ~name:"swap"
-      (Staged.stage (fun () -> Atomics.Primitives.swap cell 3));
+    Test.make ~name:"read" (Staged.stage (fun () -> P.read cell));
+    Test.make ~name:"write" (Staged.stage (fun () -> P.write cell 1));
+    Test.make ~name:"faa" (Staged.stage (fun () -> P.faa cell 2));
+    Test.make ~name:"swap" (Staged.stage (fun () -> P.swap cell 3));
     Test.make ~name:"cas-hit"
       (Staged.stage (fun () ->
-           let v = Atomics.Primitives.read cell in
-           Atomics.Primitives.cas cell ~old:v ~nw:v));
+           let v = P.read cell in
+           P.cas cell ~old:v ~nw:v));
     Test.make ~name:"cas-miss"
-      (Staged.stage (fun () -> Atomics.Primitives.cas cell ~old:(-1) ~nw:0));
+      (Staged.stage (fun () -> P.cas cell ~old:(-1) ~nw:0));
   ]
 
-let mm_tests scheme =
+let mm_tests backend scheme =
   let cfg =
-    Mm.config ~threads:2 ~capacity:1024 ~num_links:1 ~num_data:1 ~num_roots:2
-      ()
+    Mm.config ~backend ~threads:2 ~capacity:1024 ~num_links:1 ~num_data:1
+      ~num_roots:2 ()
   in
   let mm = Harness.Registry.instantiate scheme cfg in
   let arena = Mm.arena mm in
@@ -145,10 +141,20 @@ let structure_tests scheme =
 let all_tests () =
   Test.make_grouped ~name:"E6"
     [
-      Test.make_grouped ~name:"primitives" (primitives_tests ());
-      Test.make_grouped ~name:"mm"
+      (* One primitives group per backend: the sim/native delta is the
+         cost of the Schedpoint dispatch itself. *)
+      Test.make_grouped ~name:"primitives-sim"
+        (primitives_tests (Atomics.Backend.prims Sim));
+      Test.make_grouped ~name:"primitives-native"
+        (primitives_tests (Atomics.Backend.prims Native));
+      Test.make_grouped ~name:"mm-sim"
         (List.map
-           (fun s -> Test.make_grouped ~name:s (mm_tests s))
+           (fun s -> Test.make_grouped ~name:s (mm_tests Atomics.Backend.Sim s))
+           Harness.Registry.names);
+      Test.make_grouped ~name:"mm-native"
+        (List.map
+           (fun s ->
+             Test.make_grouped ~name:s (mm_tests Atomics.Backend.Native s))
            Harness.Registry.names);
       Test.make_grouped ~name:"structures"
         (List.map

@@ -2,6 +2,7 @@
 
      wfrc_bench run e1            full-size E1
      wfrc_bench run all --quick   everything, small parameters
+     wfrc_bench bench             backend benchmark -> BENCH_wfrc.json
      wfrc_bench list              experiment index
      wfrc_bench schemes           memory-manager registry *)
 
@@ -43,6 +44,43 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc)
     Term.(const run_experiments $ ids_arg $ quick_arg $ csv_arg)
+
+let run_bench schemes quick out =
+  let schemes =
+    match schemes with [] -> [ "wfrc" ] | schemes -> schemes
+  in
+  let ops = if quick then 10_000 else 50_000 in
+  let threads_list = if quick then [ 1; 2 ] else [ 1; 2; 4 ] in
+  try
+    let points = Harness.Bench.run_suite ~schemes ~threads_list ~ops () in
+    Harness.Experiments.print (Harness.Bench.report points);
+    Harness.Bench.write_json ~path:out points;
+    Printf.printf "wrote %s\n" out;
+    0
+  with
+  | Invalid_argument msg | Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+
+let bench_cmd =
+  let doc =
+    "Benchmark the sim vs native memory backends (alloc/release churn) \
+     and write machine-readable results"
+  in
+  let schemes_arg =
+    let doc = "Schemes to benchmark (default: wfrc)." in
+    Arg.(value & pos_all string [] & info [] ~docv:"SCHEME" ~doc)
+  in
+  let out_arg =
+    let doc = "Output JSON path." in
+    Arg.(
+      value
+      & opt string "BENCH_wfrc.json"
+      & info [ "o"; "output" ] ~docv:"PATH" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc)
+    Term.(const run_bench $ schemes_arg $ quick_arg $ out_arg)
 
 let list_cmd =
   let doc = "List the experiment index" in
@@ -94,6 +132,6 @@ let main_cmd =
   in
   Cmd.group
     (Cmd.info "wfrc_bench" ~version:"1.0.0" ~doc)
-    [ run_cmd; list_cmd; schemes_cmd ]
+    [ run_cmd; bench_cmd; list_cmd; schemes_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -5,22 +5,29 @@
    paper's point. [once] spins with [Domain.cpu_relax] so it behaves
    sensibly both on real cores and under pure time slicing. *)
 
-type t = { min : int; max : int; mutable cur : int }
+type t = { backend : Backend.t; min : int; max : int; mutable cur : int }
 
-let create ?(min = 1) ?(max = 256) () =
+let create ?(backend = Backend.Sim) ?(min = 1) ?(max = 256) () =
   if min < 1 || max < min then invalid_arg "Backoff.create";
-  { min; max; cur = min }
+  { backend; min; max; cur = min }
 
 let reset b = b.cur <- b.min
 
+let spin b =
+  for _ = 1 to b.cur do
+    Domain.cpu_relax ()
+  done
+
 let once b =
-  (* Under the deterministic scheduler spinning would only lengthen
-     traces without changing interleavings, so collapse to one yield. *)
-  if Schedpoint.is_installed () then Schedpoint.hit ()
-  else
-    for _ = 1 to b.cur do
-      Domain.cpu_relax ()
-    done;
+  (match b.backend with
+  | Backend.Sim ->
+      (* Under the deterministic scheduler spinning would only lengthen
+         traces without changing interleavings, so collapse to one
+         yield. *)
+      if Schedpoint.is_installed () then Schedpoint.hit () else spin b
+  | Backend.Native ->
+      (* Hook-free by construction: never consult the schedpoint. *)
+      spin b);
   if b.cur < b.max then b.cur <- b.cur * 2
 
 let current b = b.cur

@@ -3,9 +3,10 @@
 
 type t
 
-val create : ?min:int -> ?max:int -> unit -> t
+val create : ?backend:Backend.t -> ?min:int -> ?max:int -> unit -> t
 (** [create ~min ~max ()] starts at [min] spin iterations, doubling up
-    to [max]. Defaults: [min = 1], [max = 256]. *)
+    to [max]. Defaults: [backend = Sim], [min = 1], [max = 256]. Under
+    the [Native] backend, {!once} never consults {!Schedpoint}. *)
 
 val reset : t -> unit
 (** Reset the spin budget to its minimum (call after a success). *)

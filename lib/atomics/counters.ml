@@ -93,34 +93,43 @@ let event_name = function
   | Epoch_advance -> "epoch_advance"
   | Lock_acquire -> "lock_acquire"
 
-(* Row stride: events rounded up to a multiple of 16 words, so two
-   threads' rows never share a 128-byte cache-line pair. *)
-let stride = (num_events + 15) / 16 * 16
+(* Row stride, per backend: events rounded up to a multiple of 16
+   words under [Sim] (the historical padding — keeps rows line-pair
+   separated even when a simulated config is later run on Domains),
+   and to a multiple of 32 words under [Native], where the adjacent-
+   line prefetcher makes 256-byte separation the safe distance for
+   rows that real cores hammer in parallel. *)
+let round_up n m = (n + m - 1) / m * m
 
-type t = { threads : int; slots : int array }
+let stride_for = function
+  | Backend.Sim -> round_up num_events 16
+  | Backend.Native -> round_up num_events 32
 
-let create ~threads =
+type t = { threads : int; stride : int; slots : int array }
+
+let create ?(backend = Backend.Sim) ~threads () =
   if threads <= 0 then invalid_arg "Counters.create: threads must be > 0";
-  { threads; slots = Array.make (threads * stride) 0 }
+  let stride = stride_for backend in
+  { threads; stride; slots = Array.make (threads * stride) 0 }
 
 let check_tid t tid =
   if tid < 0 || tid >= t.threads then invalid_arg "Counters: bad tid"
 
 let add t ~tid ev n =
   check_tid t tid;
-  let i = (tid * stride) + event_index ev in
+  let i = (tid * t.stride) + event_index ev in
   t.slots.(i) <- t.slots.(i) + n
 
 let incr t ~tid ev = add t ~tid ev 1
 
 let get t ~tid ev =
   check_tid t tid;
-  t.slots.((tid * stride) + event_index ev)
+  t.slots.((tid * t.stride) + event_index ev)
 
 let total t ev =
   let acc = ref 0 in
   for tid = 0 to t.threads - 1 do
-    acc := !acc + t.slots.((tid * stride) + event_index ev)
+    acc := !acc + t.slots.((tid * t.stride) + event_index ev)
   done;
   !acc
 

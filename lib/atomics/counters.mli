@@ -36,9 +36,11 @@ val num_events : int
 
 type t
 
-val create : threads:int -> t
+val create : ?backend:Backend.t -> threads:int -> unit -> t
 (** [create ~threads] makes a counter block with one row per thread id
-    in [0..threads-1]. *)
+    in [0..threads-1]. The backend (default [Sim]) selects the row
+    padding stride: [Native] rows are padded to 256-byte multiples to
+    defeat the adjacent-line prefetcher under real parallelism. *)
 
 val incr : t -> tid:int -> event -> unit
 val add : t -> tid:int -> event -> int -> unit

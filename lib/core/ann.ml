@@ -16,22 +16,30 @@
    cross the same scheduling points. *)
 
 module P = Atomics.Primitives
+module B = Atomics.Backend
 module Value = Shmem.Value
 
 type t = {
+  backend : B.t;
   n : int;
   read_addr : P.cell array array;  (* annReadAddr; 0 = ⊥ *)
   index : P.cell array;            (* annIndex *)
   busy : P.cell array array;       (* annBusy *)
 }
 
-let create ~threads =
+(* Every announcement cell is by definition a cross-thread hot word
+   (the owner publishes, every helper scans and CASes), so under the
+   [Native] backend all of them are contention-padded; the pool is
+   O(N^2) cells for N threads, which stays tiny next to any arena. *)
+let create ?(backend = B.Sim) ~threads () =
   if threads < 1 then invalid_arg "Ann.create";
+  let mk _ = B.make_contended backend 0 in
   {
+    backend;
     n = threads;
-    read_addr = Array.init threads (fun _ -> Array.init threads (fun _ -> P.make 0));
-    index = Array.init threads (fun _ -> P.make 0);
-    busy = Array.init threads (fun _ -> Array.init threads (fun _ -> P.make 0));
+    read_addr = Array.init threads (fun _ -> Array.init threads mk);
+    index = Array.init threads mk;
+    busy = Array.init threads (fun _ -> Array.init threads mk);
   }
 
 let threads t = t.n
@@ -45,36 +53,36 @@ let choose_slot t ~tid =
   let rec scan i =
     if i >= t.n then
       failwith "Ann.choose_slot: no free slot — busy-count invariant broken"
-    else if P.read t.busy.(tid).(i) = 0 then i
+    else if B.read t.backend t.busy.(tid).(i) = 0 then i
     else scan (i + 1)
   in
   scan 0
 
 (* D2 *)
-let set_index t ~tid slot = P.write t.index.(tid) slot
+let set_index t ~tid slot = B.write t.backend t.index.(tid) slot
 
 (* D3: publish the link. *)
 let announce t ~tid ~slot link =
-  P.write t.read_addr.(tid).(slot) (Value.enc_link link)
+  B.write t.backend t.read_addr.(tid).(slot) (Value.enc_link link)
 
 (* D6: atomically clear the announcement, returning what was there —
    either our own link encoding (not helped) or a helper's answer. *)
-let retract t ~tid ~slot = P.swap t.read_addr.(tid).(slot) 0
+let retract t ~tid ~slot = B.swap t.backend t.read_addr.(tid).(slot) 0
 
 (* H2 *)
-let read_index t ~id = P.read t.index.(id)
+let read_index t ~id = B.read t.backend t.index.(id)
 
 (* H3 *)
-let read_slot t ~id ~slot = P.read t.read_addr.(id).(slot)
+let read_slot t ~id ~slot = B.read t.backend t.read_addr.(id).(slot)
 
 (* H4 / H8 *)
-let busy_incr t ~id ~slot = ignore (P.faa t.busy.(id).(slot) 1)
-let busy_decr t ~id ~slot = ignore (P.faa t.busy.(id).(slot) (-1))
+let busy_incr t ~id ~slot = ignore (B.faa t.backend t.busy.(id).(slot) 1)
+let busy_decr t ~id ~slot = ignore (B.faa t.backend t.busy.(id).(slot) (-1))
 
 (* H6: answer the announcement — replace the link encoding with the
    freshly de-referenced node pointer. *)
 let answer_cas t ~id ~slot ~link node =
-  P.cas t.read_addr.(id).(slot) ~old:(Value.enc_link link) ~nw:node
+  B.cas t.backend t.read_addr.(id).(slot) ~old:(Value.enc_link link) ~nw:node
 
 (* Quiescent checks ------------------------------------------------- *)
 

@@ -8,7 +8,11 @@
 
 type t
 
-val create : threads:int -> t
+val create : ?backend:Atomics.Backend.t -> threads:int -> unit -> t
+(** [backend] (default [Sim]): under [Native], every announcement cell
+    is contention-padded — they are cross-thread CAS targets by
+    definition. *)
+
 val threads : t -> int
 
 val choose_slot : t -> tid:int -> int

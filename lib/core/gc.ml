@@ -23,6 +23,7 @@
    R2's CAS), so the transient inflation is unobservable. *)
 
 module P = Atomics.Primitives
+module B = Atomics.Backend
 module C = Atomics.Counters
 module Value = Shmem.Value
 module Layout = Shmem.Layout
@@ -38,6 +39,7 @@ type placement = [ `Paper | `Own_index ]
 
 type t = {
   cfg : Mm_intf.config;
+  backend : B.t;
   arena : Arena.t;
   ann : Ann.t;
   ctr : C.t;
@@ -57,11 +59,13 @@ let config t = t.cfg
 let announcements t = t.ann
 
 let create ?(placement = `Paper) ?(help_alloc = true) (cfg : Mm_intf.config) =
+  let backend = cfg.backend in
   let layout =
     Layout.create ~num_links:cfg.num_links ~num_data:cfg.num_data
   in
   let arena =
-    Arena.create ~layout ~capacity:cfg.capacity ~num_roots:cfg.num_roots
+    Arena.create ~backend ~layout ~capacity:cfg.capacity
+      ~num_roots:cfg.num_roots ()
   in
   (* Initial free state: all nodes chained into freeList[0], each with
      mm_ref = 1 (paper: "Initially 1", interpreted as in Valois — odd
@@ -73,18 +77,22 @@ let create ?(placement = `Paper) ?(help_alloc = true) (cfg : Mm_intf.config) =
     Arena.write arena (Arena.mm_ref_addr arena p) 1
   done;
   let n = cfg.threads in
+  (* The scheme's globals are all FAA/CAS rendezvous points for every
+     thread, so under [Native] each gets its own cache-line pair. *)
   {
     cfg;
+    backend;
     arena;
-    ann = Ann.create ~threads:n;
-    ctr = C.create ~threads:n;
+    ann = Ann.create ~backend ~threads:n ();
+    ctr = C.create ~backend ~threads:n ();
     n;
-    current_free_list = P.make 0;
+    current_free_list = B.make_contended backend 0;
     free_list =
       Array.init (2 * n) (fun i ->
-          P.make (if i = 0 then Value.of_handle 1 else Value.null));
-    help_current = P.make 0;
-    ann_alloc = Array.init n (fun _ -> P.make 0);
+          B.make_contended backend
+            (if i = 0 then Value.of_handle 1 else Value.null));
+    help_current = B.make_contended backend 0;
+    ann_alloc = Array.init n (fun _ -> B.make_contended backend 0);
     oom_scan_limit = (16 * n) + 16;
     placement;
     help_alloc;
@@ -127,15 +135,17 @@ and free_node t ~tid node =
      the initial chaining. *)
   C.incr t.ctr ~tid Free;
   let n = t.n in
-  let help_id = P.read t.help_current in                            (* F1 *)
-  ignore (P.cas t.help_current ~old:help_id ~nw:((help_id + 1) mod n));
+  let help_id = B.read t.backend t.help_current in                  (* F1 *)
+  ignore
+    (B.cas t.backend t.help_current ~old:help_id ~nw:((help_id + 1) mod n));
                                                                     (* F2 *)
   (* F3 with the donation-count correction (see module comment). *)
   let donated =
     t.help_alloc
     && begin
          Arena.faa_mm_ref t.arena node 2;
-         if P.cas t.ann_alloc.(help_id) ~old:Value.null ~nw:node then true
+         if B.cas t.backend t.ann_alloc.(help_id) ~old:Value.null ~nw:node
+         then true
          else begin
            Arena.faa_mm_ref t.arena node (-2);
            false
@@ -144,7 +154,7 @@ and free_node t ~tid node =
   in
   if donated then C.incr t.ctr ~tid Free_gave_help
   else begin
-    let current = P.read t.current_free_list in                     (* F4 *)
+    let current = B.read t.backend t.current_free_list in           (* F4 *)
     let index =                                                     (* F5 *)
       match t.placement with
       | `Own_index -> tid (* ablation E-A2 *)
@@ -153,9 +163,10 @@ and free_node t ~tid node =
           else tid
     in
     let rec push index =                                            (* F7 *)
-      let head = P.read t.free_list.(index) in
+      let head = B.read t.backend t.free_list.(index) in
       Arena.write_mm_next t.arena node head;                        (* F8 *)
-      if not (P.cas t.free_list.(index) ~old:head ~nw:node) then begin
+      if not (B.cas t.backend t.free_list.(index) ~old:head ~nw:node)
+      then begin
                                                                     (* F9 *)
         C.incr t.ctr ~tid Free_retry;
         push ((index + n) mod (2 * n))                              (* F10 *)
@@ -170,24 +181,24 @@ let alloc t ~tid =
   C.incr t.ctr ~tid Alloc;
   let n = t.n in
   let helped = ref false in                                         (* A1 *)
-  let help_id = P.read t.help_current in                            (* A2 *)
+  let help_id = B.read t.backend t.help_current in                  (* A2 *)
   let empty_scans = ref 0 in
   let result = ref Value.null in
   let finished = ref false in
   while not !finished do                                            (* A3 *)
-    if P.read t.ann_alloc.(tid) <> Value.null then begin            (* A4 *)
-      let node = P.swap t.ann_alloc.(tid) Value.null in
+    if B.read t.backend t.ann_alloc.(tid) <> Value.null then begin  (* A4 *)
+      let node = B.swap t.backend t.ann_alloc.(tid) Value.null in
       Arena.faa_mm_ref t.arena node (-1);         (* FixRef(node, -1) *)
       C.incr t.ctr ~tid Alloc_helped;
       result := node;
       finished := true
     end
     else begin
-      let current = P.read t.current_free_list in                   (* A5 *)
-      let node = P.read t.free_list.(current) in                    (* A6 *)
+      let current = B.read t.backend t.current_free_list in         (* A5 *)
+      let node = B.read t.backend t.free_list.(current) in          (* A6 *)
       if Value.is_null node then begin                              (* A7 *)
         ignore
-          (P.cas t.current_free_list ~old:current
+          (B.cas t.backend t.current_free_list ~old:current
              ~nw:((current + 1) mod (2 * n)));
         incr empty_scans;
         if !empty_scans > t.oom_scan_limit then raise Mm_intf.Out_of_memory;
@@ -197,25 +208,26 @@ let alloc t ~tid =
         empty_scans := 0;
         Arena.faa_mm_ref t.arena node 2;                            (* A9 *)
         let next = Arena.read_mm_next t.arena node in
-        if P.cas t.free_list.(current) ~old:node ~nw:next then begin
+        if B.cas t.backend t.free_list.(current) ~old:node ~nw:next then begin
                                                                    (* A10 *)
           let gave =
             t.help_alloc
             && (not !helped)
-            && P.read t.ann_alloc.(help_id) = Value.null            (* A11 *)
-            && P.cas t.ann_alloc.(help_id) ~old:Value.null ~nw:node (* A12 *)
+            && B.read t.backend t.ann_alloc.(help_id) = Value.null  (* A11 *)
+            && B.cas t.backend t.ann_alloc.(help_id) ~old:Value.null
+                 ~nw:node                                           (* A12 *)
           in
           if gave then begin
             helped := true;                                         (* A13 *)
             ignore
-              (P.cas t.help_current ~old:help_id
+              (B.cas t.backend t.help_current ~old:help_id
                  ~nw:((help_id + 1) mod n));                        (* A14 *)
             C.incr t.ctr ~tid Alloc_gave_help;
             C.incr t.ctr ~tid Alloc_retry                           (* A15 *)
           end
           else begin
             ignore
-              (P.cas t.help_current ~old:help_id
+              (B.cas t.backend t.help_current ~old:help_id
                  ~nw:((help_id + 1) mod n));                        (* A16 *)
             Arena.faa_mm_ref t.arena node (-1);   (* A17: FixRef(-1) *)
             result := node;
@@ -301,11 +313,11 @@ let free_set t =
           walk (Arena.read_mm_next t.arena p) (steps + 1)
         end
       in
-      walk (P.read head) 0)
+      walk (B.read t.backend head) 0)
     t.free_list;
   Array.iteri
     (fun i cell ->
-      let p = P.read cell in
+      let p = B.read t.backend cell in
       if not (Value.is_null p) then
         record ~where:(Printf.sprintf "annAlloc[%d]" i) p ~expect_ref:3)
     t.ann_alloc;
@@ -329,9 +341,9 @@ let validate t =
             (Printf.sprintf "Gc: allocated node #%d has bad mm_ref=%d"
                (Value.handle p) r)
       end);
-  let cur = P.read t.current_free_list in
+  let cur = B.read t.backend t.current_free_list in
   if cur < 0 || cur >= 2 * t.n then
     failwith (Printf.sprintf "Gc: currentFreeList=%d out of range" cur);
-  let hc = P.read t.help_current in
+  let hc = B.read t.backend t.help_current in
   if hc < 0 || hc >= t.n then
     failwith (Printf.sprintf "Gc: helpCurrent=%d out of range" hc)

@@ -14,6 +14,7 @@
    memory from being recycled — the trade-off the paper's §1 surveys. *)
 
 module P = Atomics.Primitives
+module B = Atomics.Backend
 module C = Atomics.Counters
 module Value = Shmem.Value
 module Layout = Shmem.Layout
@@ -30,6 +31,7 @@ type per_thread = {
 
 type t = {
   cfg : Mm_intf.config;
+  backend : B.t;
   arena : Arena.t;
   ctr : C.t;
   global : P.cell;
@@ -44,11 +46,13 @@ let arena t = t.arena
 let counters t = t.ctr
 
 let create (cfg : Mm_intf.config) =
+  let backend = cfg.backend in
   let layout =
     Layout.create ~num_links:cfg.num_links ~num_data:cfg.num_data
   in
   let arena =
-    Arena.create ~layout ~capacity:cfg.capacity ~num_roots:cfg.num_roots
+    Arena.create ~backend ~layout ~capacity:cfg.capacity
+      ~num_roots:cfg.num_roots ()
   in
   for h = 1 to cfg.capacity do
     let p = Value.of_handle h in
@@ -57,15 +61,19 @@ let create (cfg : Mm_intf.config) =
   done;
   {
     cfg;
+    backend;
     arena;
-    ctr = C.create ~threads:cfg.threads;
-    global = P.make 0;
-    head = P.make (Value.pack_stamped ~stamp:0 ~ptr:(Value.of_handle 1));
+    ctr = C.create ~backend ~threads:cfg.threads ();
+    global = B.make_contended backend 0;
+    head =
+      B.make_contended backend
+        (Value.pack_stamped ~stamp:0 ~ptr:(Value.of_handle 1));
     threads =
       Array.init cfg.threads (fun _ ->
           {
-            active = P.make 0;
-            epoch = P.make 0;
+            (* owner-written, advance-scanner-read: padded per thread *)
+            active = B.make_contended backend 0;
+            epoch = B.make_contended backend 0;
             bags = [| []; []; [] |];
             bag_sizes = Array.make 3 0;
             last_seen = 0;
@@ -77,12 +85,12 @@ let create (cfg : Mm_intf.config) =
 let pool_push t ~tid node =
   C.incr t.ctr ~tid Free;
   let rec push () =
-    let hv = P.read t.head in
+    let hv = B.read t.backend t.head in
     Arena.write_mm_next t.arena node (Value.stamped_ptr hv);
     let nw =
       Value.pack_stamped ~stamp:(Value.stamped_stamp hv + 1) ~ptr:node
     in
-    if not (P.cas t.head ~old:hv ~nw) then begin
+    if not (B.cas t.backend t.head ~old:hv ~nw) then begin
       C.incr t.ctr ~tid Free_retry;
       push ()
     end
@@ -107,20 +115,22 @@ let collect t ~tid e =
   end
 
 let try_advance t ~tid =
-  let e = P.read t.global in
+  let e = B.read t.backend t.global in
   let blocked = ref false in
   Array.iter
     (fun pt ->
-      if P.read pt.active = 1 && P.read pt.epoch <> e then blocked := true)
+      if
+        B.read t.backend pt.active = 1 && B.read t.backend pt.epoch <> e
+      then blocked := true)
     t.threads;
-  if (not !blocked) && P.cas t.global ~old:e ~nw:(e + 1) then
+  if (not !blocked) && B.cas t.backend t.global ~old:e ~nw:(e + 1) then
     C.incr t.ctr ~tid Epoch_advance
 
 let enter_op t ~tid =
   let pt = t.threads.(tid) in
-  P.write pt.active 1;
-  let e = P.read t.global in
-  P.write pt.epoch e;
+  B.write t.backend pt.active 1;
+  let e = B.read t.backend t.global in
+  B.write t.backend pt.epoch e;
   if e <> pt.last_seen then begin
     pt.last_seen <- e;
     collect t ~tid e
@@ -128,7 +138,7 @@ let enter_op t ~tid =
 
 let exit_op t ~tid =
   let pt = t.threads.(tid) in
-  P.write pt.active 0;
+  B.write t.backend pt.active 0;
   pt.ops <- pt.ops + 1;
   if pt.ops mod t.advance_every = 0 then try_advance t ~tid
 
@@ -140,7 +150,7 @@ let alloc t ~tid =
      EBR's reclamation is blocking, which is part of the comparison. *)
   let pressure = ref 0 in
   let rec pop () =
-    let hv = P.read t.head in
+    let hv = B.read t.backend t.head in
     let node = Value.stamped_ptr hv in
     if Value.is_null node then begin
       if !pressure >= 6 then raise Mm_intf.Out_of_memory;
@@ -150,7 +160,7 @@ let alloc t ~tid =
          happen while we are inside the bracket, draining one bag
          generation. *)
       try_advance t ~tid;
-      let e = P.read t.global in
+      let e = B.read t.backend t.global in
       let pt = t.threads.(tid) in
       if e <> pt.last_seen then begin
         pt.last_seen <- e;
@@ -163,7 +173,7 @@ let alloc t ~tid =
       let nw =
         Value.pack_stamped ~stamp:(Value.stamped_stamp hv + 1) ~ptr:next
       in
-      if P.cas t.head ~old:hv ~nw then node
+      if B.cas t.backend t.head ~old:hv ~nw then node
       else begin
         C.incr t.ctr ~tid Alloc_retry;
         pop ()
@@ -193,7 +203,7 @@ let store_link t ~tid:_ link p = Arena.write t.arena link p
 
 let terminate t ~tid p =
   let pt = t.threads.(tid) in
-  let e = P.read t.global in
+  let e = B.read t.backend t.global in
   let slot = e mod 3 in
   pt.bags.(slot) <- Value.unmark p :: pt.bags.(slot);
   pt.bag_sizes.(slot) <- pt.bag_sizes.(slot) + 1
@@ -214,7 +224,7 @@ let free_set t =
       walk (Arena.read_mm_next t.arena p) (steps + 1)
     end
   in
-  walk (Value.stamped_ptr (P.read t.head)) 0;
+  walk (Value.stamped_ptr (B.read t.backend t.head)) 0;
   Array.iter
     (fun pt ->
       Array.iter (List.iter (fun p -> record "bag" p)) pt.bags)
@@ -231,7 +241,7 @@ let validate t =
   ignore (free_set t);
   Array.iteri
     (fun tid pt ->
-      if P.read pt.active = 1 then
+      if B.read t.backend pt.active = 1 then
         failwith (Printf.sprintf "Epoch: thread %d still active" tid))
     t.threads
 

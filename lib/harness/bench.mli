@@ -1,0 +1,41 @@
+(** Backend benchmark: the alloc/release churn loop per
+    scheme × backend × thread count, with batch-averaged per-op
+    latency percentiles, exportable as JSON ([BENCH_wfrc.json]). *)
+
+type point = {
+  scheme : string;
+  backend : Atomics.Backend.t;
+  threads : int;
+  ops : int;            (** completed alloc+release pairs *)
+  wall_ns : int;
+  ops_per_sec : float;
+  mean_ns : float;
+  p50_ns : int;
+  p90_ns : int;
+  p99_ns : int;
+  max_ns : int;
+}
+
+val run_point :
+  scheme:string ->
+  backend:Atomics.Backend.t ->
+  threads:int ->
+  ops:int ->
+  capacity:int ->
+  point
+
+val run_suite :
+  ?schemes:string list ->
+  ?backends:Atomics.Backend.t list ->
+  ?threads_list:int list ->
+  ?ops:int ->
+  ?capacity:int ->
+  unit ->
+  point list
+(** Defaults: wfrc only, both backends, 1/2/4 threads, 50k pairs. *)
+
+val to_json : point list -> string
+val write_json : path:string -> point list -> unit
+
+val report : point list -> Experiments.report
+(** The suite as a printable table. *)

@@ -24,12 +24,20 @@ let print ?(csv = false) r =
 
 let f1 x = Printf.sprintf "%.1f" x
 
-(* Layouts *)
-let pq_layout ~threads ~capacity =
-  Mm.config ~threads ~capacity ~num_links:6 ~num_data:3 ~num_roots:1 ()
+(* Layouts. Each experiment states its backend explicitly: [Native]
+   for the Domain-parallel throughput/latency runs (driven by
+   [Runner.run], where no deterministic scheduler is installed and
+   hook-free padded cells measure the real machine), [Sim] wherever
+   [Sched.Engine] or [Sched.Explore] drives the interleaving — those
+   threads only yield at scheduling points, so a [Native] manager
+   would never hand control back. *)
+let pq_layout ~backend ~threads ~capacity =
+  Mm.config ~backend ~threads ~capacity ~num_links:6 ~num_data:3 ~num_roots:1
+    ()
 
-let list_layout ~threads ~capacity =
-  Mm.config ~threads ~capacity ~num_links:1 ~num_data:1 ~num_roots:4 ()
+let list_layout ~backend ~threads ~capacity =
+  Mm.config ~backend ~threads ~capacity ~num_links:1 ~num_data:1 ~num_roots:4
+    ()
 
 (* ------------------------------------------------------------------ *)
 (* E1: priority-queue throughput, WFRC vs baselines (paper §5).       *)
@@ -54,7 +62,9 @@ let e1 ?(schemes = Registry.rc_names) ?(threads_list = [ 1; 2; 4; 8 ])
         scheme
         :: List.map
              (fun threads ->
-               let cfg = pq_layout ~threads ~capacity in
+               let cfg =
+                 pq_layout ~backend:Atomics.Backend.Native ~threads ~capacity
+               in
                let mm = Registry.instantiate scheme cfg in
                let pq = Structures.Pqueue.create mm ~seed ~tid:0 in
                (* Prefill to steady state. *)
@@ -179,7 +189,9 @@ let e3 ?(schemes = [ "wfrc"; "lfrc"; "lockrc" ])
     (fun scheme ->
       List.iter
         (fun threads ->
-          let cfg = list_layout ~threads ~capacity in
+          let cfg =
+            list_layout ~backend:Atomics.Backend.Native ~threads ~capacity
+          in
           let mm = Registry.instantiate scheme cfg in
           let per_thread = ops / threads in
           let bursts =
@@ -346,7 +358,9 @@ let e5 ?(schemes = Registry.rc_names) ?(threads = 4) ?(ops = 40_000)
   let rows =
     List.map
       (fun scheme ->
-        let cfg = pq_layout ~threads ~capacity in
+        let cfg =
+          pq_layout ~backend:Atomics.Backend.Native ~threads ~capacity
+        in
         let mm = Registry.instantiate scheme cfg in
         let pq = Structures.Pqueue.create mm ~seed ~tid:0 in
         let rng = Rng.create (seed + 1) in
@@ -508,7 +522,7 @@ let e7_alloc ~scheme ~runs ~seed =
 
 let e7_stack ~scheme ~runs ~seed =
   let mk () =
-    let cfg = list_layout ~threads:2 ~capacity:16 in
+    let cfg = list_layout ~backend:Atomics.Backend.Sim ~threads:2 ~capacity:16 in
     let mm = Registry.instantiate scheme cfg in
     let s = Structures.Stack.create mm ~root:0 in
     Structures.Stack.push s ~tid:0 100;
@@ -563,7 +577,7 @@ let e7_stack ~scheme ~runs ~seed =
 
 let e7_queue ~scheme ~runs ~seed =
   let mk () =
-    let cfg = list_layout ~threads:2 ~capacity:16 in
+    let cfg = list_layout ~backend:Atomics.Backend.Sim ~threads:2 ~capacity:16 in
     let mm = Registry.instantiate scheme cfg in
     let q = Structures.Queue.create mm ~head_root:0 ~tail_root:1 ~tid:0 in
     Structures.Queue.enqueue q ~tid:0 100;
@@ -784,8 +798,8 @@ let e9 ?(schemes = Registry.names) ?(threads_list = [ 1; 2; 4 ])
         :: List.map
              (fun threads ->
                let cfg =
-                 Mm.config ~threads ~capacity ~num_links:1 ~num_data:2
-                   ~num_roots:0 ()
+                 Mm.config ~backend:Atomics.Backend.Native ~threads
+                   ~capacity ~num_links:1 ~num_data:2 ~num_roots:0 ()
                in
                let mm = Registry.instantiate scheme cfg in
                let set = Structures.Oset.create mm ~tid:0 in
@@ -840,8 +854,8 @@ let e8 ?(threads_list = [ 1; 2; 4 ]) ?(capacity = 32) () =
     List.map
       (fun threads ->
         let cfg =
-          Mm.config ~threads ~capacity ~num_links:0 ~num_data:1 ~num_roots:0
-            ()
+          Mm.config ~backend:Atomics.Backend.Native ~threads ~capacity
+            ~num_links:0 ~num_data:1 ~num_roots:0 ()
         in
         let mm = Registry.instantiate "wfrc" cfg in
         let held = Array.make threads [] in
@@ -1150,7 +1164,9 @@ let a2 ?(threads_list = [ 2; 4; 8 ]) ?(ops = 40_000) ?(capacity = 4096)
     (fun threads ->
       List.iter
         (fun (label, placement) ->
-          let cfg = list_layout ~threads ~capacity in
+          let cfg =
+            list_layout ~backend:Atomics.Backend.Native ~threads ~capacity
+          in
           let gc = Wfrc.Gc.create ~placement cfg in
           let tput, ar, fr =
             churn_gc gc ~threads ~ops ~max_burst:8 ~seed
@@ -1182,7 +1198,9 @@ let a3 ?(threads_list = [ 2; 4; 8 ]) ?(ops = 40_000) ?(capacity = 4096)
     (fun threads ->
       List.iter
         (fun (label, help_alloc) ->
-          let cfg = list_layout ~threads ~capacity in
+          let cfg =
+            list_layout ~backend:Atomics.Backend.Native ~threads ~capacity
+          in
           let gc = Wfrc.Gc.create ~help_alloc cfg in
           let tput, ar, fr =
             churn_gc gc ~threads ~ops ~max_burst:8 ~seed

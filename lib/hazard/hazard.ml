@@ -20,6 +20,7 @@
    fields exist in the arena but are not used by this scheme. *)
 
 module P = Atomics.Primitives
+module B = Atomics.Backend
 module C = Atomics.Counters
 module Value = Shmem.Value
 module Layout = Shmem.Layout
@@ -34,6 +35,7 @@ type per_thread = {
 
 type t = {
   cfg : Mm_intf.config;
+  backend : B.t;
   arena : Arena.t;
   ctr : C.t;
   head : P.cell;          (* stamped free-pool head *)
@@ -49,11 +51,13 @@ let counters t = t.ctr
 let slots_per_thread t = t.k
 
 let create (cfg : Mm_intf.config) =
+  let backend = cfg.backend in
   let layout =
     Layout.create ~num_links:cfg.num_links ~num_data:cfg.num_data
   in
   let arena =
-    Arena.create ~layout ~capacity:cfg.capacity ~num_roots:cfg.num_roots
+    Arena.create ~backend ~layout ~capacity:cfg.capacity
+      ~num_roots:cfg.num_roots ()
   in
   for h = 1 to cfg.capacity do
     let p = Value.of_handle h in
@@ -71,13 +75,18 @@ let create (cfg : Mm_intf.config) =
   in
   {
     cfg;
+    backend;
     arena;
-    ctr = C.create ~threads:cfg.threads;
-    head = P.make (Value.pack_stamped ~stamp:0 ~ptr:(Value.of_handle 1));
+    ctr = C.create ~backend ~threads:cfg.threads ();
+    head =
+      B.make_contended backend
+        (Value.pack_stamped ~stamp:0 ~ptr:(Value.of_handle 1));
     threads =
       Array.init cfg.threads (fun _ ->
           {
-            slots = Array.init k (fun _ -> P.make 0);
+            (* hazard slots are owner-written, scanner-read: pad them
+               so a scan does not invalidate the owner's lines *)
+            slots = Array.init k (fun _ -> B.make_contended backend 0);
             counts = Array.make k 0;
             retired = [];
             retired_len = 0;
@@ -90,6 +99,8 @@ let enter_op _t ~tid:_ = ()
 let exit_op _t ~tid:_ = ()
 
 let find_slot pt u =
+  (* [counts] is thread-local; only the publish in [slots] is shared,
+     and reading our own slot needs no scheduling point. *)
   let rec go i =
     if i >= Array.length pt.counts then None
     else if pt.counts.(i) > 0 && Atomic.get pt.slots.(i) = u then Some i
@@ -110,12 +121,12 @@ let find_empty pt =
 let pool_push t ~tid node =
   C.incr t.ctr ~tid Free;
   let rec push () =
-    let hv = P.read t.head in
+    let hv = B.read t.backend t.head in
     Arena.write_mm_next t.arena node (Value.stamped_ptr hv);
     let nw =
       Value.pack_stamped ~stamp:(Value.stamped_stamp hv + 1) ~ptr:node
     in
-    if not (P.cas t.head ~old:hv ~nw) then begin
+    if not (B.cas t.backend t.head ~old:hv ~nw) then begin
       C.incr t.ctr ~tid Free_retry;
       push ()
     end
@@ -132,7 +143,7 @@ let alloc t ~tid =
   C.incr t.ctr ~tid Alloc;
   let scanned = ref false in
   let rec pop () =
-    let hv = P.read t.head in
+    let hv = B.read t.backend t.head in
     let node = Value.stamped_ptr hv in
     if Value.is_null node then
       if not !scanned then begin
@@ -147,14 +158,14 @@ let alloc t ~tid =
     let nw =
       Value.pack_stamped ~stamp:(Value.stamped_stamp hv + 1) ~ptr:next
     in
-    if P.cas t.head ~old:hv ~nw then begin
+    if B.cas t.backend t.head ~old:hv ~nw then begin
       (* Register the fresh node in a hazard slot so the uniform
          "every acquired reference is released" discipline of
          Mm_intf applies to allocations too. The node is exclusively
          owned, so no validation is needed. *)
       let pt = t.threads.(tid) in
       let s = find_empty pt in
-      P.write pt.slots.(s) node;
+      B.write t.backend pt.slots.(s) node;
       pt.counts.(s) <- 1;
       node
     end
@@ -179,13 +190,13 @@ let rec deref t ~tid link =
         w
     | None ->
         let s = find_empty pt in
-        P.write pt.slots.(s) u;
+        B.write t.backend pt.slots.(s) u;
         if Arena.read t.arena link = w then begin
           pt.counts.(s) <- 1;
           w
         end
         else begin
-          P.write pt.slots.(s) 0;
+          B.write t.backend pt.slots.(s) 0;
           C.incr t.ctr ~tid Deref_retry;
           deref t ~tid link
         end
@@ -199,7 +210,7 @@ let release t ~tid p =
     match find_slot pt u with
     | Some s ->
         pt.counts.(s) <- pt.counts.(s) - 1;
-        if pt.counts.(s) = 0 then P.write pt.slots.(s) 0
+        if pt.counts.(s) = 0 then B.write t.backend pt.slots.(s) 0
     | None -> failwith "Hazard.release: pointer not held by this thread"
   end
 
@@ -214,7 +225,7 @@ let copy_ref t ~tid p =
     | Some s -> pt.counts.(s) <- pt.counts.(s) + 1
     | None ->
         let s = find_empty pt in
-        P.write pt.slots.(s) u;
+        B.write t.backend pt.slots.(s) u;
         pt.counts.(s) <- 1
   end;
   p
@@ -236,7 +247,7 @@ let scan t ~tid =
     (fun pt ->
       Array.iter
         (fun cell ->
-          let v = P.read cell in
+          let v = B.read t.backend cell in
           if not (Value.is_null v) then Hashtbl.replace hazards v ())
         pt.slots)
     t.threads;
@@ -274,7 +285,7 @@ let free_set t =
       walk (Arena.read_mm_next t.arena p) (steps + 1)
     end
   in
-  walk (Value.stamped_ptr (P.read t.head)) 0;
+  walk (Value.stamped_ptr (B.read t.backend t.head)) 0;
   Array.iter
     (fun pt -> List.iter (fun p -> record "retired" p) pt.retired)
     t.threads;

@@ -15,6 +15,7 @@
    reference, odd value = claimed by the allocator. *)
 
 module P = Atomics.Primitives
+module B = Atomics.Backend
 module C = Atomics.Counters
 module Value = Shmem.Value
 module Layout = Shmem.Layout
@@ -22,6 +23,7 @@ module Arena = Shmem.Arena
 
 type t = {
   cfg : Mm_intf.config;
+  backend : B.t;
   arena : Arena.t;
   ctr : C.t;
   head : P.cell; (* stamped pointer to the free-list *)
@@ -33,11 +35,13 @@ let arena t = t.arena
 let counters t = t.ctr
 
 let create (cfg : Mm_intf.config) =
+  let backend = cfg.backend in
   let layout =
     Layout.create ~num_links:cfg.num_links ~num_data:cfg.num_data
   in
   let arena =
-    Arena.create ~layout ~capacity:cfg.capacity ~num_roots:cfg.num_roots
+    Arena.create ~backend ~layout ~capacity:cfg.capacity
+      ~num_roots:cfg.num_roots ()
   in
   for h = 1 to cfg.capacity do
     let p = Value.of_handle h in
@@ -47,9 +51,13 @@ let create (cfg : Mm_intf.config) =
   done;
   {
     cfg;
+    backend;
     arena;
-    ctr = C.create ~threads:cfg.threads;
-    head = P.make (Value.pack_stamped ~stamp:0 ~ptr:(Value.of_handle 1));
+    ctr = C.create ~backend ~threads:cfg.threads ();
+    (* the single Treiber head is the scheme's one global hot word *)
+    head =
+      B.make_contended backend
+        (Value.pack_stamped ~stamp:0 ~ptr:(Value.of_handle 1));
   }
 
 let enter_op _t ~tid:_ = ()
@@ -86,12 +94,12 @@ and release_loop t ~tid = function
 and free_node t ~tid node =
   C.incr t.ctr ~tid Free;
   let rec push () =
-    let hv = P.read t.head in
+    let hv = B.read t.backend t.head in
     Arena.write_mm_next t.arena node (Value.stamped_ptr hv);
     let nw =
       Value.pack_stamped ~stamp:(Value.stamped_stamp hv + 1) ~ptr:node
     in
-    if not (P.cas t.head ~old:hv ~nw) then begin
+    if not (B.cas t.backend t.head ~old:hv ~nw) then begin
       C.incr t.ctr ~tid Free_retry;
       push ()
     end
@@ -101,7 +109,7 @@ and free_node t ~tid node =
 let alloc t ~tid =
   C.incr t.ctr ~tid Alloc;
   let rec pop () =
-    let hv = P.read t.head in
+    let hv = B.read t.backend t.head in
     let node = Value.stamped_ptr hv in
     if Value.is_null node then raise Mm_intf.Out_of_memory;
     (* §3.1: raise the count before reading mm_next so the node cannot
@@ -111,7 +119,7 @@ let alloc t ~tid =
     let nw =
       Value.pack_stamped ~stamp:(Value.stamped_stamp hv + 1) ~ptr:next
     in
-    if P.cas t.head ~old:hv ~nw then begin
+    if B.cas t.backend t.head ~old:hv ~nw then begin
       Arena.faa_mm_ref t.arena node (-1);
       node
     end
@@ -184,7 +192,7 @@ let free_set t =
       walk (Arena.read_mm_next t.arena p) (steps + 1)
     end
   in
-  walk (Value.stamped_ptr (P.read t.head)) 0;
+  walk (Value.stamped_ptr (B.read t.backend t.head)) 0;
   seen
 
 let free_count t =

@@ -13,6 +13,7 @@
    free nodes carry mm_ref = 1. *)
 
 module P = Atomics.Primitives
+module B = Atomics.Backend
 module C = Atomics.Counters
 module Value = Shmem.Value
 module Layout = Shmem.Layout
@@ -20,6 +21,7 @@ module Arena = Shmem.Arena
 
 type t = {
   cfg : Mm_intf.config;
+  backend : B.t;
   arena : Arena.t;
   ctr : C.t;
   lock : P.cell;
@@ -32,11 +34,13 @@ let arena t = t.arena
 let counters t = t.ctr
 
 let create (cfg : Mm_intf.config) =
+  let backend = cfg.backend in
   let layout =
     Layout.create ~num_links:cfg.num_links ~num_data:cfg.num_data
   in
   let arena =
-    Arena.create ~layout ~capacity:cfg.capacity ~num_roots:cfg.num_roots
+    Arena.create ~backend ~layout ~capacity:cfg.capacity
+      ~num_roots:cfg.num_roots ()
   in
   for h = 1 to cfg.capacity do
     let p = Value.of_handle h in
@@ -46,16 +50,19 @@ let create (cfg : Mm_intf.config) =
   done;
   {
     cfg;
+    backend;
     arena;
-    ctr = C.create ~threads:cfg.threads;
-    lock = P.make 0;
-    free_head = P.make (Value.of_handle 1);
+    ctr = C.create ~backend ~threads:cfg.threads ();
+    (* every thread spins on the lock word; keep it and the free head
+       on separate padded lines so the spin does not slow the holder *)
+    lock = B.make_contended backend 0;
+    free_head = B.make_contended backend (Value.of_handle 1);
   }
 
 let with_lock t ~tid f =
-  let b = Atomics.Backoff.create () in
+  let b = Atomics.Backoff.create ~backend:t.backend () in
   let rec acquire () =
-    if not (P.cas t.lock ~old:0 ~nw:1) then begin
+    if not (B.cas t.backend t.lock ~old:0 ~nw:1) then begin
       Atomics.Backoff.once b;
       acquire ()
     end
@@ -64,10 +71,10 @@ let with_lock t ~tid f =
   C.incr t.ctr ~tid Lock_acquire;
   match f () with
   | v ->
-      P.write t.lock 0;
+      B.write t.backend t.lock 0;
       v
   | exception e ->
-      P.write t.lock 0;
+      B.write t.backend t.lock 0;
       raise e
 
 let enter_op _t ~tid:_ = ()
@@ -90,8 +97,8 @@ let reclaim t ~tid node0 =
       done;
       C.incr t.ctr ~tid Node_reclaimed;
       C.incr t.ctr ~tid Free;
-      Arena.write_mm_next t.arena node (P.read t.free_head);
-      P.write t.free_head node;
+      Arena.write_mm_next t.arena node (B.read t.backend t.free_head);
+      B.write t.backend t.free_head node;
       List.iter drop !held
     end
   in
@@ -106,9 +113,9 @@ let release t ~tid p =
 let alloc t ~tid =
   C.incr t.ctr ~tid Alloc;
   with_lock t ~tid (fun () ->
-      let node = P.read t.free_head in
+      let node = B.read t.backend t.free_head in
       if Value.is_null node then raise Mm_intf.Out_of_memory;
-      P.write t.free_head (Arena.read_mm_next t.arena node);
+      B.write t.backend t.free_head (Arena.read_mm_next t.arena node);
       Arena.write t.arena (Arena.mm_ref_addr t.arena node) 2;
       node)
 
@@ -163,7 +170,7 @@ let free_set t =
       walk (Arena.read_mm_next t.arena p) (steps + 1)
     end
   in
-  walk (P.read t.free_head) 0;
+  walk (B.read t.backend t.free_head) 0;
   seen
 
 let free_count t =
@@ -173,7 +180,8 @@ let free_count t =
   !c
 
 let validate t =
-  if P.read t.lock <> 0 then failwith "Lockrc: lock held at quiescence";
+  if B.read t.backend t.lock <> 0 then
+    failwith "Lockrc: lock held at quiescence";
   let seen = free_set t in
   Arena.iter_nodes t.arena (fun p ->
       if not seen.(Value.handle p) then begin

@@ -25,13 +25,18 @@ type config = {
   num_links : int;    (* link slots per node, released on reclaim (R3) *)
   num_data : int;     (* uninterpreted data words per node *)
   num_roots : int;    (* root link cells for the client structure *)
+  backend : Atomics.Backend.t;
+  (* shared-memory backend every layer below inherits: [Sim] for
+     deterministic-scheduler/lincheck runs (one scheduling point per
+     primitive), [Native] for hook-free Domain-parallel runs with
+     contention padding. *)
 }
 
-let config ?(num_links = 0) ?(num_data = 0) ?(num_roots = 0) ~threads
-    ~capacity () =
+let config ?(num_links = 0) ?(num_data = 0) ?(num_roots = 0)
+    ?(backend = Atomics.Backend.Sim) ~threads ~capacity () =
   if threads < 1 then invalid_arg "Mm_intf.config: threads";
   if capacity < 1 then invalid_arg "Mm_intf.config: capacity";
-  { threads; capacity; num_links; num_data; num_roots }
+  { threads; capacity; num_links; num_data; num_roots; backend }
 
 module type S = sig
   type t

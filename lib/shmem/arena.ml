@@ -9,23 +9,63 @@
 
    Cells are never deallocated, so the [mm_ref] word of a reclaimed
    node remains readable and FAA-able forever — precisely the
-   "indefinitely present mm_ref field" assumption of paper §3. *)
+   "indefinitely present mm_ref field" assumption of paper §3.
+
+   The arena stores its [Atomics.Backend.t] and dispatches every word
+   operation through it: under [Sim] each primitive crosses one
+   scheduling point (the deterministic scheduler's granularity); under
+   [Native] it is a direct [Atomic] operation with zero hook dispatch.
+   A [Native] arena additionally pads the contention hot spots — the
+   root links and each node's [mm_ref]/[mm_next] header words — to a
+   cache-line pair each, and allocates every node's block of cells in
+   one batch so a node's words are heap-adjacent (allocation order is
+   address order on the minor heap), instead of interleaving all cells
+   through one [Array.init] closure. *)
 
 module P = Atomics.Primitives
+module Backend = Atomics.Backend
 
 type t = {
+  backend : Backend.t;
   layout : Layout.t;
   capacity : int;
   num_roots : int;
   cells : P.cell array;
 }
 
-let create ~layout ~capacity ~num_roots =
+let create ?(backend = Backend.Sim) ~layout ~capacity ~num_roots () =
   if capacity < 1 then invalid_arg "Arena.create: capacity";
   if num_roots < 0 then invalid_arg "Arena.create: num_roots";
-  let size = num_roots + (capacity * Layout.node_size layout) in
-  { layout; capacity; num_roots; cells = Array.init size (fun _ -> P.make 0) }
+  let node_size = Layout.node_size layout in
+  let size = num_roots + (capacity * node_size) in
+  let cells =
+    match backend with
+    | Backend.Sim ->
+        (* Deterministic simulation: no cache to manage, keep cells
+           dense. *)
+        Array.init size (fun _ -> P.make 0)
+    | Backend.Native ->
+        let cells = Array.make size (Atomic.make 0) in
+        for r = 0 to num_roots - 1 do
+          cells.(r) <- Backend.make_contended backend 0
+        done;
+        for h = 0 to capacity - 1 do
+          let base = num_roots + (h * node_size) in
+          (* Hot header words first, padded; then the node's link and
+             data words as one contiguous batch. *)
+          cells.(base + Layout.mm_ref_offset) <-
+            Backend.make_contended backend 0;
+          cells.(base + Layout.mm_next_offset) <-
+            Backend.make_contended backend 0;
+          for off = Layout.header_size to node_size - 1 do
+            cells.(base + off) <- Atomic.make 0
+          done
+        done;
+        cells
+  in
+  { backend; layout; capacity; num_roots; cells }
 
+let backend t = t.backend
 let layout t = t.layout
 let capacity t = t.capacity
 let num_roots t = t.num_roots
@@ -64,14 +104,14 @@ let owner_of t addr =
     let size = Layout.node_size t.layout in
     `Node (1 + (off / size), off mod size)
 
-(* Word operations -------------------------------------------------- *)
+(* Word operations: dispatched on the stored backend --------------- *)
 
 let cell t addr = t.cells.(addr)
-let read t addr = P.read t.cells.(addr)
-let write t addr v = P.write t.cells.(addr) v
-let cas t addr ~old ~nw = P.cas t.cells.(addr) ~old ~nw
-let faa t addr delta = P.faa t.cells.(addr) delta
-let swap t addr v = P.swap t.cells.(addr) v
+let read t addr = Backend.read t.backend t.cells.(addr)
+let write t addr v = Backend.write t.backend t.cells.(addr) v
+let cas t addr ~old ~nw = Backend.cas t.backend t.cells.(addr) ~old ~nw
+let faa t addr delta = Backend.faa t.backend t.cells.(addr) delta
+let swap t addr v = Backend.swap t.backend t.cells.(addr) v
 
 (* mm-field conveniences (all atomic word ops on the cells above). *)
 

@@ -7,11 +7,25 @@
 
 type t
 
-val create : layout:Layout.t -> capacity:int -> num_roots:int -> t
+val create :
+  ?backend:Atomics.Backend.t ->
+  layout:Layout.t ->
+  capacity:int ->
+  num_roots:int ->
+  unit ->
+  t
 (** [create ~layout ~capacity ~num_roots] builds an arena of
     [capacity] nodes (handles [1..capacity]) preceded by [num_roots]
-    root link cells. All cells start at 0 (= null pointer). *)
+    root link cells. All cells start at 0 (= null pointer).
 
+    [backend] (default [Sim]) selects the word-operation cost model:
+    [Sim] crosses one {!Atomics.Schedpoint} per primitive (the
+    deterministic scheduler's granularity); [Native] is hook-free
+    direct [Atomic] ops, with root links and each node's
+    [mm_ref]/[mm_next] padded to a cache-line pair and node blocks
+    allocated in one batch. *)
+
+val backend : t -> Atomics.Backend.t
 val layout : t -> Layout.t
 val capacity : t -> int
 val num_roots : t -> int

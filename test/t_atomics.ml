@@ -77,7 +77,7 @@ let schedpoint_tests =
 let counters_tests =
   [
     tc "incr/add/get/total" (fun () ->
-        let t = C.create ~threads:3 in
+        let t = C.create ~threads:3 () in
         C.incr t ~tid:0 Alloc;
         C.add t ~tid:1 Alloc 4;
         C.incr t ~tid:2 Free;
@@ -87,19 +87,19 @@ let counters_tests =
         check_int "total free" 1 (C.total t Free);
         check_int "untouched" 0 (C.total t Cas_failure));
     tc "reset clears everything" (fun () ->
-        let t = C.create ~threads:2 in
+        let t = C.create ~threads:2 () in
         C.add t ~tid:0 Deref 9;
         C.reset t;
         check_int "cleared" 0 (C.total t Deref));
     tc "snapshot lists only non-zero events" (fun () ->
-        let t = C.create ~threads:1 in
+        let t = C.create ~threads:1 () in
         C.incr t ~tid:0 Swap;
         C.add t ~tid:0 Release 3;
         let snap = C.snapshot t in
         check_int "two entries" 2 (List.length snap);
         check_bool "has swap" true (List.mem_assoc C.Swap snap));
     tc "bad tid rejected" (fun () ->
-        let t = C.create ~threads:2 in
+        let t = C.create ~threads:2 () in
         fails_with (fun () -> C.incr t ~tid:2 Alloc);
         fails_with (fun () -> C.get t ~tid:(-1) Alloc));
     tc "event names unique" (fun () ->
@@ -108,7 +108,7 @@ let counters_tests =
           (List.length names)
           (List.length (List.sort_uniq compare names)));
     tc "parallel per-thread increments don't interfere" (fun () ->
-        let t = C.create ~threads:4 in
+        let t = C.create ~threads:4 () in
         let domains =
           Array.init 4 (fun tid ->
               Domain.spawn (fun () ->

@@ -1,0 +1,190 @@
+(* The pluggable memory backends: padded-cell semantics, the
+   zero-hook-dispatch guarantee of [Native], and Sim/Native
+   behavioural equivalence for every registered scheme (the backends
+   must differ only in cost model, never in results). *)
+
+open Helpers
+module B = Atomics.Backend
+
+let cell_tests =
+  [
+    tc "name/of_string round-trip" (fun () ->
+        check_string "sim" "sim" (B.name (B.of_string "sim"));
+        check_string "native" "native" (B.name (B.of_string "native"));
+        fails_with ~substring:"of_string" (fun () -> B.of_string "gpu"));
+    tc "contended cell occupies a full line pair" (fun () ->
+        let c = B.make_contended B.Native 7 in
+        check_int "block size" B.cache_line_words (Obj.size (Obj.repr c));
+        (* a plain cell for comparison *)
+        check_int "plain size" 1 (Obj.size (Obj.repr (B.make B.Native 7))));
+    tc "padded cell has figure 2 semantics" (fun () ->
+        List.iter
+          (fun c ->
+            check_int "init" 10 (Atomic.get c);
+            check_int "faa returns old" 10 (B.faa B.Native c 5);
+            check_int "faa added" 15 (B.read B.Native c);
+            check_bool "cas hit" true (B.cas B.Native c ~old:15 ~nw:1);
+            check_bool "cas miss" false (B.cas B.Native c ~old:15 ~nw:99);
+            check_int "swap returns old" 1 (B.swap B.Native c 7);
+            B.write B.Native c 42;
+            check_int "write" 42 (B.read B.Native c))
+          [ B.make_contended B.Native 10; B.make B.Native 10 ]);
+    tc "padded cells survive a GC cycle" (fun () ->
+        let cells = Array.init 100 (fun i -> B.make_contended B.Native i) in
+        Gc.full_major ();
+        Array.iteri
+          (fun i c -> check_int "value" i (Atomic.get c))
+          cells);
+    tc "prims modules expose matching names" (fun () ->
+        let (module S) = B.prims B.Sim in
+        let (module N) = B.prims B.Native in
+        check_string "sim" "sim" S.name;
+        check_string "native" "native" N.name);
+  ]
+
+(* A deterministic single-thread client workload that is legal under
+   every scheme's protocol (the retire-based schemes need the
+   enter/exit bracket and [terminate] at unlink time; the RC schemes
+   treat both as cheap bookkeeping). Returns a full behavioural trace
+   plus the final counter totals — everything observable. *)
+let run_workload ~backend scheme =
+  let cfg =
+    Mm.config ~backend ~threads:2 ~capacity:64 ~num_links:1 ~num_data:1
+      ~num_roots:2 ()
+  in
+  let mm = Harness.Registry.instantiate scheme cfg in
+  let root = Arena.root_addr (Mm.arena mm) 0 in
+  let rng = Sched.Rng.create 91_001 in
+  let trace = ref [] in
+  let push v = trace := v :: !trace in
+  let ptr p = if Value.is_null p then 0 else Value.handle p in
+  for _step = 1 to 300 do
+    Mm.enter_op mm ~tid:0;
+    (match Sched.Rng.int rng 3 with
+    | 0 ->
+        (* alloc, publish briefly via the root, retire *)
+        (try
+           let p = Mm.alloc mm ~tid:0 in
+           push (ptr p);
+           Mm.release mm ~tid:0 p;
+           Mm.terminate mm ~tid:0 p
+         with Mm.Out_of_memory -> push (-1))
+    | 1 -> (
+        let p = Mm.deref mm ~tid:0 root in
+        push (ptr p);
+        if not (Value.is_null p) then Mm.release mm ~tid:0 p)
+    | _ -> (
+        try
+          let b = Mm.alloc mm ~tid:0 in
+          let old = Mm.deref mm ~tid:0 root in
+          let swapped = Mm.cas_link mm ~tid:0 root ~old ~nw:b in
+          push (ptr b);
+          push (ptr old);
+          push (if swapped then 1 else 0);
+          if swapped && not (Value.is_null old) then begin
+            Mm.release mm ~tid:0 old;
+            Mm.terminate mm ~tid:0 old
+          end;
+          if not (Value.is_null old) && not swapped then
+            Mm.release mm ~tid:0 old;
+          Mm.release mm ~tid:0 b
+        with Mm.Out_of_memory -> push (-1)));
+    Mm.exit_op mm ~tid:0
+  done;
+  (* unlink whatever the root still holds, then quiesce *)
+  Mm.enter_op mm ~tid:0;
+  let last = Mm.deref mm ~tid:0 root in
+  if not (Value.is_null last) then begin
+    ignore (Mm.cas_link mm ~tid:0 root ~old:last ~nw:Value.null);
+    Mm.release mm ~tid:0 last;
+    Mm.terminate mm ~tid:0 last
+  end;
+  Mm.exit_op mm ~tid:0;
+  push (Mm.free_count mm);
+  Mm.validate mm;
+  let counters =
+    String.concat ","
+      (List.map
+         (fun (ev, n) ->
+           Printf.sprintf "%s=%d" (Atomics.Counters.event_name ev) n)
+         (Atomics.Counters.snapshot (Mm.counters mm)))
+  in
+  (List.rev !trace, counters)
+
+let stack_roundtrip ~backend =
+  let cfg =
+    Mm.config ~backend ~threads:2 ~capacity:32 ~num_links:1 ~num_data:1
+      ~num_roots:1 ()
+  in
+  let mm = Harness.Registry.instantiate "wfrc" cfg in
+  let stack = Structures.Stack.create mm ~root:0 in
+  for i = 1 to 20 do
+    Structures.Stack.push stack ~tid:0 (i * i)
+  done;
+  Structures.Stack.drain stack ~tid:0
+
+let equivalence_tests =
+  List.map
+    (fun scheme ->
+      tc (scheme ^ " behaves identically on both backends") (fun ()
+      ->
+        let sim_trace, sim_ctr = run_workload ~backend:B.Sim scheme in
+        let nat_trace, nat_ctr = run_workload ~backend:B.Native scheme in
+        Alcotest.(check (list int)) "trace" sim_trace nat_trace;
+        check_string "counters" sim_ctr nat_ctr))
+    Harness.Registry.names
+  @ [
+      tc "stack round-trip is backend-independent" (fun () ->
+          Alcotest.(check (list int))
+            "drain" (stack_roundtrip ~backend:B.Sim)
+            (stack_roundtrip ~backend:B.Native));
+    ]
+
+(* The acceptance property of the native backend: a full manager
+   workload crosses ZERO scheduling points, while the same workload on
+   the sim backend crosses one per primitive. *)
+let hook_workload ~backend =
+  let hits = ref 0 in
+  Atomics.Schedpoint.with_hook
+    (fun () -> incr hits)
+    (fun () ->
+      let cfg =
+        Mm.config ~backend ~threads:2 ~capacity:32 ~num_links:1 ~num_data:1
+          ~num_roots:1 ()
+      in
+      let mm = Harness.Registry.instantiate "wfrc" cfg in
+      let root = Arena.root_addr (Mm.arena mm) 0 in
+      Mm.enter_op mm ~tid:0;
+      for _ = 1 to 50 do
+        let p = Mm.alloc mm ~tid:0 in
+        Mm.store_link mm ~tid:0 root p;
+        let q = Mm.deref mm ~tid:0 root in
+        Mm.release mm ~tid:0 q;
+        ignore (Mm.cas_link mm ~tid:0 root ~old:p ~nw:Value.null);
+        Mm.release mm ~tid:0 p;
+        Mm.terminate mm ~tid:0 p
+      done;
+      Mm.exit_op mm ~tid:0);
+  !hits
+
+let hook_tests =
+  [
+    tc "native manager performs zero hook dispatches" (fun () ->
+        check_int "hits" 0 (hook_workload ~backend:B.Native));
+    tc "sim manager crosses a scheduling point per primitive" (fun () ->
+        check_bool "hits > 1000"
+          true
+          (hook_workload ~backend:B.Sim > 1000));
+    tc "native backoff never consults the hook" (fun () ->
+        let hits = ref 0 in
+        Atomics.Schedpoint.with_hook
+          (fun () -> incr hits)
+          (fun () ->
+            let b = Atomics.Backoff.create ~backend:B.Native () in
+            for _ = 1 to 10 do
+              Atomics.Backoff.once b
+            done);
+        check_int "hits" 0 !hits);
+  ]
+
+let suite = cell_tests @ equivalence_tests @ hook_tests

@@ -36,7 +36,7 @@ let layout_tests =
 
 let mk_arena ?(capacity = 8) ?(num_roots = 3) () =
   let layout = Layout.create ~num_links:2 ~num_data:2 in
-  Arena.create ~layout ~capacity ~num_roots
+  Arena.create ~layout ~capacity ~num_roots ()
 
 let arena_tests =
   [
@@ -124,8 +124,8 @@ let arena_tests =
         check_int "net" 2 (Arena.read_mm_ref a p));
     tc "invalid creation rejected" (fun () ->
         let layout = Layout.create ~num_links:0 ~num_data:0 in
-        fails_with (fun () -> Arena.create ~layout ~capacity:0 ~num_roots:0);
-        fails_with (fun () -> Arena.create ~layout ~capacity:4 ~num_roots:(-1)));
+        fails_with (fun () -> Arena.create ~layout ~capacity:0 ~num_roots:0 ());
+        fails_with (fun () -> Arena.create ~layout ~capacity:4 ~num_roots:(-1) ()));
   ]
 
 let prop_tests =

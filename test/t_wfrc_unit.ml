@@ -277,7 +277,7 @@ let link_tests =
 let ann_tests =
   [
     tc "choose_slot returns a busy-free slot" (fun () ->
-        let ann = Ann.create ~threads:3 in
+        let ann = Ann.create ~threads:3 () in
         check_int "first free" 0 (Ann.choose_slot ann ~tid:1);
         Ann.busy_incr ann ~id:1 ~slot:0;
         check_int "skips busy" 1 (Ann.choose_slot ann ~tid:1);
@@ -285,13 +285,13 @@ let ann_tests =
         check_int "freed again" 0 (Ann.choose_slot ann ~tid:1));
     tc "choose_slot fails when all slots busy (invariant breach)"
       (fun () ->
-        let ann = Ann.create ~threads:2 in
+        let ann = Ann.create ~threads:2 () in
         Ann.busy_incr ann ~id:0 ~slot:0;
         Ann.busy_incr ann ~id:0 ~slot:1;
         fails_with ~substring:"no free slot" (fun () ->
             Ann.choose_slot ann ~tid:0));
     tc "announce/retract roundtrip" (fun () ->
-        let ann = Ann.create ~threads:2 in
+        let ann = Ann.create ~threads:2 () in
         Ann.set_index ann ~tid:0 1;
         Ann.announce ann ~tid:0 ~slot:1 42;
         check_int "visible" (Value.enc_link 42) (Ann.read_slot ann ~id:0 ~slot:1);
@@ -300,7 +300,7 @@ let ann_tests =
         check_int "got own link back" (Value.enc_link 42) w;
         check_int "cleared" 0 (Ann.read_slot ann ~id:0 ~slot:1));
     tc "answer_cas answers exactly once" (fun () ->
-        let ann = Ann.create ~threads:2 in
+        let ann = Ann.create ~threads:2 () in
         Ann.set_index ann ~tid:0 0;
         Ann.announce ann ~tid:0 ~slot:0 7;
         check_bool "first answer lands" true
@@ -310,14 +310,14 @@ let ann_tests =
         let w = Ann.retract ann ~tid:0 ~slot:0 in
         check_int "owner sees the answer" (Value.of_handle 3) w);
     tc "answer for a different link is refused" (fun () ->
-        let ann = Ann.create ~threads:2 in
+        let ann = Ann.create ~threads:2 () in
         Ann.set_index ann ~tid:0 0;
         Ann.announce ann ~tid:0 ~slot:0 7;
         check_bool "wrong link" false
           (Ann.answer_cas ann ~id:0 ~slot:0 ~link:8 (Value.of_handle 3));
         ignore (Ann.retract ann ~tid:0 ~slot:0));
     tc "validate detects leftover busy" (fun () ->
-        let ann = Ann.create ~threads:2 in
+        let ann = Ann.create ~threads:2 () in
         Ann.busy_incr ann ~id:1 ~slot:0;
         fails_with ~substring:"busy" (fun () -> Ann.validate ann));
   ]

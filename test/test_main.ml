@@ -10,6 +10,7 @@ let () =
       ("value", T_value.suite);
       ("shmem", T_shmem.suite);
       ("atomics", T_atomics.suite);
+      ("backend", T_backend.suite);
       ("sched", T_sched.suite);
       ("wfrc-unit", T_wfrc_unit.suite);
       ("wfrc-sim", T_wfrc_sim.suite);
