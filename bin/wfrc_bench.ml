@@ -27,7 +27,8 @@ let run_experiments ids quick csv =
 
 let ids_arg =
   let doc =
-    "Experiment ids (e1 e2 e3 e4 e5 e7 e8 e9 a1 a2 a3), or 'all'."
+    "Experiment ids (e1 e2 e3 e4 e5 e7 e8 e9 e10 e11 e12 e13 a1 a2 a3), or \
+     'all'."
   in
   Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT" ~doc)
 
@@ -96,6 +97,8 @@ let list_cmd =
       ("e9", "ordered-set throughput on all schemes (the §1 boundary)");
       ("e10", "crash tolerance: blocking vs non-blocking (§1)");
       ("e11", "metadata space vs thread count (the O(N^2) pool)");
+      ("e12", "crash tolerance: audited bounded loss vs unbounded leak");
+      ("e13", "stall storm: survivor own-step bounds (wait-freedom)");
       ("a1", "ablation: deref step bound vs thread count");
       ("a2", "ablation: FreeNode placement heuristic (F5-F6)");
       ("a3", "ablation: allocation helping on/off (A11-A15)");

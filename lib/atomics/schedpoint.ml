@@ -14,7 +14,16 @@ let noop () = ()
 
 let hook : (unit -> unit) ref = ref noop
 
-let hit () = !hook ()
+(* Secondary validation hook, run before the scheduling hook on every
+   primitive. The deterministic engine installs a fault-consistency
+   assertion here when a fault plan is active (Sim mode only — native
+   runs never call [hit]); it defaults to a no-op and costs one
+   indirect call otherwise. *)
+let check : (unit -> unit) ref = ref noop
+
+let hit () =
+  !check ();
+  !hook ()
 
 let install f = hook := f
 
@@ -24,5 +33,10 @@ let with_hook f body =
   let saved = !hook in
   hook := f;
   Fun.protect ~finally:(fun () -> hook := saved) body
+
+let with_check f body =
+  let saved = !check in
+  check := f;
+  Fun.protect ~finally:(fun () -> check := saved) body
 
 let is_installed () = !hook != noop

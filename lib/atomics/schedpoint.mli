@@ -19,5 +19,12 @@ val with_hook : (unit -> unit) -> (unit -> 'a) -> 'a
 (** [with_hook f body] runs [body] with [f] installed, restoring the
     previous hook afterwards (also on exceptions). *)
 
+val with_check : (unit -> unit) -> (unit -> 'a) -> 'a
+(** [with_check f body] runs [body] with [f] installed as a secondary
+    validation hook invoked before the scheduling hook on every
+    primitive. The deterministic engine uses this for Sim-mode fault
+    checks (asserting the executing fiber is the one it resumed);
+    restores the previous check afterwards (also on exceptions). *)
+
 val is_installed : unit -> bool
 (** [is_installed ()] is [true] iff a non-default hook is active. *)

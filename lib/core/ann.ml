@@ -84,6 +84,22 @@ let busy_decr t ~id ~slot = ignore (B.faa t.backend t.busy.(id).(slot) (-1))
 let answer_cas t ~id ~slot ~link node =
   B.cas t.backend t.read_addr.(id).(slot) ~old:(Value.enc_link link) ~nw:node
 
+(* Tolerant sweep for the post-run auditor: every slot still holding a
+   helper's node-pointer answer. A crashed owner never retracts, so
+   the answer keeps a +1 mm_ref contribution alive (H6 gave the node a
+   reference on the announcer's behalf) — the auditor attributes such
+   nodes to the crashed thread. Announcement encodings (negative) and
+   empty slots are skipped; never raises. *)
+let answers t =
+  let acc = ref [] in
+  for id = t.n - 1 downto 0 do
+    for s = t.n - 1 downto 0 do
+      let v = Atomic.get t.read_addr.(id).(s) in
+      if v > 0 then acc := (id, Value.unmark v) :: !acc
+    done
+  done;
+  !acc
+
 (* Quiescent checks ------------------------------------------------- *)
 
 let validate t =

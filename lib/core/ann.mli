@@ -45,5 +45,11 @@ val busy_decr : t -> id:int -> slot:int -> unit
 val answer_cas : t -> id:int -> slot:int -> link:Shmem.Value.addr -> int -> bool
 (** Line H6: try to replace the announced link with the answer. *)
 
+val answers : t -> (int * Shmem.Value.ptr) list
+(** Tolerant sweep for the auditor: [(owner_tid, node)] for every slot
+    still holding a helper's node-pointer answer (mark stripped). A
+    crashed owner never retracts, leaving the answer's reference
+    pinned. Never raises. *)
+
 val validate : t -> unit
 (** Quiescent check: all busy counts and announcements cleared. *)

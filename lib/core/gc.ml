@@ -329,6 +329,48 @@ let free_count t =
   Array.iter (fun b -> if b then incr c) seen;
   !c
 
+(* Tolerant variant of [free_set] for the post-run auditor
+   ([Mm_intf.custody]): never raises, reporting structural damage as
+   violation strings instead. AnnAlloc donations are [pending] under
+   the cell's owner (only that thread's A4 can collect them), and
+   unretracted announcement answers are [pinned] by the announcing
+   thread — both exactly what a crashed thread strands. *)
+let custody t =
+  let cap = t.cfg.capacity in
+  let free = Array.make (cap + 1) false in
+  let violations = ref [] in
+  let violation fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  Array.iteri
+    (fun i head ->
+      let rec walk p steps =
+        if steps > cap then violation "cycle in freeList[%d]" i
+        else if not (Value.is_null p) then begin
+          let h = Value.handle p in
+          if free.(h) then violation "node #%d on two free chains" h
+          else begin
+            free.(h) <- true;
+            walk (Arena.read_mm_next t.arena p) (steps + 1)
+          end
+        end
+      in
+      walk (B.read t.backend head) 0)
+    t.free_list;
+  let pending = ref [] in
+  Array.iteri
+    (fun i cell ->
+      let p = B.read t.backend cell in
+      if not (Value.is_null p) then begin
+        let h = Value.handle p in
+        if free.(h) then violation "annAlloc[%d] node #%d also on a free chain" i h
+        else pending := (i, h) :: !pending
+      end)
+    t.ann_alloc;
+  let pinned =
+    List.map (fun (tid, p) -> (tid, Value.handle p)) (Ann.answers t.ann)
+  in
+  Mm_intf.
+    { free; pending = !pending; pinned; violations = List.rev !violations }
+
 let validate t =
   Ann.validate t.ann;
   let seen = free_set t in

@@ -59,6 +59,13 @@ val free_set : t -> bool array
     [Failure _] on malformed chains. *)
 
 val free_count : t -> int
+
+val custody : t -> Mm_intf.custody
+(** Tolerant accounting snapshot for the auditor: free chains walked
+    defensively (damage reported in [violations], never raised),
+    [annAlloc] donations as [pending] under the cell owner,
+    unretracted announcement answers as [pinned] by the announcer. *)
+
 val validate : t -> unit
 (** Quiescent structural invariants: announcement pool clear, free
     chains acyclic with [mm_ref = 1], donated nodes with [mm_ref = 3],

@@ -13,6 +13,7 @@ module Ann = Ann
 type t = Gc.t
 
 let name = "wfrc"
+let refcounted = true
 let create cfg = Gc.create cfg
 let config = Gc.config
 let arena = Gc.arena
@@ -64,6 +65,7 @@ let terminate _t ~tid:_ _p = ()
 
 let validate = Gc.validate
 let free_count = Gc.free_count
+let custody = Gc.custody
 
 (* Sentinels need no special handling under reference counting: the
    creator simply keeps the allocation reference forever. *)

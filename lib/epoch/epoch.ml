@@ -41,6 +41,7 @@ type t = {
 }
 
 let name = "ebr"
+let refcounted = false
 let config t = t.cfg
 let arena t = t.arena
 let counters t = t.ctr
@@ -236,6 +237,47 @@ let free_count t =
   let c = ref 0 in
   Array.iter (fun b -> if b then incr c) seen;
   !c
+
+(* Tolerant snapshot for the auditor. Limbo bags are [pending] under
+   their owner: only that thread's [collect] empties them, so a
+   crashed owner strands every bag generation — and worse, if it
+   crashed inside the bracket ([active] still 1) the global epoch can
+   never advance again and {e every} thread's bags jam. That unbounded
+   loss is the E12 comparison point. Nothing is [pinned] node-wise:
+   epochs protect eras, not individual nodes. *)
+let custody t =
+  let cap = t.cfg.capacity in
+  let free = Array.make (cap + 1) false in
+  let violations = ref [] in
+  let rec walk p steps =
+    if steps > cap then violations := "cycle in free pool" :: !violations
+    else if not (Value.is_null p) then begin
+      let h = Value.handle p in
+      if free.(h) then
+        violations :=
+          Printf.sprintf "node #%d in the pool twice" h :: !violations
+      else begin
+        free.(h) <- true;
+        walk (Arena.read_mm_next t.arena p) (steps + 1)
+      end
+    end
+  in
+  walk (Value.stamped_ptr (B.read t.backend t.head)) 0;
+  let pending = ref [] in
+  Array.iteri
+    (fun tid pt ->
+      Array.iter
+        (List.iter (fun p ->
+             let h = Value.handle p in
+             if free.(h) then
+               violations :=
+                 Printf.sprintf "bagged node #%d also in the pool" h
+                 :: !violations
+             else pending := (tid, h) :: !pending))
+        pt.bags)
+    t.threads;
+  Mm_intf.
+    { free; pending = !pending; pinned = []; violations = List.rev !violations }
 
 let validate t =
   ignore (free_set t);

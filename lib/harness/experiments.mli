@@ -93,6 +93,32 @@ val e11 : ?threads_list:int list -> unit -> report
 (** Scheme metadata space (words) vs thread count: the O(N{^2})
     announcement-pool cost of wait-freedom, made explicit. *)
 
+val e12 :
+  ?schemes:string list ->
+  ?ops_list:int list ->
+  ?seeds:int ->
+  ?seed:int ->
+  unit ->
+  report
+(** Bounded loss under a crashed thread ({!Sched.Fault} + {!Audit}):
+    one thread is crashed mid-operation without unwinding; after the
+    survivors drain, the auditor partitions every node. WFRC strands a
+    flat, envelope-bounded set; EBR's loss grows with survivor work
+    until the arena is exhausted. *)
+
+val e13 :
+  ?schemes:string list ->
+  ?ks:int list ->
+  ?ops:int ->
+  ?seeds:int ->
+  ?seed:int ->
+  unit ->
+  report
+(** Stall storm: k of N threads freeze for a fixed window; survivors'
+    per-operation own-step costs are metered ({!Audit.Steps}) and the
+    run is audited once everyone resumes and finishes. The empirical
+    wait-freedom-bound experiment. *)
+
 val a1 : ?threads_list:int list -> ?seeds:int -> ?seed:int -> unit -> report
 (** Ablation: deref step bound vs thread count (O(N) scans). *)
 

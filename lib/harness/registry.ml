@@ -13,8 +13,13 @@ let all : (string * (module Mm_intf.S)) list =
 let names = List.map fst all
 
 (* Schemes that support arbitrary (multi-link) structures — the
-   reference-counting ones; see the paper's §1 and Pqueue's doc. *)
-let rc_names = [ "wfrc"; "lfrc"; "lockrc" ]
+   reference-counting ones; see the paper's §1 and Pqueue's doc.
+   Derived from each scheme's own flag so a new scheme cannot fall out
+   of sync with the structure-compatibility lists. *)
+let rc_names =
+  List.filter_map
+    (fun (n, (module M : Mm_intf.S)) -> if M.refcounted then Some n else None)
+    all
 
 let find name =
   match List.assoc_opt name all with

@@ -45,6 +45,7 @@ type t = {
 }
 
 let name = "hp"
+let refcounted = false
 let config t = t.cfg
 let arena t = t.arena
 let counters t = t.ctr
@@ -296,6 +297,57 @@ let free_count t =
   let c = ref 0 in
   Array.iter (fun b -> if b then incr c) seen;
   !c
+
+(* Tolerant snapshot for the auditor. [free] covers only the pool:
+   retired nodes are [pending] under their retiring thread (a crashed
+   owner strands its whole backlog — exactly the hazard-pointer
+   failure mode the paper contrasts with); published hazard slots are
+   [pinned] (a crashed thread never clears them, blocking every
+   scanner forever). *)
+let custody t =
+  let cap = t.cfg.capacity in
+  let free = Array.make (cap + 1) false in
+  let violations = ref [] in
+  let rec walk p steps =
+    if steps > cap then violations := "cycle in free pool" :: !violations
+    else if not (Value.is_null p) then begin
+      let h = Value.handle p in
+      if free.(h) then
+        violations :=
+          Printf.sprintf "node #%d in the pool twice" h :: !violations
+      else begin
+        free.(h) <- true;
+        walk (Arena.read_mm_next t.arena p) (steps + 1)
+      end
+    end
+  in
+  walk (Value.stamped_ptr (B.read t.backend t.head)) 0;
+  let pending = ref [] and pinned = ref [] in
+  Array.iteri
+    (fun tid pt ->
+      List.iter
+        (fun p ->
+          let h = Value.handle p in
+          if free.(h) then
+            violations :=
+              Printf.sprintf "retired node #%d also in the pool" h
+              :: !violations
+          else pending := (tid, h) :: !pending)
+        pt.retired;
+      Array.iter
+        (fun cell ->
+          let v = B.read t.backend cell in
+          if not (Value.is_null v) then
+            pinned := (tid, Value.handle v) :: !pinned)
+        pt.slots)
+    t.threads;
+  Mm_intf.
+    {
+      free;
+      pending = !pending;
+      pinned = !pinned;
+      violations = List.rev !violations;
+    }
 
 let validate t =
   ignore (free_set t);

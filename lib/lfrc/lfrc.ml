@@ -30,6 +30,7 @@ type t = {
 }
 
 let name = "lfrc"
+let refcounted = true
 let config t = t.cfg
 let arena t = t.arena
 let counters t = t.ctr
@@ -200,6 +201,29 @@ let free_count t =
   let c = ref 0 in
   Array.iter (fun b -> if b then incr c) seen;
   !c
+
+(* Tolerant snapshot for the auditor: same walk as [free_set] but
+   damage goes to [violations] instead of raising. The scheme has no
+   per-thread custody (no retired lists, no announcements). *)
+let custody t =
+  let cap = t.cfg.capacity in
+  let free = Array.make (cap + 1) false in
+  let violations = ref [] in
+  let rec walk p steps =
+    if steps > cap then violations := "cycle in free-list" :: !violations
+    else if not (Value.is_null p) then begin
+      let h = Value.handle p in
+      if free.(h) then
+        violations :=
+          Printf.sprintf "node #%d on the free-list twice" h :: !violations
+      else begin
+        free.(h) <- true;
+        walk (Arena.read_mm_next t.arena p) (steps + 1)
+      end
+    end
+  in
+  walk (Value.stamped_ptr (B.read t.backend t.head)) 0;
+  Mm_intf.{ free; pending = []; pinned = []; violations = List.rev !violations }
 
 let validate t =
   let seen = free_set t in

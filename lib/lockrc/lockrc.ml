@@ -29,6 +29,7 @@ type t = {
 }
 
 let name = "lockrc"
+let refcounted = true
 let config t = t.cfg
 let arena t = t.arena
 let counters t = t.ctr
@@ -178,6 +179,31 @@ let free_count t =
   let c = ref 0 in
   Array.iter (fun b -> if b then incr c) seen;
   !c
+
+(* Tolerant snapshot for the auditor. A crashed thread may have died
+   holding the lock; that is a liveness disaster for survivors but not
+   custody of any node, so it surfaces as a violation string only. *)
+let custody t =
+  let cap = t.cfg.capacity in
+  let free = Array.make (cap + 1) false in
+  let violations = ref [] in
+  if B.read t.backend t.lock <> 0 then
+    violations := "lock held at quiescence" :: !violations;
+  let rec walk p steps =
+    if steps > cap then violations := "cycle in free-list" :: !violations
+    else if not (Value.is_null p) then begin
+      let h = Value.handle p in
+      if free.(h) then
+        violations :=
+          Printf.sprintf "node #%d on the free-list twice" h :: !violations
+      else begin
+        free.(h) <- true;
+        walk (Arena.read_mm_next t.arena p) (steps + 1)
+      end
+    end
+  in
+  walk (B.read t.backend t.free_head) 0;
+  Mm_intf.{ free; pending = []; pinned = []; violations = List.rev !violations }
 
 let validate t =
   if B.read t.backend t.lock <> 0 then

@@ -38,11 +38,41 @@ let config ?(num_links = 0) ?(num_data = 0) ?(num_roots = 0)
   if capacity < 1 then invalid_arg "Mm_intf.config: capacity";
   { threads; capacity; num_links; num_data; num_roots; backend }
 
+(* Fault-tolerant accounting snapshot for the post-run auditor
+   (Harness.Audit). Unlike [validate]/[free_count] the [custody]
+   accessor must never raise — structural damage is reported in
+   [violations] — so it can be taken after a run in which threads
+   crashed or were abandoned mid-operation and left announcements,
+   hazard slots or half-pushed free-list nodes behind. *)
+type custody = {
+  free : bool array;
+      (* indexed by node handle 1..capacity (slot 0 unused): the node
+         is in a free store and immediately allocatable *)
+  pending : (int * int) list;
+      (* (tid, handle): in allocator custody but parked under that
+         thread — annAlloc donations (wfrc), retired lists (hp),
+         limbo bags (ebr). Reclaimable only through that thread, so a
+         crashed owner strands them. *)
+  pinned : (int * int) list;
+      (* (tid, handle): protection published by that thread which
+         blocks reclamation — hazard slots (hp), unretracted
+         announcement answers (wfrc) *)
+  violations : string list;
+      (* structural damage found while walking (cycles, double
+         custody); empty on a healthy snapshot *)
+}
+
 module type S = sig
   type t
 
   val name : string
   (** Short scheme identifier used in reports ("wfrc", "lfrc", ...). *)
+
+  val refcounted : bool
+  (** Whether the scheme tracks per-node reference counts in the
+      arena's [mm_ref] word with the shared two-units-per-reference
+      convention (wfrc/lfrc/lockrc). The auditor only runs refcount
+      conservation checks on such schemes. *)
 
   val create : config -> t
   (** Build the manager; all [capacity] nodes start free. *)
@@ -113,6 +143,11 @@ module type S = sig
   val free_count : t -> int
   (** Quiescent count of nodes currently free (reachable by the
       allocator). For conservation tests. *)
+
+  val custody : t -> custody
+  (** Quiescent custody snapshot for the auditor. Never raises, even
+      when crashed threads left the scheme's metadata non-quiescent
+      (live announcements, published hazards, a held lock). *)
 end
 
 (* First-class packaging so the harness can treat schemes uniformly. *)
@@ -153,3 +188,5 @@ let terminate (module I : INSTANCE) ~tid p = I.M.terminate I.it ~tid p
 let make_immortal (module I : INSTANCE) ~tid p = I.M.make_immortal I.it ~tid p
 let validate (module I : INSTANCE) = I.M.validate I.it
 let free_count (module I : INSTANCE) = I.M.free_count I.it
+let custody (module I : INSTANCE) = I.M.custody I.it
+let refcounted (module I : INSTANCE) = I.M.refcounted

@@ -9,6 +9,22 @@
    the next step, so any interleaving of primitives can be produced
    and reproduced exactly.
 
+   Fault plans ([Fault.plan]) are interpreted here:
+   - a crashed fiber's state becomes [Dead] at its crash step: it is
+     dropped from the runnable set *without being unwound*, so
+     whatever announcements/hazards/references it held stay in place
+     (the paper's stopped-process model). Crashed tids are removed
+     from the quorum automatically.
+   - a stalled fiber is withheld from the policy during its window;
+     if every live fiber is stalled at once, the engine lets the step
+     clock tick idly (no fiber runs, nothing is recorded in the
+     schedule) until a window expires. Idle ticks count against
+     [max_steps].
+   When a plan is active the engine additionally installs a
+   [Schedpoint] check asserting that the fiber executing a primitive
+   is the one it resumed — a cheap Sim-mode guard that the fault
+   bookkeeping and the policy agree.
+
    Only one run may be active at a time (single global hook); this is
    enforced with [running]. *)
 
@@ -26,6 +42,10 @@ type state =
   | Running
   | Finished
   | Failed of exn
+  | Dead
+      (* crashed by a fault plan: never resumed, never unwound, its
+         continuation dropped with all its shared-memory footprint
+         left as-is *)
 
 type outcome = {
   steps : int array;
@@ -36,21 +56,31 @@ type outcome = {
 let cur_tid = ref (-1)
 let cur_step = ref 0
 let running = ref false
+let live_steps = ref [||]
 
 let current_tid () = !cur_tid
 let now () = !cur_step
 let active () = !running
 
+let steps_of tid =
+  let s = !live_steps in
+  if tid < 0 || tid >= Array.length s then
+    invalid_arg "Engine.steps_of: tid out of range"
+  else s.(tid)
+
 (* [quorum] (default: everyone) is the set of fibers whose completion
-   ends the run; the rest may be abandoned mid-operation — the model
-   of a crashed/stopped process used by the fault-tolerance
-   experiments (E10). Combine with [Policy.crashed] so abandoned
-   fibers are never scheduled. *)
-let run ?(max_steps = 2_000_000) ?quorum ~threads ~policy body =
+   ends the run; the rest may be abandoned mid-operation. Crashed tids
+   from [faults] are always excluded from the quorum. The pre-fault
+   way to model crashes — [Policy.crashed] plus an explicit partial
+   [quorum] — still works and is kept for the older experiments. *)
+let run ?(max_steps = 2_000_000) ?quorum ?(faults = []) ~threads ~policy body
+    =
   if threads <= 0 then invalid_arg "Engine.run: threads";
   if !running then invalid_arg "Engine.run: nested runs are not supported";
+  Fault.validate ~threads faults;
   let states = Array.init threads (fun i -> Not_started (fun () -> body i)) in
   let steps = Array.make threads 0 in
+  live_steps := steps;
   let sched_rev = ref [] in
   let handler tid =
     {
@@ -79,15 +109,27 @@ let run ?(max_steps = 2_000_000) ?quorum ~threads ~policy body =
           tids;
         q
   in
+  List.iter (fun tid -> quorum.(tid) <- false) (Fault.crashed_tids faults);
   let quorum_done () =
     let all = ref true in
     for i = 0 to threads - 1 do
       if quorum.(i) then
         match states.(i) with
-        | Finished | Failed _ -> ()
+        | Finished | Failed _ | Dead -> ()
         | Not_started _ | Suspended _ | Running -> all := false
     done;
     !all
+  in
+  (* Mark fibers whose crash step has been reached: drop them from the
+     runnable set without resuming (= without unwinding) them. *)
+  let mark_dead () =
+    for tid = 0 to threads - 1 do
+      if Fault.dead_at faults ~step:!cur_step ~tid then
+        match states.(tid) with
+        | Not_started _ | Suspended _ -> states.(tid) <- Dead
+        | Running -> assert false
+        | Finished | Failed _ | Dead -> ()
+    done
   in
   let runnable () =
     let acc = ref [] in
@@ -95,11 +137,24 @@ let run ?(max_steps = 2_000_000) ?quorum ~threads ~policy body =
       match states.(i) with
       | Not_started _ | Suspended _ -> acc := i :: !acc
       | Running -> assert false
-      | Finished | Failed _ -> ()
+      | Finished | Failed _ | Dead -> ()
     done;
     !acc
   in
   let yield () = perform Yield in
+  (* Sim-mode fault check: a primitive must only ever be executed by
+     the fiber the engine just resumed. Catches fault-bookkeeping or
+     policy-wrapper bugs at the earliest possible point. *)
+  let fault_check () =
+    if !cur_tid >= 0 then
+      match states.(!cur_tid) with
+      | Running -> ()
+      | _ ->
+          failwith
+            (Printf.sprintf
+               "Engine: fiber %d executed a primitive while not Running"
+               !cur_tid)
+  in
   (* All argument validation is done; from here on, [running] is
      always reset on every exit path. *)
   running := true;
@@ -109,33 +164,62 @@ let run ?(max_steps = 2_000_000) ?quorum ~threads ~policy body =
     running := false;
     cur_tid := -1
   in
+  let with_fault_check body =
+    if faults = [] then body ()
+    else Atomics.Schedpoint.with_check fault_check body
+  in
   (try
-     Atomics.Schedpoint.with_hook yield (fun () ->
-         let rec loop () =
-           if quorum_done () then ()
-           else
-           match runnable () with
-           | [] -> ()
-           | rs ->
-               if !cur_step >= max_steps then raise Out_of_steps;
-               let tid = Policy.next policy ~runnable:rs ~step:!cur_step in
-               if not (List.mem tid rs) then
-                 invalid_arg "Engine.run: policy chose a non-runnable tid";
-               cur_tid := tid;
-               incr cur_step;
-               steps.(tid) <- steps.(tid) + 1;
-               sched_rev := tid :: !sched_rev;
-               (match states.(tid) with
-               | Not_started f ->
-                   states.(tid) <- Running;
-                   match_with f () (handler tid)
-               | Suspended k ->
-                   states.(tid) <- Running;
-                   continue k ()
-               | Running | Finished | Failed _ -> assert false);
-               loop ()
-         in
-         loop ())
+     with_fault_check (fun () ->
+         Atomics.Schedpoint.with_hook yield (fun () ->
+             let rec loop () =
+               if quorum_done () then ()
+               else begin
+                 if faults <> [] then mark_dead ();
+                 match runnable () with
+                 | [] -> ()
+                 | rs -> (
+                     if !cur_step >= max_steps then raise Out_of_steps;
+                     let avail =
+                       if faults = [] then rs
+                       else
+                         List.filter
+                           (fun tid ->
+                             not
+                               (Fault.stalled_at faults ~step:!cur_step ~tid))
+                           rs
+                     in
+                     match avail with
+                     | [] ->
+                         (* Every live fiber is inside a stall window:
+                            nothing can run, but time still passes —
+                            tick the clock until a window expires. *)
+                         incr cur_step;
+                         loop ()
+                     | avail ->
+                         let tid =
+                           Policy.next policy ~runnable:avail ~step:!cur_step
+                         in
+                         if not (List.mem tid avail) then
+                           invalid_arg
+                             "Engine.run: policy chose a non-runnable tid";
+                         cur_tid := tid;
+                         incr cur_step;
+                         steps.(tid) <- steps.(tid) + 1;
+                         sched_rev := tid :: !sched_rev;
+                         (match states.(tid) with
+                         | Not_started f ->
+                             states.(tid) <- Running;
+                             match_with f () (handler tid)
+                         | Suspended k ->
+                             states.(tid) <- Running;
+                             continue k ()
+                         | Running | Finished | Failed _ | Dead ->
+                             assert false);
+                         cur_tid := -1;
+                         loop ())
+               end
+             in
+             loop ()))
    with e ->
      finish ();
      raise e);

@@ -16,12 +16,16 @@ exception Out_of_steps
 type outcome = {
   steps : int array;       (** scheduling steps granted to each tid *)
   total_steps : int;
-  schedule : int array;    (** the tid chosen at each step, replayable *)
+      (** all clock ticks, including idle ticks spent while every live
+          fiber was stalled by a fault plan *)
+  schedule : int array;    (** the tid chosen at each step, replayable;
+                               idle ticks are not recorded *)
 }
 
 val run :
   ?max_steps:int ->
   ?quorum:int list ->
+  ?faults:Fault.plan ->
   threads:int ->
   policy:Policy.t ->
   (int -> unit) ->
@@ -30,9 +34,17 @@ val run :
     as fibers under [policy]. Runs until every fiber in [quorum]
     (default: all) has completed; the rest may be abandoned
     mid-operation — the crashed-process model of the fault-tolerance
-    experiments. Pair a partial quorum with {!Policy.crashed} so the
-    abandoned fibers are never scheduled. Raises {!Fiber_failed} if
-    any scheduled fiber raised. Not reentrant. *)
+    experiments. Raises {!Fiber_failed} if any scheduled fiber raised.
+    Not reentrant.
+
+    [faults] (default: none) is interpreted by the engine: a crashed
+    fiber is marked dead at its crash step without being unwound (its
+    shared-memory footprint stays in place) and is automatically
+    excluded from the quorum; a stalled fiber is withheld from the
+    policy during its window, with the step clock ticking idly if
+    every live fiber is stalled at once. The pre-fault idiom —
+    {!Policy.crashed} plus an explicit partial [quorum] — remains
+    supported. *)
 
 val current_tid : unit -> int
 (** The tid of the fiber currently executing (valid inside a run). *)
@@ -40,6 +52,11 @@ val current_tid : unit -> int
 val now : unit -> int
 (** The current global step number (valid inside a run); used as the
     logical clock for history recording. *)
+
+val steps_of : int -> int
+(** Scheduling steps granted to one tid so far in the current (or most
+    recent) run — the unit of the paper's per-thread wait-freedom
+    bounds, as sampled mid-run by {!Harness.Audit.Steps}. *)
 
 val active : unit -> bool
 (** Whether a run is in progress. *)

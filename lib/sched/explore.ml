@@ -26,10 +26,12 @@ let record taken policy =
       taken := c :: !taken;
       c)
 
-let run_one ~max_steps ~threads ~policy mk =
+let run_one ?(faults = []) ~max_steps ~threads ~policy mk =
   let taken = ref [] in
   let body, check = mk () in
-  match Engine.run ~max_steps ~threads ~policy:(record taken policy) body with
+  match
+    Engine.run ~max_steps ~faults ~threads ~policy:(record taken policy) body
+  with
   | _outcome -> (
       match check () with
       | () -> None
@@ -37,7 +39,8 @@ let run_one ~max_steps ~threads ~policy mk =
           Some { schedule = Array.of_list (List.rev !taken); exn = e })
   | exception e -> Some { schedule = Array.of_list (List.rev !taken); exn = e }
 
-let exhaustive ?(max_steps = 100_000) ?(max_schedules = 100_000) ~threads mk =
+let exhaustive ?(max_steps = 100_000) ?(max_schedules = 100_000)
+    ?(faults = []) ~threads mk =
   let pending = Stack.create () in
   Stack.push [] pending;
   let count = ref 0 in
@@ -74,7 +77,7 @@ let exhaustive ?(max_steps = 100_000) ?(max_schedules = 100_000) ~threads mk =
             choice)
       in
       let body, check = mk () in
-      match Engine.run ~max_steps ~threads ~policy body with
+      match Engine.run ~max_steps ~faults ~threads ~policy body with
       | _outcome -> (
           match check () with
           | () -> ()
@@ -92,18 +95,19 @@ let exhaustive ?(max_steps = 100_000) ?(max_schedules = 100_000) ~threads mk =
     failure = !failure;
   }
 
-let random_sweep ?(max_steps = 2_000_000) ~threads ~runs ~seed mk =
+let random_sweep ?(max_steps = 2_000_000) ?(faults = []) ~threads ~runs ~seed
+    mk =
   let failure = ref None in
   let i = ref 0 in
   while !i < runs && !failure = None do
     let policy = Policy.random ~seed:(seed + !i) in
-    failure := run_one ~max_steps ~threads ~policy mk;
+    failure := run_one ~faults ~max_steps ~threads ~policy mk;
     incr i
   done;
   { schedules_run = !i; exhausted = false; failure = !failure }
 
-let replay ?(max_steps = 2_000_000) ~threads ~schedule mk =
-  run_one ~max_steps ~threads ~policy:(Policy.replay schedule) mk
+let replay ?(max_steps = 2_000_000) ?(faults = []) ~threads ~schedule mk =
+  run_one ~faults ~max_steps ~threads ~policy:(Policy.replay schedule) mk
 
 (* Counterexample minimisation: delta-debug a failing schedule down to
    a locally minimal one. Works because the replay policy falls back
@@ -111,8 +115,11 @@ let replay ?(max_steps = 2_000_000) ~threads ~schedule mk =
    subsequence of a schedule is itself a complete, runnable schedule.
    Each candidate is verified by a full replay, so the result is a
    real failing schedule, just shorter. *)
-let shrink ?(max_steps = 2_000_000) ~threads ~schedule mk =
-  let fails sched = run_one ~max_steps ~threads ~policy:(Policy.replay sched) mk <> None in
+let shrink ?(max_steps = 2_000_000) ?(faults = []) ~threads ~schedule mk =
+  let fails sched =
+    run_one ~faults ~max_steps ~threads ~policy:(Policy.replay sched) mk
+    <> None
+  in
   if not (fails schedule) then None
   else begin
     let cur = ref schedule in

@@ -2,7 +2,14 @@
 
     Programs are supplied as a factory [mk : unit -> body * check] so
     each schedule runs against a fresh instance; [check] is called
-    after the run and signals a violation by raising. *)
+    after the run and signals a violation by raising.
+
+    Every entry point accepts a [?faults] plan ({!Fault.plan}),
+    interpreted by the engine on each run: exploration then quantifies
+    over the schedules of the {e surviving} threads, and a recorded
+    counterexample replayed under the same plan reproduces the same
+    execution exactly (fault timing is keyed to the global step clock,
+    which replays deterministically). *)
 
 type failure = { schedule : int array; exn : exn }
 
@@ -17,6 +24,7 @@ type result = {
 val exhaustive :
   ?max_steps:int ->
   ?max_schedules:int ->
+  ?faults:Fault.plan ->
   threads:int ->
   (unit -> (int -> unit) * (unit -> unit)) ->
   result
@@ -25,6 +33,7 @@ val exhaustive :
 
 val random_sweep :
   ?max_steps:int ->
+  ?faults:Fault.plan ->
   threads:int ->
   runs:int ->
   seed:int ->
@@ -35,6 +44,7 @@ val random_sweep :
 
 val replay :
   ?max_steps:int ->
+  ?faults:Fault.plan ->
   threads:int ->
   schedule:int array ->
   (unit -> (int -> unit) * (unit -> unit)) ->
@@ -43,6 +53,7 @@ val replay :
 
 val shrink :
   ?max_steps:int ->
+  ?faults:Fault.plan ->
   threads:int ->
   schedule:int array ->
   (unit -> (int -> unit) * (unit -> unit)) ->

@@ -1,0 +1,128 @@
+(* Declarative fault plans for the deterministic scheduler.
+
+   The paper's system model (§2) assumes fully asynchronous threads:
+   any thread may be delayed indefinitely — or die — between any two
+   of its atomic primitives, and the wait-free bounds are quantified
+   over exactly those schedules. A fault plan makes that adversary a
+   first-class, replayable input:
+
+     Crash {tid; at_step}            the thread is permanently removed
+                                     from the runnable set once the
+                                     global step clock reaches
+                                     [at_step]; it is *not* unwound,
+                                     so its announcements, hazard
+                                     slots and held references stay
+                                     in place — a stopped process.
+     Stall {tid; from_step; duration} a finite freeze: the thread is
+                                     unschedulable during
+                                     [from_step, from_step+duration)
+                                     and resumes afterwards.
+
+   Plans are plain data, so they compose with [Explore]'s schedule
+   enumeration and counterexample replay: the same plan plus the same
+   recorded schedule reproduces the same execution bit-for-bit.
+   [Engine.run ?faults] interprets plans; the helpers here are pure. *)
+
+type event =
+  | Crash of { tid : int; at_step : int }
+  | Stall of { tid : int; from_step : int; duration : int }
+
+type plan = event list
+
+let crash ~tid ~at_step =
+  if tid < 0 then invalid_arg "Fault.crash: negative tid";
+  if at_step < 0 then invalid_arg "Fault.crash: negative at_step";
+  Crash { tid; at_step }
+
+let stall ~tid ~from_step ~duration =
+  if tid < 0 then invalid_arg "Fault.stall: negative tid";
+  if from_step < 0 then invalid_arg "Fault.stall: negative from_step";
+  if duration < 1 then invalid_arg "Fault.stall: duration must be positive";
+  Stall { tid; from_step; duration }
+
+let tid_of = function Crash { tid; _ } | Stall { tid; _ } -> tid
+
+let validate ~threads plan =
+  List.iter
+    (fun ev ->
+      let tid = tid_of ev in
+      if tid < 0 || tid >= threads then
+        invalid_arg
+          (Printf.sprintf "Fault.validate: tid %d out of range [0,%d)" tid
+             threads))
+    plan
+
+let crashed_tids plan =
+  List.sort_uniq compare
+    (List.filter_map
+       (function Crash { tid; _ } -> Some tid | Stall _ -> None)
+       plan)
+
+let survivors ~threads plan =
+  let dead = crashed_tids plan in
+  List.filter (fun t -> not (List.mem t dead)) (List.init threads Fun.id)
+
+let dead_at plan ~step ~tid =
+  List.exists
+    (function
+      | Crash { tid = t; at_step } -> t = tid && at_step <= step
+      | Stall _ -> false)
+    plan
+
+let stalled_at plan ~step ~tid =
+  List.exists
+    (function
+      | Stall { tid = t; from_step; duration } ->
+          t = tid && from_step <= step && step < from_step + duration
+      | Crash _ -> false)
+    plan
+
+(* ---------------- Seeded generators -------------------------------- *)
+
+let pick_victims rng ~threads ~victims ~avoid =
+  let candidates =
+    List.filter (fun t -> not (List.mem t avoid)) (List.init threads Fun.id)
+  in
+  if victims < 0 || victims > List.length candidates then
+    invalid_arg "Fault: victim count exceeds eligible threads";
+  let rec draw acc pool = function
+    | 0 -> List.rev acc
+    | k ->
+        let i = Rng.int rng (List.length pool) in
+        let v = List.nth pool i in
+        draw (v :: acc) (List.filter (fun t -> t <> v) pool) (k - 1)
+  in
+  draw [] candidates victims
+
+let check_window (lo, hi) =
+  if lo < 0 || hi < lo then invalid_arg "Fault: bad step window"
+
+let random_crashes ?(avoid = []) ~seed ~threads ~victims ~window () =
+  check_window window;
+  let lo, hi = window in
+  let rng = Rng.create seed in
+  List.map
+    (fun tid -> crash ~tid ~at_step:(lo + Rng.int rng (hi - lo + 1)))
+    (pick_victims rng ~threads ~victims ~avoid)
+
+let random_stalls ?(avoid = []) ~seed ~threads ~victims ~window ~duration () =
+  check_window window;
+  if duration < 1 then invalid_arg "Fault.random_stalls: duration";
+  let lo, hi = window in
+  let rng = Rng.create seed in
+  List.map
+    (fun tid ->
+      stall ~tid ~from_step:(lo + Rng.int rng (hi - lo + 1)) ~duration)
+    (pick_victims rng ~threads ~victims ~avoid)
+
+let to_string = function
+  | [] -> "none"
+  | plan ->
+      String.concat "+"
+        (List.map
+           (function
+             | Crash { tid; at_step } ->
+                 Printf.sprintf "crash(t%d@%d)" tid at_step
+             | Stall { tid; from_step; duration } ->
+                 Printf.sprintf "stall(t%d@%d+%d)" tid from_step duration)
+           plan)

@@ -1,0 +1,70 @@
+(** Declarative fault plans: the paper's asynchronous-adversary model
+    (threads may be delayed or die between any two primitives) as a
+    first-class, replayable scheduler input.
+
+    A plan is interpreted by [Engine.run ?faults]: a crashed thread is
+    removed from the runnable set at its crash step {e without being
+    unwound} — its announcements, hazard slots and held references
+    stay in place, exactly like a stopped process — and a stalled
+    thread is frozen for a finite window and then resumes. Plans are
+    plain data, so they compose with {!Explore}'s enumeration, random
+    sweeps and counterexample replay. *)
+
+type event =
+  | Crash of { tid : int; at_step : int }
+      (** Permanently unschedulable once the global step clock reaches
+          [at_step]. *)
+  | Stall of { tid : int; from_step : int; duration : int }
+      (** Unschedulable during [from_step, from_step + duration);
+          resumes afterwards. *)
+
+type plan = event list
+
+val crash : tid:int -> at_step:int -> event
+val stall : tid:int -> from_step:int -> duration:int -> event
+
+val tid_of : event -> int
+(** The thread the event applies to. *)
+
+val validate : threads:int -> plan -> unit
+(** Raises [Invalid_argument] if any event names a tid outside
+    [0, threads). *)
+
+val crashed_tids : plan -> int list
+(** Sorted, deduplicated tids that crash at some point. *)
+
+val survivors : threads:int -> plan -> int list
+(** Tids that never crash (stalled threads are survivors). *)
+
+val dead_at : plan -> step:int -> tid:int -> bool
+(** Has [tid] crashed by global step [step]? *)
+
+val stalled_at : plan -> step:int -> tid:int -> bool
+(** Is [tid] inside a stall window at global step [step]? *)
+
+val random_crashes :
+  ?avoid:int list ->
+  seed:int ->
+  threads:int ->
+  victims:int ->
+  window:int * int ->
+  unit ->
+  plan
+(** [victims] distinct threads (never from [avoid]) each crash at a
+    seeded-random step within the inclusive [window]. *)
+
+val random_stalls :
+  ?avoid:int list ->
+  seed:int ->
+  threads:int ->
+  victims:int ->
+  window:int * int ->
+  duration:int ->
+  unit ->
+  plan
+(** Like {!random_crashes}, but each victim stalls for [duration]
+    steps starting within [window]. *)
+
+val to_string : plan -> string
+(** Compact deterministic rendering, e.g. ["crash(t2@137)+stall(t1@50+200)"];
+    ["none"] for the empty plan. Used in reports and replay logs. *)

@@ -2,7 +2,10 @@
 
    A policy is asked, at each step, to pick one of the currently
    runnable thread ids. The engine validates the choice, so a policy
-   may be sloppy about threads that have already finished. *)
+   may be sloppy about threads that have already finished — but every
+   built-in policy fails loudly (descriptive [Invalid_argument], not
+   [Failure "hd"]) if it is ever consulted with an empty runnable
+   list, which can only mean a driver bug. *)
 
 type t = {
   name : string;
@@ -14,13 +17,19 @@ let next t = t.next
 
 let make ~name next = { name; next }
 
+let no_runnable policy =
+  invalid_arg (Printf.sprintf "Policy.%s: empty runnable list" policy)
+
 let round_robin () =
   let last = ref (-1) in
   let next ~runnable ~step:_ =
     let pick =
       match List.find_opt (fun i -> i > !last) runnable with
       | Some i -> i
-      | None -> List.hd runnable
+      | None -> (
+          match runnable with
+          | [] -> no_runnable "round_robin"
+          | i :: _ -> i)
     in
     last := pick;
     pick
@@ -30,17 +39,21 @@ let round_robin () =
 let random ~seed =
   let rng = Rng.create seed in
   let next ~runnable ~step:_ =
-    List.nth runnable (Rng.int rng (List.length runnable))
+    match List.length runnable with
+    | 0 -> no_runnable "random"
+    | len -> List.nth runnable (Rng.int rng len)
   in
   { name = Printf.sprintf "random(seed=%d)" seed; next }
 
-(* Follow a recorded schedule; fall back to the first runnable thread
+(* Follow a recorded schedule; fall back to the lowest runnable thread
    once the recording is exhausted or names a finished thread. Used to
    replay counterexamples from Explore. *)
 let replay schedule =
   let pos = ref 0 in
   let next ~runnable ~step:_ =
-    let fallback () = List.hd runnable in
+    let fallback () =
+      match runnable with [] -> no_runnable "replay" | i :: _ -> i
+    in
     if !pos >= Array.length schedule then fallback ()
     else begin
       let tid = schedule.(!pos) in
@@ -54,12 +67,18 @@ let replay schedule =
    adversary of experiment E2 — against a lock-free de-reference the
    other threads' link updates force retries; against the paper's
    wait-free one the victim still finishes in a bounded number of its
-   own steps once it runs. *)
+   own steps once it runs. Deterministic: the engine supplies
+   [runnable] in ascending tid order, so the pick is always the lowest
+   non-victim — and the victim itself exactly when it alone is
+   runnable. *)
 let others_first ~victim =
   let next ~runnable ~step:_ =
-    match List.filter (fun i -> i <> victim) runnable with
-    | [] -> victim
-    | i :: _ -> i
+    match runnable with
+    | [] -> no_runnable "others_first"
+    | _ -> (
+        match List.filter (fun i -> i <> victim) runnable with
+        | [] -> victim
+        | i :: _ -> i)
   in
   { name = Printf.sprintf "others_first(victim=%d)" victim; next }
 
@@ -71,6 +90,7 @@ let biased ~seed ~victim ~weight =
   if weight < 0 then invalid_arg "Policy.biased";
   let rng = Rng.create seed in
   let next ~runnable ~step:_ =
+    if runnable = [] then no_runnable "biased";
     let others = List.filter (fun i -> i <> victim) runnable in
     if others = [] then victim
     else if not (List.mem victim runnable) then
@@ -83,7 +103,9 @@ let biased ~seed ~victim ~weight =
 (* Crash modelling: fibers in [dead] are never scheduled (after an
    optional [after] step count at which they die), so they stall at
    whatever primitive they had reached — a stopped/crashed process.
-   Use together with [Engine.run ~quorum]. *)
+   Use together with [Engine.run ~quorum]. Superseded by the richer
+   [Engine.run ?faults] / [Fault.plan] mechanism, but kept as the
+   policy-level variant. *)
 let crashed ~dead ?(after = 0) inner =
   let next ~runnable ~step =
     let alive =
@@ -91,7 +113,9 @@ let crashed ~dead ?(after = 0) inner =
       else List.filter (fun i -> not (List.mem i dead)) runnable
     in
     match alive with
-    | [] -> List.hd runnable (* nothing else left; let it run out *)
+    | [] -> (
+        (* nothing else left; let it run out *)
+        match runnable with [] -> no_runnable "crashed" | i :: _ -> i)
     | alive -> next inner ~runnable:alive ~step
   in
   {

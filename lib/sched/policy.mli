@@ -1,4 +1,8 @@
-(** Scheduling policies for the deterministic engine. *)
+(** Scheduling policies for the deterministic engine.
+
+    Every built-in policy raises a descriptive [Invalid_argument] if
+    consulted with an empty runnable list (a driver bug by
+    definition). *)
 
 type t
 
@@ -20,7 +24,9 @@ val replay : int array -> t
 
 val others_first : victim:int -> t
 (** Run the victim only when nothing else is runnable — maximal
-    starvation of one thread. *)
+    starvation of one thread. Deterministic: always the lowest
+    non-victim tid, and the victim itself exactly when it alone is
+    runnable. *)
 
 val biased : seed:int -> victim:int -> weight:int -> t
 (** Run the victim with probability [1/(weight+1)] when others are

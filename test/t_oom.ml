@@ -1,0 +1,108 @@
+(* The exhaustion path of the paper's footnote 4: when the fixed arena
+   runs dry, AllocNode must detect it and raise — and freeing a single
+   node must make allocation possible again. Every scheme, one thread,
+   so the whole path is deterministic without the engine. *)
+
+open Helpers
+
+(* Capacity small enough that hp's per-thread hazard slots can pin
+   every allocated node at once with a single thread. *)
+let cfg () = small_cfg ~threads:1 ~capacity:12 ~num_roots:1 ()
+
+(* Recycling may need an operation bracket or two before the freed
+   node is allocatable again (ebr advances one epoch generation per
+   bracket; hp scans under pool pressure). *)
+let alloc_with_retries mm ~tid =
+  let rec go n =
+    Mm.enter_op mm ~tid;
+    match Mm.alloc mm ~tid with
+    | p ->
+        Mm.terminate mm ~tid p;
+        Mm.release mm ~tid p;
+        Mm.exit_op mm ~tid
+    | exception Mm.Out_of_memory ->
+        Mm.exit_op mm ~tid;
+        if n = 0 then Alcotest.fail "freed node never became allocatable"
+        else go (n - 1)
+  in
+  go 5
+
+let exhaustion_roundtrip scheme =
+  tc (scheme ^ ": exhaust, free one, alloc again") (fun () ->
+      let cfg = cfg () in
+      let mm = mm_of scheme cfg in
+      let tid = 0 in
+      Mm.enter_op mm ~tid;
+      let held = ref [] in
+      let oom = ref false in
+      (try
+         while true do
+           held := Mm.alloc mm ~tid :: !held
+         done
+       with Mm.Out_of_memory -> oom := true);
+      check_bool "Out_of_memory raised" true !oom;
+      check_int "every node was handed out" cfg.capacity
+        (List.length !held);
+      check_int "free store empty at exhaustion" 0 (Mm.free_count mm);
+      (* still exhausted: a retry without freeing must fail again *)
+      (match Mm.alloc mm ~tid with
+      | _ -> Alcotest.fail "alloc succeeded on an exhausted arena"
+      | exception Mm.Out_of_memory -> ());
+      (* free exactly one node *)
+      (match !held with
+      | [] -> Alcotest.fail "nothing allocated"
+      | p :: rest ->
+          Mm.terminate mm ~tid p;
+          Mm.release mm ~tid p;
+          held := rest);
+      Mm.exit_op mm ~tid;
+      (* ... and allocation works again *)
+      alloc_with_retries mm ~tid;
+      (* the rest of the held nodes are still valid and releasable *)
+      Mm.enter_op mm ~tid;
+      List.iter
+        (fun p ->
+          Mm.terminate mm ~tid p;
+          Mm.release mm ~tid p)
+        !held;
+      Mm.exit_op mm ~tid)
+
+(* Exhaustion must also be detected mid-structure: fill the arena via
+   root links so the nodes are genuinely in use, not just held. *)
+let exhaustion_in_structure scheme =
+  tc (scheme ^ ": OOM with all nodes linked into the structure")
+    (fun () ->
+      let cfg =
+        small_cfg ~threads:1 ~capacity:8 ~num_links:1 ~num_roots:1 ()
+      in
+      let mm = mm_of scheme cfg in
+      let tid = 0 in
+      let arena = Mm.arena mm in
+      let root = Arena.root_addr arena 0 in
+      Mm.enter_op mm ~tid;
+      (* build a list of all [capacity] nodes hanging off the root *)
+      for _ = 1 to cfg.capacity do
+        let p = Mm.alloc mm ~tid in
+        let old = Mm.deref mm ~tid root in
+        Mm.store_link mm ~tid (Arena.link_addr arena p 0) old;
+        if not (Value.is_null old) then Mm.release mm ~tid old;
+        Mm.store_link mm ~tid root p;
+        Mm.release mm ~tid p
+      done;
+      (match Mm.alloc mm ~tid with
+      | _ -> Alcotest.fail "alloc succeeded with every node reachable"
+      | exception Mm.Out_of_memory -> ());
+      (* pop one node off the list; its memory must come back *)
+      let p = Mm.deref mm ~tid root in
+      let next = Mm.deref mm ~tid (Arena.link_addr arena p 0) in
+      Mm.store_link mm ~tid root next;
+      if not (Value.is_null next) then Mm.release mm ~tid next;
+      Mm.release mm ~tid p;
+      Mm.terminate mm ~tid p;
+      Mm.exit_op mm ~tid;
+      alloc_with_retries mm ~tid)
+
+let suite =
+  List.concat_map
+    (fun s -> [ exhaustion_roundtrip s; exhaustion_in_structure s ])
+    all_schemes

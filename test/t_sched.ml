@@ -82,6 +82,32 @@ let policy_tests =
           let pick = Policy.next p ~runnable:[ 3; 5; 9 ] ~step in
           check_bool "member" true (List.mem pick [ 3; 5; 9 ])
         done);
+    tc "every policy rejects an empty runnable list" (fun () ->
+        List.iter
+          (fun (name, p) ->
+            match Policy.next p ~runnable:[] ~step:0 with
+            | _ -> Alcotest.failf "%s accepted an empty runnable list" name
+            | exception Invalid_argument msg ->
+                check_bool
+                  (Printf.sprintf "%s names itself (%s)" name msg)
+                  true
+                  (Helpers.contains msg "empty runnable"))
+          [
+            ("round_robin", Policy.round_robin ());
+            ("random", Policy.random ~seed:1);
+            ("replay", Policy.replay [| 0; 1 |]);
+            ("replay(exhausted)", Policy.replay [||]);
+            ("others_first", Policy.others_first ~victim:0);
+            ("biased", Policy.biased ~seed:1 ~victim:0 ~weight:2);
+            ("crashed", Policy.crashed ~dead:[ 0 ] (Policy.round_robin ()));
+          ]);
+    tc "others_first is deterministic: lowest non-victim, else victim"
+      (fun () ->
+        let p = Policy.others_first ~victim:2 in
+        check_int "lowest non-victim" 0
+          (Policy.next p ~runnable:[ 0; 1; 2 ] ~step:0);
+        check_int "still lowest" 1 (Policy.next p ~runnable:[ 1; 2 ] ~step:1);
+        check_int "victim only alone" 2 (Policy.next p ~runnable:[ 2 ] ~step:2));
     tc "biased picks the victim sometimes" (fun () ->
         let p = Policy.biased ~seed:3 ~victim:0 ~weight:3 in
         let victim = ref 0 and other = ref 0 in

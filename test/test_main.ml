@@ -12,6 +12,8 @@ let () =
       ("atomics", T_atomics.suite);
       ("backend", T_backend.suite);
       ("sched", T_sched.suite);
+      ("fault", T_fault.suite);
+      ("oom", T_oom.suite);
       ("wfrc-unit", T_wfrc_unit.suite);
       ("wfrc-sim", T_wfrc_sim.suite);
       ("wfrc-conc", T_wfrc_conc.suite);
