@@ -1,34 +1,46 @@
 (* Experiment CLI: regenerate any experiment table from DESIGN.md §4.
 
-     wfrc_bench run e1            full-size E1
-     wfrc_bench run all --quick   everything, small parameters
-     wfrc_bench bench             backend benchmark -> BENCH_wfrc.json
-     wfrc_bench list              experiment index
-     wfrc_bench schemes           memory-manager registry *)
+     wfrc_bench run e1                  full-size E1
+     wfrc_bench run all --quick         everything, small parameters
+     wfrc_bench run all --quick --json  + one REPORT_<id>.json each
+     wfrc_bench bench                   backend benchmark -> BENCH_wfrc.json
+     wfrc_bench list                    experiment index
+     wfrc_bench schemes                 memory-manager registry
+
+   The experiment index, the id list in --help and the `list` command
+   are all derived from the spec registry (Harness.Experiments.specs);
+   output formats are the Harness.Sink renderers. *)
 
 open Cmdliner
 
-let run_experiments ids quick csv =
+let run_experiments ids quick csv format json_dir =
   let ids =
     match ids with
     | [ "all" ] | [] -> Harness.Experiments.ids
     | ids -> ids
   in
+  (* --csv is the historical spelling of --format=csv. *)
+  let sink = if csv then Harness.Sink.Csv else format in
   try
     List.iter
       (fun id ->
         let r = Harness.Experiments.run ~quick id in
-        Harness.Experiments.print ~csv r)
+        Harness.Sink.print sink r;
+        match json_dir with
+        | None -> ()
+        | Some dir ->
+            let path = Harness.Sink.write_json ~dir r in
+            Printf.eprintf "wrote %s\n%!" path)
       ids;
     0
-  with Invalid_argument msg ->
+  with Invalid_argument msg | Sys_error msg ->
     Printf.eprintf "error: %s\n" msg;
     1
 
 let ids_arg =
   let doc =
-    "Experiment ids (e1 e2 e3 e4 e5 e7 e8 e9 e10 e11 e12 e13 a1 a2 a3), or \
-     'all'."
+    Printf.sprintf "Experiment ids (%s), or 'all'."
+      (String.concat " " Harness.Experiments.ids)
   in
   Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT" ~doc)
 
@@ -37,26 +49,62 @@ let quick_arg =
   Arg.(value & flag & info [ "quick"; "q" ] ~doc)
 
 let csv_arg =
-  let doc = "Emit CSV instead of an aligned table." in
+  let doc = "Emit CSV instead of an aligned table (same as --format=csv)." in
   Arg.(value & flag & info [ "csv" ] ~doc)
+
+let format_arg =
+  let doc =
+    Printf.sprintf "Output format, one of %s."
+      (String.concat ", "
+         (List.map (fun (n, _) -> Printf.sprintf "$(b,%s)" n) Harness.Sink.all))
+  in
+  Arg.(
+    value
+    & opt (enum Harness.Sink.all) Harness.Sink.Table
+    & info [ "format"; "f" ] ~docv:"FORMAT" ~doc)
+
+let json_arg =
+  let doc =
+    "Also write one REPORT_<id>.json per experiment into $(docv) \
+     (default: the current directory)."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some ".") (some string) None
+    & info [ "json" ] ~docv:"DIR" ~doc)
 
 let run_cmd =
   let doc = "Run experiments and print their tables" in
   Cmd.v
     (Cmd.info "run" ~doc)
-    Term.(const run_experiments $ ids_arg $ quick_arg $ csv_arg)
+    Term.(
+      const run_experiments $ ids_arg $ quick_arg $ csv_arg $ format_arg
+      $ json_arg)
 
-let run_bench schemes quick out =
+let run_bench schemes quick out format json_dir =
   let schemes =
     match schemes with [] -> [ "wfrc" ] | schemes -> schemes
   in
   let ops = if quick then 10_000 else 50_000 in
   let threads_list = if quick then [ 1; 2 ] else [ 1; 2; 4 ] in
   try
-    let points = Harness.Bench.run_suite ~schemes ~threads_list ~ops () in
-    Harness.Experiments.print (Harness.Bench.report points);
+    let spine = Harness.Exp_support.Spine.create () in
+    let points =
+      Harness.Bench.run_suite ~spine ~schemes ~threads_list ~ops ()
+    in
+    let report =
+      Harness.Bench.report
+        ~counters:(Harness.Exp_support.Spine.totals spine)
+        points
+    in
+    Harness.Sink.print format report;
     Harness.Bench.write_json ~path:out points;
     Printf.printf "wrote %s\n" out;
+    (match json_dir with
+    | None -> ()
+    | Some dir ->
+        let path = Harness.Sink.write_json ~dir report in
+        Printf.printf "wrote %s\n" path);
     0
   with
   | Invalid_argument msg | Sys_error msg ->
@@ -81,35 +129,19 @@ let bench_cmd =
   in
   Cmd.v
     (Cmd.info "bench" ~doc)
-    Term.(const run_bench $ schemes_arg $ quick_arg $ out_arg)
+    Term.(
+      const run_bench $ schemes_arg $ quick_arg $ out_arg $ format_arg
+      $ json_arg)
 
 let list_cmd =
   let doc = "List the experiment index" in
-  let descriptions =
-    [
-      ("e1", "priority-queue throughput per scheme (paper §5)");
-      ("e2", "bounded DeRefLink steps vs adversary budget (Lemmas 6-10)");
-      ("e3", "wait-free free-list vs Treiber free-list churn (§3.1)");
-      ("e4", "WFRC helping-rate accounting (§3)");
-      ("e5", "per-op latency tails (the real-time argument, §5)");
-      ("e7", "linearizability sweeps (Definition 1, Lemmas 2-5)");
-      ("e8", "exhaustion/OOM behaviour (footnote 4)");
-      ("e9", "ordered-set throughput on all schemes (the §1 boundary)");
-      ("e10", "crash tolerance: blocking vs non-blocking (§1)");
-      ("e11", "metadata space vs thread count (the O(N^2) pool)");
-      ("e12", "crash tolerance: audited bounded loss vs unbounded leak");
-      ("e13", "stall storm: survivor own-step bounds (wait-freedom)");
-      ("a1", "ablation: deref step bound vs thread count");
-      ("a2", "ablation: FreeNode placement heuristic (F5-F6)");
-      ("a3", "ablation: allocation helping on/off (A11-A15)");
-    ]
-  in
   Cmd.v (Cmd.info "list" ~doc)
     Term.(
       const (fun () ->
           List.iter
-            (fun (id, d) -> Printf.printf "  %-4s %s\n" id d)
-            descriptions;
+            (fun (s : Harness.Exp.spec) ->
+              Printf.printf "  %-4s %s\n" s.Harness.Exp.id s.Harness.Exp.descr)
+            Harness.Experiments.specs;
           0)
       $ const ())
 

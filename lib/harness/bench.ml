@@ -2,11 +2,13 @@
    (the managers' hottest path) timed per scheme × backend × thread
    count, with per-op latency percentiles.
 
-   Per-op times are measured over batches of [batch_pairs] pairs —
-   [Runner.now_ns] is gettimeofday-based (microsecond granularity),
-   so timing individual sub-microsecond operations would quantize to
-   nothing. Each histogram sample is batch wall time divided by the
-   batch size, recorded once per batch. *)
+   Per-op times are measured over batches of [batch_pairs] pairs.
+   [Runner.now_ns] is monotonic with nanosecond resolution
+   (CLOCK_MONOTONIC), but a single alloc/release pair runs in tens of
+   nanoseconds — the same order as the clock read itself — so timing
+   individual operations would mostly measure the timer. Each
+   histogram sample is batch wall time divided by the batch size,
+   recorded once per batch. *)
 
 module B = Atomics.Backend
 module Mm = Mm_intf
@@ -27,7 +29,7 @@ type point = {
 
 let batch_pairs = 64
 
-let run_point ~scheme ~backend ~threads ~ops ~capacity =
+let run_point ?spine ~scheme ~backend ~threads ~ops ~capacity () =
   let cfg =
     Mm.config ~backend ~threads ~capacity ~num_links:1 ~num_data:1
       ~num_roots:0 ()
@@ -35,8 +37,19 @@ let run_point ~scheme ~backend ~threads ~ops ~capacity =
   let mm = Registry.instantiate scheme cfg in
   let per_thread = ops / threads in
   let batches = per_thread / batch_pairs in
+  (* [ops] is a request; the count actually executed is rounded down
+     to threads × batches × batch_pairs. The point's [ops] field
+     always reports the completed count, and a request mostly lost to
+     rounding is surfaced rather than silently shrunk. *)
+  let done_ops = batches * batch_pairs * threads in
+  if 10 * done_ops < 9 * ops then
+    Printf.eprintf
+      "bench: warning: %s/%s %dT: batch rounding keeps only %d of %d \
+       requested ops (batch = %d pairs x %d threads)\n\
+       %!"
+      scheme (B.name backend) threads done_ops ops batch_pairs threads;
   let hists = Array.init threads (fun _ -> Metrics.Hist.create ()) in
-  let result =
+  let run () =
     Runner.run ~threads (fun ~tid ->
         let h = hists.(tid) in
         for _ = 1 to batches do
@@ -53,9 +66,13 @@ let run_point ~scheme ~backend ~threads ~ops ~capacity =
           Metrics.Hist.add h ((Runner.now_ns () - t0) / batch_pairs)
         done)
   in
+  let result =
+    match spine with
+    | None -> run ()
+    | Some s -> Exp_support.Spine.wrap s mm run
+  in
   let hist = Metrics.Hist.create () in
   Array.iter (fun h -> Metrics.Hist.merge_into hist h) hists;
-  let done_ops = batches * batch_pairs * threads in
   {
     scheme;
     backend;
@@ -70,7 +87,7 @@ let run_point ~scheme ~backend ~threads ~ops ~capacity =
     max_ns = Metrics.Hist.max_value hist;
   }
 
-let run_suite ?(schemes = [ "wfrc" ]) ?(backends = [ B.Sim; B.Native ])
+let run_suite ?spine ?(schemes = [ "wfrc" ]) ?(backends = [ B.Sim; B.Native ])
     ?(threads_list = [ 1; 2; 4 ]) ?(ops = 50_000) ?(capacity = 4096) () =
   List.concat_map
     (fun scheme ->
@@ -78,14 +95,15 @@ let run_suite ?(schemes = [ "wfrc" ]) ?(backends = [ B.Sim; B.Native ])
         (fun threads ->
           List.map
             (fun backend ->
-              run_point ~scheme ~backend ~threads ~ops ~capacity)
+              run_point ?spine ~scheme ~backend ~threads ~ops ~capacity ())
             backends)
         threads_list)
     schemes
 
-(* JSON (hand-rolled: no JSON library in the build closure). All
-   fields are numbers or plain [a-z_] strings, so no escaping is
-   needed. *)
+(* Legacy flat JSON for the point list (BENCH_wfrc.json, consumed by
+   CI plots). All fields are numbers or plain [a-z_] strings, so no
+   escaping is needed. The typed-report document is produced by
+   {!Sink} from {!report} instead. *)
 
 let json_of_point p =
   Printf.sprintf
@@ -107,25 +125,34 @@ let write_json ~path points =
   output_string oc (to_json points);
   close_out oc
 
-let report points =
-  {
-    Experiments.id = "BENCH";
-    title = "alloc/release churn: sim vs native backend";
-    headers =
-      [ "scheme"; "backend"; "threads"; "ops/s"; "p50"; "p90"; "p99" ];
-    rows =
-      List.map
-        (fun p ->
-          [
-            p.scheme; B.name p.backend; string_of_int p.threads;
-            Metrics.ops_to_string p.ops_per_sec;
-            Metrics.ns_to_string p.p50_ns; Metrics.ns_to_string p.p90_ns;
-            Metrics.ns_to_string p.p99_ns;
-          ])
-        points;
-    notes =
+let report ?(counters = []) points =
+  Report.make ~id:"BENCH"
+    ~title:"alloc/release churn: sim vs native backend"
+    ~cols:
+      [
+        Report.dim "scheme";
+        Report.dim "backend";
+        Report.dim "threads";
+        Report.measure ~unit_:"ops/s" "ops/s";
+        Report.measure ~unit_:"ns" "p50";
+        Report.measure ~unit_:"ns" "p90";
+        Report.measure ~unit_:"ns" "p99";
+      ]
+    ~counters
+    ~notes:
       [
         "per-op latencies are batch-averaged (64 pairs per sample); \
          native drops the Schedpoint dispatch and pads hot words";
-      ];
-  }
+      ]
+    (List.map
+       (fun p ->
+         [
+           Report.Str p.scheme;
+           Report.Str (B.name p.backend);
+           Report.Int p.threads;
+           Report.Ops p.ops_per_sec;
+           Report.Ns p.p50_ns;
+           Report.Ns p.p90_ns;
+           Report.Ns p.p99_ns;
+         ])
+       points)

@@ -1,12 +1,19 @@
 (** Backend benchmark: the alloc/release churn loop per
     scheme × backend × thread count, with batch-averaged per-op
-    latency percentiles, exportable as JSON ([BENCH_wfrc.json]). *)
+    latency percentiles. Timing uses the monotonic {!Runner.now_ns}
+    (nanosecond resolution); single operations are still batched
+    because one alloc/release pair costs about as much as the clock
+    read itself. Exportable as flat JSON ([BENCH_wfrc.json]) or, via
+    {!report} and {!Sink}, as a typed report document. *)
 
 type point = {
   scheme : string;
   backend : Atomics.Backend.t;
   threads : int;
-  ops : int;            (** completed alloc+release pairs *)
+  ops : int;
+      (** alloc+release pairs actually completed — the request rounds
+          down to whole batches; a drop of more than 10% is warned
+          about on stderr *)
   wall_ns : int;
   ops_per_sec : float;
   mean_ns : float;
@@ -17,14 +24,19 @@ type point = {
 }
 
 val run_point :
+  ?spine:Exp_support.Spine.t ->
   scheme:string ->
   backend:Atomics.Backend.t ->
   threads:int ->
   ops:int ->
   capacity:int ->
+  unit ->
   point
+(** One cell of the suite. [spine] accumulates the instance's
+    {!Atomics.Counters} deltas (see {!Exp_support.Spine}). *)
 
 val run_suite :
+  ?spine:Exp_support.Spine.t ->
   ?schemes:string list ->
   ?backends:Atomics.Backend.t list ->
   ?threads_list:int list ->
@@ -37,5 +49,6 @@ val run_suite :
 val to_json : point list -> string
 val write_json : path:string -> point list -> unit
 
-val report : point list -> Experiments.report
-(** The suite as a printable table. *)
+val report : ?counters:(string * int) list -> point list -> Report.t
+(** The suite as a typed report (id ["BENCH"]); render or export it
+    with {!Sink}. *)

@@ -1,0 +1,18 @@
+/* Monotonic clock for the harness timers.
+
+   CLOCK_MONOTONIC never jumps (NTP slews it but cannot step it), so
+   interval measurements survive wall-clock adjustments that would
+   corrupt a gettimeofday-based timer. The value is returned as
+   nanoseconds since an arbitrary epoch (boot) in an OCaml immediate
+   int: 63 bits of nanoseconds is ~292 years, so no boxing is needed
+   and the primitive can be [@@noalloc]. */
+
+#include <time.h>
+#include <caml/mlvalues.h>
+
+CAMLprim value wfrc_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

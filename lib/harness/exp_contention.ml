@@ -1,0 +1,191 @@
+(* Contention family: E2 (bounded de-reference steps under an
+   adversarial updater) and E3 (the wait-free free-list vs the single
+   Treiber free-list). *)
+
+module Mm = Mm_intf
+module Value = Shmem.Value
+open Exp_support
+
+(* ------------------------------------------------------------------ *)
+(* E2: bounded de-reference steps under an adversarial updater.       *)
+(* ------------------------------------------------------------------ *)
+
+(* One victim de-reference racing [budget] link flips by an adversary,
+   under a biased deterministic schedule. Returns the maximum number
+   of scheduler steps the victim needed over [seeds] schedules. *)
+let e2_one ~spine ~scheme ~budget ~seeds ~seed =
+  let victim_max = ref 0 in
+  for s = 0 to seeds - 1 do
+    let cfg =
+      Mm.config ~threads:2 ~capacity:64 ~num_links:1 ~num_data:1
+        ~num_roots:1 ()
+    in
+    let mm = Registry.instantiate scheme cfg in
+    let arena = Mm.arena mm in
+    let root = Shmem.Arena.root_addr arena 0 in
+    let a = Mm.alloc mm ~tid:0 in
+    Mm.store_link mm ~tid:0 root a;
+    Mm.release mm ~tid:0 a;
+    let body tid =
+      if tid = 0 then begin
+        let p = Mm.deref mm ~tid root in
+        if not (Value.is_null p) then Mm.release mm ~tid p
+      end
+      else
+        for _ = 1 to budget do
+          let b = Mm.alloc mm ~tid in
+          let rec flip () =
+            let old = Mm.deref mm ~tid root in
+            let ok = Mm.cas_link mm ~tid root ~old ~nw:b in
+            if not (Value.is_null old) then Mm.release mm ~tid old;
+            if not ok then flip ()
+          in
+          flip ();
+          Mm.release mm ~tid b
+        done
+    in
+    let policy = Sched.Policy.biased ~seed:(seed + s) ~victim:0 ~weight:6 in
+    let outcome =
+      Spine.wrap spine mm (fun () -> Sched.Engine.run ~threads:2 ~policy body)
+    in
+    if outcome.steps.(0) > !victim_max then victim_max := outcome.steps.(0)
+  done;
+  !victim_max
+
+let e2 ?(schemes = [ "wfrc"; "lfrc"; "lockrc" ]) ?(budgets = [ 0; 4; 16; 64 ])
+    ?(seeds = 25) ?(seed = 7_000) () =
+  let spine = Spine.create () in
+  let rows =
+    List.map
+      (fun budget ->
+        Report.Int budget
+        :: List.map
+             (fun scheme ->
+               Report.Int (e2_one ~spine ~scheme ~budget ~seeds ~seed))
+             schemes)
+      budgets
+  in
+  Report.make ~id:"E2"
+    ~title:
+      "max victim steps for one DeRefLink vs adversary link-flip budget \
+       (deterministic scheduler)"
+    ~cols:(Report.cols_of_sweep ~dim:"flips" ~unit_:"steps" schemes)
+    ~counters:(Spine.totals spine)
+    ~meta:
+      (Report.meta ~seed
+         ~params:[ ("seeds", string_of_int seeds) ]
+         ())
+    ~notes:
+      [
+        "wfrc: bounded regardless of budget (Lemma 6 wait-freedom)";
+        "lfrc: retries grow with adversary budget (Valois unbounded \
+         retry, paper §3)";
+        "lockrc: victim spins while the preempted adversary holds the \
+         lock";
+      ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E3: the wait-free free-list vs the single Treiber free-list.       *)
+(* ------------------------------------------------------------------ *)
+
+let e3 ?(schemes = [ "wfrc"; "lfrc"; "lockrc" ])
+    ?(threads_list = [ 1; 2; 4; 8 ]) ?(ops = 60_000) ?(capacity = 1 lsl 13)
+    ?(max_burst = 8) ?(seed = 11_000) () =
+  let spine = Spine.create () in
+  let rows = ref [] in
+  List.iter
+    (fun scheme ->
+      List.iter
+        (fun threads ->
+          let cfg =
+            list_layout ~backend:Atomics.Backend.Native ~threads ~capacity
+          in
+          let mm = Registry.instantiate scheme cfg in
+          let per_thread = ops / threads in
+          let bursts =
+            Workload.per_thread ~threads ~seed (fun rng ->
+                Workload.churn_bursts ~rng ~n:per_thread ~max_burst)
+          in
+          let row_spine = Spine.create () in
+          let result =
+            Spine.wrap row_spine mm (fun () ->
+                Runner.run ~threads (fun ~tid ->
+                    let held = Array.make max_burst Value.null in
+                    Array.iter
+                      (fun burst ->
+                        let got = ref 0 in
+                        (try
+                           for i = 0 to burst - 1 do
+                             held.(i) <- Mm.alloc mm ~tid;
+                             incr got
+                           done
+                         with Mm.Out_of_memory -> ());
+                        for i = 0 to !got - 1 do
+                          Mm.release mm ~tid held.(i)
+                        done)
+                      bursts.(tid)))
+          in
+          let allocs = Spine.total row_spine Alloc in
+          let per1k ev =
+            if allocs = 0 then 0.0
+            else
+              1000.0
+              *. float_of_int (Spine.total row_spine ev)
+              /. float_of_int allocs
+          in
+          Spine.merge_into spine row_spine;
+          let tput = Runner.throughput ~ops:allocs result in
+          rows :=
+            [
+              Report.Str scheme;
+              Report.Int threads;
+              Report.Ops tput;
+              Report.Float (per1k Alloc_retry);
+              Report.Float (per1k Free_retry);
+              Report.Float (per1k Alloc_helped);
+              Report.Float (per1k Free_gave_help);
+            ]
+            :: !rows)
+        threads_list)
+    schemes;
+  Report.make ~id:"E3" ~title:"alloc/free churn: throughput and retry/help rates"
+    ~cols:
+      [
+        Report.dim "scheme";
+        Report.dim "threads";
+        Report.measure ~unit_:"ops/s" "allocs/s";
+        Report.measure ~unit_:"per_1k_allocs" "aretry/1k";
+        Report.measure ~unit_:"per_1k_allocs" "fretry/1k";
+        Report.measure ~unit_:"per_1k_allocs" "helped/1k";
+        Report.measure ~unit_:"per_1k_allocs" "donated/1k";
+      ]
+    ~counters:(Spine.totals spine)
+    ~meta:
+      (Report.meta ~seed ~backend:Atomics.Backend.Native
+         ~params:
+           [
+             ("ops", string_of_int ops);
+             ("capacity", string_of_int capacity);
+             ("max_burst", string_of_int max_burst);
+           ]
+         ())
+    ~notes:
+      [
+        "wfrc splits traffic over 2N free-lists and helps round-robin \
+         (§3.1); lfrc contends on one stamped Treiber head";
+      ]
+    (List.rev !rows)
+
+let specs =
+  [
+    Exp.spec ~id:"e2"
+      ~descr:"bounded DeRefLink steps vs adversary budget (Lemmas 6-10)"
+      (fun { Exp.quick } ->
+        if quick then e2 ~budgets:[ 0; 4; 16 ] ~seeds:8 () else e2 ());
+    Exp.spec ~id:"e3"
+      ~descr:"wait-free free-list vs Treiber free-list churn (§3.1)"
+      (fun { Exp.quick } ->
+        if quick then e3 ~threads_list:[ 1; 2 ] ~ops:8_000 ~capacity:1024 ()
+        else e3 ());
+  ]

@@ -1,1593 +1,32 @@
-(* The experiment suite: one entry point per experiment id of
-   DESIGN.md §4 / EXPERIMENTS.md. Every experiment returns a [report]
-   (title, table, notes) that the CLI prints and the tests probe for
-   shape. All randomness flows from explicit seeds. *)
+(* The experiment suite, aggregated from the family modules. Each
+   family exports an [Exp.spec list]; this module derives the
+   registry, the id list and the by-id runner, and re-exports the
+   individual entry points for direct (test) use. Every experiment
+   returns a typed {!Report.t}; all randomness flows from explicit
+   seeds. *)
 
-module Mm = Mm_intf
-module Rng = Sched.Rng
-module Value = Shmem.Value
+let all : Exp.spec list =
+  Exp.sort
+    (Exp_throughput.specs @ Exp_contention.specs @ Exp_steps.specs
+   @ Exp_lincheck.specs @ Exp_ratio.specs @ Exp_fault.specs)
 
-type report = {
-  id : string;
-  title : string;
-  headers : string list;
-  rows : string list list;
-  notes : string list;
-}
+let ids = Exp.ids all
+let specs = all
+let run ?quick id = Exp.run all ?quick id
 
-let print ?(csv = false) r =
-  Printf.printf "== %s: %s ==\n" r.id r.title;
-  if csv then print_string (Table.csv ~headers:r.headers ~rows:r.rows)
-  else print_string (Table.render ~headers:r.headers ~rows:r.rows);
-  List.iter (fun n -> Printf.printf "note: %s\n" n) r.notes;
-  print_newline ()
-
-let f1 x = Printf.sprintf "%.1f" x
-
-(* Layouts. Each experiment states its backend explicitly: [Native]
-   for the Domain-parallel throughput/latency runs (driven by
-   [Runner.run], where no deterministic scheduler is installed and
-   hook-free padded cells measure the real machine), [Sim] wherever
-   [Sched.Engine] or [Sched.Explore] drives the interleaving — those
-   threads only yield at scheduling points, so a [Native] manager
-   would never hand control back. *)
-let pq_layout ~backend ~threads ~capacity =
-  Mm.config ~backend ~threads ~capacity ~num_links:6 ~num_data:3 ~num_roots:1
-    ()
-
-let list_layout ~backend ~threads ~capacity =
-  Mm.config ~backend ~threads ~capacity ~num_links:1 ~num_data:1 ~num_roots:4
-    ()
-
-(* ------------------------------------------------------------------ *)
-(* E1: priority-queue throughput, WFRC vs baselines (paper §5).       *)
-(* ------------------------------------------------------------------ *)
-
-let pq_worker pq ~tid ops =
-  Array.iter
-    (fun op ->
-      match op with
-      | Workload.Produce k -> (
-          try Structures.Pqueue.insert pq ~tid (k + 1) tid
-          with Mm.Out_of_memory -> ())
-      | Workload.Consume -> ignore (Structures.Pqueue.delete_min pq ~tid))
-    ops
-
-let e1 ?(schemes = Registry.rc_names) ?(threads_list = [ 1; 2; 4; 8 ])
-    ?(ops = 40_000) ?(capacity = 1 lsl 14) ?(key_range = 1 lsl 16)
-    ?(seed = 42_001) () =
-  let rows =
-    List.map
-      (fun scheme ->
-        scheme
-        :: List.map
-             (fun threads ->
-               let cfg =
-                 pq_layout ~backend:Atomics.Backend.Native ~threads ~capacity
-               in
-               let mm = Registry.instantiate scheme cfg in
-               let pq = Structures.Pqueue.create mm ~seed ~tid:0 in
-               (* Prefill to steady state. *)
-               let rng = Rng.create (seed + 1) in
-               for _ = 1 to capacity / 8 do
-                 Structures.Pqueue.insert pq ~tid:0
-                   (1 + Rng.int rng key_range)
-                   0
-               done;
-               let per_thread = ops / threads in
-               let streams =
-                 Workload.per_thread ~threads ~seed:(seed + 2) (fun rng ->
-                     Workload.mixed ~rng ~n:per_thread ~produce_pct:50
-                       ~key_range)
-               in
-               let result =
-                 Runner.run ~threads (fun ~tid ->
-                     pq_worker pq ~tid streams.(tid))
-               in
-               Metrics.ops_to_string
-                 (Runner.throughput ~ops:(per_thread * threads) result))
-             threads_list)
-      schemes
-  in
-  {
-    id = "E1";
-    title = "priority-queue throughput (ops/s), 50/50 insert/delete-min";
-    headers =
-      "scheme" :: List.map (fun t -> Printf.sprintf "%dT" t) threads_list;
-    rows;
-    notes =
-      [
-        "paper §5: WFRC is asymptotically similar to the default \
-         lock-free (Valois) scheme on this workload";
-        "single hardware core: threads interleave by preemption; compare \
-         ratios across schemes, not absolute scaling";
-      ];
-  }
-
-(* ------------------------------------------------------------------ *)
-(* E2: bounded de-reference steps under an adversarial updater.       *)
-(* ------------------------------------------------------------------ *)
-
-(* One victim de-reference racing [budget] link flips by an adversary,
-   under a biased deterministic schedule. Returns the maximum number
-   of scheduler steps the victim needed over [seeds] schedules. *)
-let e2_one ~scheme ~budget ~seeds ~seed =
-  let victim_max = ref 0 in
-  for s = 0 to seeds - 1 do
-    let cfg =
-      Mm.config ~threads:2 ~capacity:64 ~num_links:1 ~num_data:1
-        ~num_roots:1 ()
-    in
-    let mm = Registry.instantiate scheme cfg in
-    let arena = Mm.arena mm in
-    let root = Shmem.Arena.root_addr arena 0 in
-    let a = Mm.alloc mm ~tid:0 in
-    Mm.store_link mm ~tid:0 root a;
-    Mm.release mm ~tid:0 a;
-    let body tid =
-      if tid = 0 then begin
-        let p = Mm.deref mm ~tid root in
-        if not (Value.is_null p) then Mm.release mm ~tid p
-      end
-      else
-        for _ = 1 to budget do
-          let b = Mm.alloc mm ~tid in
-          let rec flip () =
-            let old = Mm.deref mm ~tid root in
-            let ok = Mm.cas_link mm ~tid root ~old ~nw:b in
-            if not (Value.is_null old) then Mm.release mm ~tid old;
-            if not ok then flip ()
-          in
-          flip ();
-          Mm.release mm ~tid b
-        done
-    in
-    let policy = Sched.Policy.biased ~seed:(seed + s) ~victim:0 ~weight:6 in
-    let outcome = Sched.Engine.run ~threads:2 ~policy body in
-    if outcome.steps.(0) > !victim_max then victim_max := outcome.steps.(0)
-  done;
-  !victim_max
-
-let e2 ?(schemes = [ "wfrc"; "lfrc"; "lockrc" ]) ?(budgets = [ 0; 4; 16; 64 ])
-    ?(seeds = 25) ?(seed = 7_000) () =
-  let rows =
-    List.map
-      (fun budget ->
-        string_of_int budget
-        :: List.map
-             (fun scheme ->
-               string_of_int (e2_one ~scheme ~budget ~seeds ~seed))
-             schemes)
-      budgets
-  in
-  {
-    id = "E2";
-    title =
-      "max victim steps for one DeRefLink vs adversary link-flip budget \
-       (deterministic scheduler)";
-    headers = "flips" :: schemes;
-    rows;
-    notes =
-      [
-        "wfrc: bounded regardless of budget (Lemma 6 wait-freedom)";
-        "lfrc: retries grow with adversary budget (Valois unbounded \
-         retry, paper §3)";
-        "lockrc: victim spins while the preempted adversary holds the \
-         lock";
-      ];
-  }
-
-(* ------------------------------------------------------------------ *)
-(* E3: the wait-free free-list vs the single Treiber free-list.       *)
-(* ------------------------------------------------------------------ *)
-
-let e3 ?(schemes = [ "wfrc"; "lfrc"; "lockrc" ])
-    ?(threads_list = [ 1; 2; 4; 8 ]) ?(ops = 60_000) ?(capacity = 1 lsl 13)
-    ?(max_burst = 8) ?(seed = 11_000) () =
-  let rows = ref [] in
-  List.iter
-    (fun scheme ->
-      List.iter
-        (fun threads ->
-          let cfg =
-            list_layout ~backend:Atomics.Backend.Native ~threads ~capacity
-          in
-          let mm = Registry.instantiate scheme cfg in
-          let per_thread = ops / threads in
-          let bursts =
-            Workload.per_thread ~threads ~seed (fun rng ->
-                Workload.churn_bursts ~rng ~n:per_thread ~max_burst)
-          in
-          let result =
-            Runner.run ~threads (fun ~tid ->
-                let held = Array.make max_burst Value.null in
-                Array.iter
-                  (fun burst ->
-                    let got = ref 0 in
-                    (try
-                       for i = 0 to burst - 1 do
-                         held.(i) <- Mm.alloc mm ~tid;
-                         incr got
-                       done
-                     with Mm.Out_of_memory -> ());
-                    for i = 0 to !got - 1 do
-                      Mm.release mm ~tid held.(i)
-                    done)
-                  bursts.(tid))
-          in
-          let ctr = Mm.counters mm in
-          let allocs = Atomics.Counters.total ctr Alloc in
-          let per1k ev =
-            if allocs = 0 then 0.0
-            else
-              1000.0
-              *. float_of_int (Atomics.Counters.total ctr ev)
-              /. float_of_int allocs
-          in
-          let tput = Runner.throughput ~ops:allocs result in
-          rows :=
-            [
-              scheme;
-              string_of_int threads;
-              Metrics.ops_to_string tput;
-              f1 (per1k Alloc_retry);
-              f1 (per1k Free_retry);
-              f1 (per1k Alloc_helped);
-              f1 (per1k Free_gave_help);
-            ]
-            :: !rows)
-        threads_list)
-    schemes;
-  {
-    id = "E3";
-    title = "alloc/free churn: throughput and retry/help rates";
-    headers =
-      [
-        "scheme"; "threads"; "allocs/s"; "aretry/1k"; "fretry/1k";
-        "helped/1k"; "donated/1k";
-      ];
-    rows = List.rev !rows;
-    notes =
-      [
-        "wfrc splits traffic over 2N free-lists and helps round-robin \
-         (§3.1); lfrc contends on one stamped Treiber head";
-      ];
-  }
-
-(* ------------------------------------------------------------------ *)
-(* E4: helping-rate accounting for the wait-free scheme.              *)
-(* ------------------------------------------------------------------ *)
-
-let e4 ?(threads_list = [ 2; 4; 8 ]) ?(ops = 24) ?(runs = 80)
-    ?(seed = 13_000) () =
-  (* Native time slicing almost never preempts inside the tiny D1–D6
-     window, so helping would look inert; the deterministic scheduler
-     interleaves at primitive granularity, where helping actually
-     fires — the regime the paper's proofs quantify over. *)
-  let rows =
-    List.map
-      (fun threads ->
-        let totals = Hashtbl.create 16 in
-        let add ev n =
-          Hashtbl.replace totals ev
-            (n + Option.value ~default:0 (Hashtbl.find_opt totals ev))
-        in
-        for r = 0 to runs - 1 do
-          let cfg =
-            Mm.config ~threads ~capacity:(8 * threads) ~num_links:1
-              ~num_data:1 ~num_roots:2 ()
-          in
-          let mm = Registry.instantiate "wfrc" cfg in
-          let arena = Mm.arena mm in
-          let roots =
-            Array.init 2 (fun i -> Shmem.Arena.root_addr arena i)
-          in
-          Array.iter
-            (fun root ->
-              let a = Mm.alloc mm ~tid:0 in
-              Mm.store_link mm ~tid:0 root a;
-              Mm.release mm ~tid:0 a)
-            roots;
-          let body tid =
-            let rng = Rng.create (seed + (r * 131) + tid) in
-            for _ = 1 to ops do
-              let root = roots.(Rng.int rng 2) in
-              if Rng.int rng 100 < 60 then begin
-                let p = Mm.deref mm ~tid root in
-                if not (Value.is_null p) then Mm.release mm ~tid p
-              end
-              else begin
-                match Mm.alloc mm ~tid with
-                | b ->
-                    let old = Mm.deref mm ~tid root in
-                    ignore (Mm.cas_link mm ~tid root ~old ~nw:b);
-                    if not (Value.is_null old) then Mm.release mm ~tid old;
-                    Mm.release mm ~tid b
-                | exception Mm.Out_of_memory -> ()
-              end
-            done
-          in
-          let policy = Sched.Policy.random ~seed:(seed + r) in
-          ignore (Sched.Engine.run ~threads ~policy body);
-          let ctr = Mm.counters mm in
-          List.iter
-            (fun ev -> add ev (Atomics.Counters.total ctr ev))
-            Atomics.Counters.all_events
-        done;
-        let tot ev = Option.value ~default:0 (Hashtbl.find_opt totals ev) in
-        let derefs = tot Deref in
-        let pct a b =
-          if b = 0 then "0.0%"
-          else Printf.sprintf "%.2f%%" (100.0 *. float_of_int a /. float_of_int b)
-        in
-        [
-          string_of_int threads;
-          string_of_int derefs;
-          pct (tot Deref_helped) derefs;
-          string_of_int (tot Help_answered);
-          string_of_int (tot Help_refused);
-          pct (tot Alloc_helped) (tot Alloc);
-          pct (tot Free_gave_help) (tot Free);
-        ])
-      threads_list
-  in
-  {
-    id = "E4";
-    title =
-      "WFRC helping-mechanism accounting (60% deref / 40% update mix, \
-       deterministic scheduler)";
-    headers =
-      [
-        "threads"; "derefs"; "deref-helped"; "answers"; "refused";
-        "alloc-helped"; "free-donated";
-      ];
-    rows;
-    notes =
-      [
-        "helping is the price of wait-freedom: rates grow with \
-         contention but each op stays bounded";
-      ];
-  }
-
-(* ------------------------------------------------------------------ *)
-(* E5: per-operation latency distribution (the real-time argument).   *)
-(* ------------------------------------------------------------------ *)
-
-let e5 ?(schemes = Registry.rc_names) ?(threads = 4) ?(ops = 40_000)
-    ?(capacity = 1 lsl 14) ?(key_range = 1 lsl 16) ?(seed = 17_000) () =
-  let rows =
-    List.map
-      (fun scheme ->
-        let cfg =
-          pq_layout ~backend:Atomics.Backend.Native ~threads ~capacity
-        in
-        let mm = Registry.instantiate scheme cfg in
-        let pq = Structures.Pqueue.create mm ~seed ~tid:0 in
-        let rng = Rng.create (seed + 1) in
-        for _ = 1 to capacity / 8 do
-          Structures.Pqueue.insert pq ~tid:0 (1 + Rng.int rng key_range) 0
-        done;
-        let per_thread = ops / threads in
-        let streams =
-          Workload.per_thread ~threads ~seed:(seed + 2) (fun rng ->
-              Workload.mixed ~rng ~n:per_thread ~produce_pct:50 ~key_range)
-        in
-        let hists = Array.init threads (fun _ -> Metrics.Hist.create ()) in
-        ignore
-          (Runner.run ~threads (fun ~tid ->
-               let h = hists.(tid) in
-               Array.iter
-                 (fun op ->
-                   let t0 = Runner.now_ns () in
-                   (match op with
-                   | Workload.Produce k -> (
-                       try Structures.Pqueue.insert pq ~tid (k + 1) tid
-                       with Mm.Out_of_memory -> ())
-                   | Workload.Consume ->
-                       ignore (Structures.Pqueue.delete_min pq ~tid));
-                   Metrics.Hist.add h (Runner.now_ns () - t0))
-                 streams.(tid)));
-        let h = Metrics.Hist.create () in
-        Array.iter (fun h' -> Metrics.Hist.merge_into h h') hists;
-        [
-          scheme;
-          Metrics.ns_to_string (Metrics.Hist.percentile h 0.50);
-          Metrics.ns_to_string (Metrics.Hist.percentile h 0.99);
-          Metrics.ns_to_string (Metrics.Hist.percentile h 0.999);
-          Metrics.ns_to_string (Metrics.Hist.max_value h);
-        ])
-      schemes
-  in
-  {
-    id = "E5";
-    title =
-      Printf.sprintf
-        "priority-queue per-op latency at %d threads (p50/p99/p99.9/max)"
-        threads;
-    headers = [ "scheme"; "p50"; "p99"; "p99.9"; "max" ];
-    rows;
-    notes =
-      [
-        "paper §5: the wait-free scheme's strength is the execution-time \
-         guarantee (tail), not the average";
-        "on one preemptive core the max column is dominated by \
-         time-slice effects; lockrc additionally convoys behind a \
-         preempted lock holder";
-      ];
-  }
-
-(* ------------------------------------------------------------------ *)
-(* E7: linearizability sweeps (Definition 1, Lemmas 2–5).             *)
-(* ------------------------------------------------------------------ *)
-
-module Link_check = Lincheck.Checker.Make (Lincheck.Specs.Link_ops)
-module Alloc_check = Lincheck.Checker.Make (Lincheck.Specs.Alloc_ops)
-module Stack_check = Lincheck.Checker.Make (Lincheck.Specs.Stack_ops)
-module Queue_check = Lincheck.Checker.Make (Lincheck.Specs.Queue_ops)
-module Pq_check = Lincheck.Checker.Make (Lincheck.Specs.Pqueue_ops)
-module Set_check = Lincheck.Checker.Make (Lincheck.Specs.Set_ops)
-
-exception Not_linearizable
-
-(* Shared-link semantics on a given scheme: two readers + one updater
-   over two links. *)
-let e7_links ~scheme ~runs ~seed =
-  let mk () =
-    let cfg =
-      Mm.config ~threads:3 ~capacity:32 ~num_links:1 ~num_data:1 ~num_roots:2
-        ()
-    in
-    let mm = Registry.instantiate scheme cfg in
-    let arena = Mm.arena mm in
-    let l0 = Shmem.Arena.root_addr arena 0 in
-    let l1 = Shmem.Arena.root_addr arena 1 in
-    let a = Mm.alloc mm ~tid:0 and b = Mm.alloc mm ~tid:0 in
-    Mm.store_link mm ~tid:0 l0 a;
-    Mm.store_link mm ~tid:0 l1 b;
-    Lincheck.Specs.Link_ops.set_initial [ (l0, a); (l1, b) ];
-    Mm.release mm ~tid:0 a;
-    Mm.release mm ~tid:0 b;
-    let hist = Lincheck.History.create ~threads:3 in
-    let deref tid l =
-      let w =
-        Lincheck.History.record hist ~tid (Lincheck.Specs.Link_ops.Deref l)
-          (fun () -> Lincheck.Specs.Link_ops.Word (Mm.deref mm ~tid l))
-      in
-      match w with
-      | Lincheck.Specs.Link_ops.Word p ->
-          if not (Value.is_null p) then Mm.release mm ~tid p
-      | _ -> ()
-    in
-    let body tid =
-      match tid with
-      | 0 | 1 ->
-          deref tid l0;
-          deref tid l1
-      | _ ->
-          (* updater: move a fresh node into l0 *)
-          let n = Mm.alloc mm ~tid in
-          let old = Mm.deref mm ~tid l0 in
-          let _ =
-            Lincheck.History.record hist ~tid
-              (Lincheck.Specs.Link_ops.Cas (l0, old, n)) (fun () ->
-                Lincheck.Specs.Link_ops.Bool
-                  (Mm.cas_link mm ~tid l0 ~old ~nw:n))
-          in
-          if not (Value.is_null old) then Mm.release mm ~tid old;
-          Mm.release mm ~tid n
-    in
-    let check () =
-      let events = Lincheck.History.events hist in
-      if not (Link_check.check events) then raise Not_linearizable
-    in
-    (body, check)
-  in
-  Sched.Explore.random_sweep ~threads:3 ~runs ~seed mk
-
-(* AllocNode/FreeNode multiset semantics: concurrent alloc/release
-   cycles must never hand the same node to two holders. *)
-let e7_alloc ~scheme ~runs ~seed =
-  let mk () =
-    let cfg =
-      Mm.config ~threads:3 ~capacity:8 ~num_links:0 ~num_data:1 ~num_roots:0
-        ()
-    in
-    let mm = Registry.instantiate scheme cfg in
-    let hist = Lincheck.History.create ~threads:3 in
-    let body tid =
-      for _ = 1 to 2 do
-        match
-          Lincheck.History.record hist ~tid Lincheck.Specs.Alloc_ops.Alloc
-            (fun () ->
-              Lincheck.Specs.Alloc_ops.Node (Value.handle (Mm.alloc mm ~tid)))
-        with
-        | Lincheck.Specs.Alloc_ops.Node h ->
-            Lincheck.History.record hist ~tid
-              (Lincheck.Specs.Alloc_ops.Free h) (fun () ->
-                Mm.release mm ~tid (Value.of_handle h);
-                Lincheck.Specs.Alloc_ops.Unit)
-            |> ignore
-        | _ -> ()
-        | exception Mm.Out_of_memory -> ()
-      done
-    in
-    let check () =
-      let events = Lincheck.History.events hist in
-      if not (Alloc_check.check events) then raise Not_linearizable;
-      Mm.validate mm
-    in
-    (body, check)
-  in
-  Sched.Explore.random_sweep ~threads:3 ~runs ~seed mk
-
-let e7_stack ~scheme ~runs ~seed =
-  let mk () =
-    let cfg = list_layout ~backend:Atomics.Backend.Sim ~threads:2 ~capacity:16 in
-    let mm = Registry.instantiate scheme cfg in
-    let s = Structures.Stack.create mm ~root:0 in
-    Structures.Stack.push s ~tid:0 100;
-    let hist = Lincheck.History.create ~threads:2 in
-    let body tid =
-      let push v =
-        ignore
-          (Lincheck.History.record hist ~tid (Lincheck.Specs.Stack_ops.Push v)
-             (fun () ->
-               Structures.Stack.push s ~tid v;
-               Lincheck.Specs.Stack_ops.Unit))
-      in
-      let pop () =
-        ignore
-          (Lincheck.History.record hist ~tid Lincheck.Specs.Stack_ops.Pop
-             (fun () ->
-               match Structures.Stack.pop s ~tid with
-               | Some v -> Lincheck.Specs.Stack_ops.Value v
-               | None -> Lincheck.Specs.Stack_ops.Empty))
-      in
-      if tid = 0 then begin
-        push 1;
-        pop ();
-        pop ()
-      end
-      else begin
-        pop ();
-        push 2
-      end
-    in
-    let check () =
-      (* The prefill push is part of the sequential prehistory. *)
-      let events = Lincheck.History.events hist in
-      let events =
-        Array.append
-          [|
-            {
-              Lincheck.History.tid = 0;
-              op = Lincheck.Specs.Stack_ops.Push 100;
-              res = Lincheck.Specs.Stack_ops.Unit;
-              invoke = -2;
-              return = -1;
-            };
-          |]
-          events
-      in
-      if not (Stack_check.check events) then raise Not_linearizable
-    in
-    (body, check)
-  in
-  Sched.Explore.random_sweep ~threads:2 ~runs ~seed mk
-
-let e7_queue ~scheme ~runs ~seed =
-  let mk () =
-    let cfg = list_layout ~backend:Atomics.Backend.Sim ~threads:2 ~capacity:16 in
-    let mm = Registry.instantiate scheme cfg in
-    let q = Structures.Queue.create mm ~head_root:0 ~tail_root:1 ~tid:0 in
-    Structures.Queue.enqueue q ~tid:0 100;
-    let hist = Lincheck.History.create ~threads:2 in
-    let body tid =
-      let enq v =
-        ignore
-          (Lincheck.History.record hist ~tid (Lincheck.Specs.Queue_ops.Enq v)
-             (fun () ->
-               Structures.Queue.enqueue q ~tid v;
-               Lincheck.Specs.Queue_ops.Unit))
-      in
-      let deq () =
-        ignore
-          (Lincheck.History.record hist ~tid Lincheck.Specs.Queue_ops.Deq
-             (fun () ->
-               match Structures.Queue.dequeue q ~tid with
-               | Some v -> Lincheck.Specs.Queue_ops.Value v
-               | None -> Lincheck.Specs.Queue_ops.Empty))
-      in
-      if tid = 0 then begin
-        enq 1;
-        deq ()
-      end
-      else begin
-        deq ();
-        enq 2;
-        deq ()
-      end
-    in
-    let check () =
-      let events = Lincheck.History.events hist in
-      let events =
-        Array.append
-          [|
-            {
-              Lincheck.History.tid = 0;
-              op = Lincheck.Specs.Queue_ops.Enq 100;
-              res = Lincheck.Specs.Queue_ops.Unit;
-              invoke = -2;
-              return = -1;
-            };
-          |]
-          events
-      in
-      if not (Queue_check.check events) then raise Not_linearizable
-    in
-    (body, check)
-  in
-  Sched.Explore.random_sweep ~threads:2 ~runs ~seed mk
-
-let e7_pqueue ~scheme ~runs ~seed =
-  let mk () =
-    let cfg =
-      Mm.config ~threads:2 ~capacity:32 ~num_links:3 ~num_data:3 ~num_roots:1
-        ()
-    in
-    let mm = Registry.instantiate scheme cfg in
-    let pq = Structures.Pqueue.create mm ~seed ~tid:0 in
-    Structures.Pqueue.insert pq ~tid:0 50 0;
-    let hist = Lincheck.History.create ~threads:2 in
-    let body tid =
-      let ins k =
-        ignore
-          (Lincheck.History.record hist ~tid
-             (Lincheck.Specs.Pqueue_ops.Insert k) (fun () ->
-               Structures.Pqueue.insert pq ~tid k tid;
-               Lincheck.Specs.Pqueue_ops.Unit))
-      in
-      let delmin () =
-        ignore
-          (Lincheck.History.record hist ~tid Lincheck.Specs.Pqueue_ops.DelMin
-             (fun () ->
-               match Structures.Pqueue.delete_min pq ~tid with
-               | Some (k, _) -> Lincheck.Specs.Pqueue_ops.Key k
-               | None -> Lincheck.Specs.Pqueue_ops.Empty))
-      in
-      if tid = 0 then begin
-        ins 10;
-        delmin ()
-      end
-      else begin
-        delmin ();
-        ins 20
-      end
-    in
-    let check () =
-      let events = Lincheck.History.events hist in
-      let events =
-        Array.append
-          [|
-            {
-              Lincheck.History.tid = 0;
-              op = Lincheck.Specs.Pqueue_ops.Insert 50;
-              res = Lincheck.Specs.Pqueue_ops.Unit;
-              invoke = -2;
-              return = -1;
-            };
-          |]
-          events
-      in
-      if not (Pq_check.check events) then raise Not_linearizable
-    in
-    (body, check)
-  in
-  Sched.Explore.random_sweep ~threads:2 ~runs ~seed mk
-
-let e7_oset ~scheme ~runs ~seed =
-  let mk () =
-    let cfg =
-      Mm.config ~threads:2 ~capacity:24 ~num_links:1 ~num_data:2 ~num_roots:0
-        ()
-    in
-    let mm = Registry.instantiate scheme cfg in
-    let set = Structures.Oset.create mm ~tid:0 in
-    ignore (Structures.Oset.insert set ~tid:0 10 0);
-    let hist = Lincheck.History.create ~threads:2 in
-    let rec_op tid op f =
-      ignore
-        (Lincheck.History.record hist ~tid op (fun () ->
-             Lincheck.Specs.Set_ops.Bool (f ())))
-    in
-    let body tid =
-      if tid = 0 then begin
-        rec_op tid (Lincheck.Specs.Set_ops.Insert 5) (fun () ->
-            Structures.Oset.insert set ~tid 5 0);
-        rec_op tid (Lincheck.Specs.Set_ops.Remove 10) (fun () ->
-            Structures.Oset.remove set ~tid 10)
-      end
-      else begin
-        rec_op tid (Lincheck.Specs.Set_ops.Mem 10) (fun () ->
-            Structures.Oset.mem set ~tid 10);
-        rec_op tid (Lincheck.Specs.Set_ops.Insert 5) (fun () ->
-            Structures.Oset.insert set ~tid 5 1);
-        rec_op tid (Lincheck.Specs.Set_ops.Remove 5) (fun () ->
-            Structures.Oset.remove set ~tid 5)
-      end
-    in
-    let check () =
-      let events = Lincheck.History.events hist in
-      let events =
-        Array.append
-          [|
-            {
-              Lincheck.History.tid = 0;
-              op = Lincheck.Specs.Set_ops.Insert 10;
-              res = Lincheck.Specs.Set_ops.Bool true;
-              invoke = -2;
-              return = -1;
-            };
-          |]
-          events
-      in
-      if not (Set_check.check events) then raise Not_linearizable
-    in
-    (body, check)
-  in
-  Sched.Explore.random_sweep ~threads:2 ~runs ~seed mk
-
-let e7 ?(runs = 300) ?(seed = 23_000) () =
-  let describe name scheme (r : Sched.Explore.result) =
-    [
-      name;
-      scheme;
-      string_of_int r.schedules_run;
-      (match r.failure with
-      | None -> "none"
-      | Some f ->
-          Printf.sprintf "VIOLATION at schedule [%s]"
-            (String.concat ";"
-               (List.map string_of_int (Array.to_list f.schedule))));
-    ]
-  in
-  let rows =
-    [
-      describe "link-semantics" "wfrc" (e7_links ~scheme:"wfrc" ~runs ~seed);
-      describe "link-semantics" "lfrc" (e7_links ~scheme:"lfrc" ~runs ~seed);
-      describe "alloc-multiset" "wfrc" (e7_alloc ~scheme:"wfrc" ~runs ~seed);
-      describe "alloc-multiset" "lfrc" (e7_alloc ~scheme:"lfrc" ~runs ~seed);
-      describe "stack-LIFO" "wfrc" (e7_stack ~scheme:"wfrc" ~runs ~seed);
-      describe "stack-LIFO" "lfrc" (e7_stack ~scheme:"lfrc" ~runs ~seed);
-      describe "stack-LIFO" "hp" (e7_stack ~scheme:"hp" ~runs ~seed);
-      describe "queue-FIFO" "wfrc" (e7_queue ~scheme:"wfrc" ~runs ~seed);
-      describe "queue-FIFO" "ebr" (e7_queue ~scheme:"ebr" ~runs ~seed);
-      describe "pqueue-min" "wfrc" (e7_pqueue ~scheme:"wfrc" ~runs ~seed);
-      describe "oset" "wfrc" (e7_oset ~scheme:"wfrc" ~runs ~seed);
-      describe "oset" "hp" (e7_oset ~scheme:"hp" ~runs ~seed);
-      describe "oset" "ebr" (e7_oset ~scheme:"ebr" ~runs ~seed);
-    ]
-  in
-  {
-    id = "E7";
-    title =
-      "linearizability sweeps under the deterministic scheduler \
-       (Wing–Gong check per schedule)";
-    headers = [ "object"; "scheme"; "schedules"; "violations" ];
-    rows;
-    notes =
-      [
-        "checks Definition 1 / Lemmas 2–5 operationally: every recorded \
-         history must have a legal sequential witness";
-      ];
-  }
-
-(* ------------------------------------------------------------------ *)
-(* E9: the applicability boundary in numbers — the ordered set runs   *)
-(* on all five schemes (Michael's unlink-then-retire discipline),     *)
-(* while the skiplist cannot leave reference counting (§1).           *)
-(* ------------------------------------------------------------------ *)
-
-let e9 ?(schemes = Registry.names) ?(threads_list = [ 1; 2; 4 ])
-    ?(ops = 30_000) ?(capacity = 4096) ?(key_range = 512) ?(seed = 19_000) ()
-    =
-  let rows =
-    List.map
-      (fun scheme ->
-        scheme
-        :: List.map
-             (fun threads ->
-               let cfg =
-                 Mm.config ~backend:Atomics.Backend.Native ~threads
-                   ~capacity ~num_links:1 ~num_data:2 ~num_roots:0 ()
-               in
-               let mm = Registry.instantiate scheme cfg in
-               let set = Structures.Oset.create mm ~tid:0 in
-               (* prefill to ~half the key range *)
-               let rng = Rng.create (seed + 1) in
-               for _ = 1 to key_range / 2 do
-                 ignore
-                   (Structures.Oset.insert set ~tid:0
-                      (1 + Rng.int rng key_range)
-                      0)
-               done;
-               let per_thread = ops / threads in
-               let result =
-                 Runner.run ~threads (fun ~tid ->
-                     let rng = Rng.create (seed + 2 + tid) in
-                     for _ = 1 to per_thread do
-                       let k = 1 + Rng.int rng key_range in
-                       match Rng.int rng 10 with
-                       | 0 | 1 -> (
-                           try ignore (Structures.Oset.insert set ~tid k tid)
-                           with Mm.Out_of_memory -> ())
-                       | 2 | 3 -> ignore (Structures.Oset.remove set ~tid k)
-                       | _ -> ignore (Structures.Oset.mem set ~tid k)
-                     done)
-               in
-               Metrics.ops_to_string
-                 (Runner.throughput ~ops:(per_thread * threads) result))
-             threads_list)
-      schemes
-  in
-  {
-    id = "E9";
-    title =
-      "ordered-set throughput, ALL schemes (20% ins / 20% del / 60% mem)";
-    headers =
-      "scheme" :: List.map (fun t -> Printf.sprintf "%dT" t) threads_list;
-    rows;
-    notes =
-      [
-        "the set follows Michael's unlink-then-retire discipline, so \
-         hazard pointers and epochs run it too — contrast with E1's \
-         skiplist, which only reference counting supports (§1)";
-      ];
-  }
-
-(* ------------------------------------------------------------------ *)
-(* E8: exhaustion behaviour (paper footnote 4).                       *)
-(* ------------------------------------------------------------------ *)
-
-let e8 ?(threads_list = [ 1; 2; 4 ]) ?(capacity = 32) () =
-  let rows =
-    List.map
-      (fun threads ->
-        let cfg =
-          Mm.config ~backend:Atomics.Backend.Native ~threads ~capacity
-            ~num_links:0 ~num_data:1 ~num_roots:0 ()
-        in
-        let mm = Registry.instantiate "wfrc" cfg in
-        let held = Array.make threads [] in
-        let oom = Array.make threads 0 in
-        ignore
-          (Runner.run ~threads (fun ~tid ->
-               try
-                 while true do
-                   held.(tid) <- Mm.alloc mm ~tid :: held.(tid)
-                 done
-               with Mm.Out_of_memory -> oom.(tid) <- 1));
-        let allocated =
-          Array.fold_left (fun a l -> a + List.length l) 0 held
-        in
-        let parked = capacity - allocated - Mm.free_count mm in
-        (* free_count counts annAlloc-parked nodes as free. *)
-        let parked_in_ann = Mm.free_count mm in
-        Array.iteri
-          (fun tid l -> List.iter (fun p -> Mm.release mm ~tid p) l)
-          held;
-        (* A donation parked in annAlloc[tid] is retrieved by that
-           thread's next allocation (A4) — demonstrate the recovery
-           with one bounded alloc/release round per thread. *)
-        for tid = 0 to threads - 1 do
-          match Mm.alloc mm ~tid with
-          | p -> Mm.release mm ~tid p
-          | exception Mm.Out_of_memory -> ()
-        done;
-        let final_free = Mm.free_count mm in
-        Mm.validate mm;
-        [
-          string_of_int threads;
-          string_of_int capacity;
-          string_of_int allocated;
-          string_of_int parked_in_ann;
-          string_of_int parked;
-          string_of_int final_free;
-          (if final_free = capacity then "ok" else "LEAK");
-        ])
-      threads_list
-  in
-  {
-    id = "E8";
-    title = "allocation at exhaustion: OOM detection and conservation";
-    headers =
-      [
-        "threads"; "capacity"; "allocated@OOM"; "parked"; "lost";
-        "free-after-drain"; "conservation";
-      ];
-    rows;
-    notes =
-      [
-        "footnote 4: OOM is detected by a bounded retry budget";
-        "up to N-1 nodes can be parked in annAlloc donations at OOM \
-         time; they are recovered by later allocations";
-      ];
-  }
-
-(* ------------------------------------------------------------------ *)
-(* E10: crash tolerance — the non-blocking hierarchy, demonstrated.   *)
-(* A third thread crashes (is never scheduled again) at a random      *)
-(* point; two workers must still finish their operations.             *)
-(*   wait-free / lock-free schemes: workers always complete;          *)
-(*   EBR: workers complete ops but allocation starves (the crashed    *)
-(*        thread pins the epoch) -> "degraded";                       *)
-(*   lockrc: the crash can happen inside the critical section ->      *)
-(*        workers spin forever -> "stalled".                          *)
-(* ------------------------------------------------------------------ *)
-
-let e10 ?(schemes = Registry.names) ?(runs = 40) ?(ops = 20) ?(seed = 41_000)
-    () =
-  let rows =
-    List.map
-      (fun scheme ->
-        let completed = ref 0 and degraded = ref 0 and stalled = ref 0 in
-        for r = 0 to runs - 1 do
-          let cfg =
-            Mm.config ~threads:3 ~capacity:24 ~num_links:1 ~num_data:1
-              ~num_roots:1 ()
-          in
-          let mm = Registry.instantiate scheme cfg in
-          let arena = Mm.arena mm in
-          let root = Shmem.Arena.root_addr arena 0 in
-          let a = Mm.alloc mm ~tid:0 in
-          Mm.store_link mm ~tid:0 root a;
-          Mm.release mm ~tid:0 a;
-          let oom_seen = ref false in
-          let one_op mm ~tid =
-            Mm.enter_op mm ~tid;
-            (match Mm.alloc mm ~tid with
-            | b ->
-                let old = Mm.deref mm ~tid root in
-                let ok = Mm.cas_link mm ~tid root ~old ~nw:b in
-                if not (Value.is_null old) then begin
-                  Mm.release mm ~tid old;
-                  if ok then Mm.terminate mm ~tid old
-                end;
-                Mm.release mm ~tid b
-            | exception Mm.Out_of_memory -> oom_seen := true);
-            Mm.exit_op mm ~tid
-          in
-          let body tid =
-            if tid = 2 then
-              (* the future crash victim churns forever *)
-              while true do
-                one_op mm ~tid
-              done
-            else
-              for _ = 1 to ops do
-                one_op mm ~tid;
-                Mm.enter_op mm ~tid;
-                let p = Mm.deref mm ~tid root in
-                if not (Value.is_null p) then Mm.release mm ~tid p;
-                Mm.exit_op mm ~tid
-              done
-          in
-          let rng = Rng.create (seed + r) in
-          let crash_at = 20 + Rng.int rng 150 in
-          let policy =
-            Sched.Policy.crashed ~dead:[ 2 ] ~after:crash_at
-              (Sched.Policy.random ~seed:(seed + (r * 7)))
-          in
-          match
-            Sched.Engine.run ~max_steps:300_000 ~quorum:[ 0; 1 ] ~threads:3
-              ~policy body
-          with
-          | _ -> if !oom_seen then incr degraded else incr completed
-          | exception Sched.Engine.Out_of_steps -> incr stalled
-        done;
-        [
-          scheme;
-          string_of_int !completed;
-          string_of_int !degraded;
-          string_of_int !stalled;
-        ])
-      schemes
-  in
-  {
-    id = "E10";
-    title =
-      Printf.sprintf
-        "crash tolerance: a peer crashes mid-operation; do %d-op workers \
-         finish? (%d runs)"
-        ops runs;
-    headers = [ "scheme"; "completed"; "degraded(OOM)"; "stalled" ];
-    rows;
-    notes =
-      [
-        "non-blocking schemes complete regardless of where the peer \
-         dies (for wfrc even a helper crashed inside H4..H8 only \
-         retires one announcement slot — the pool has N of them)";
-        "ebr: the crashed thread pins the epoch, so reclamation stops \
-         and allocation starves";
-        "lockrc: a crash inside the critical section stalls everyone — \
-         the §1 argument against mutual exclusion";
-      ];
-  }
-
-(* ------------------------------------------------------------------ *)
-(* E11: metadata space cost per scheme as the thread count grows.     *)
-(* The paper's wait-freedom is bought with an O(N^2) announcement     *)
-(* pool and 2N free-lists; the baselines are O(N) or O(1). This       *)
-(* table makes the trade explicit (words of scheme metadata,          *)
-(* excluding the arena itself, which is identical for all).           *)
-(* ------------------------------------------------------------------ *)
-
-let e11 ?(threads_list = [ 2; 4; 8; 16; 32; 64 ]) () =
-  (* Word counts by construction (see each scheme's [create]):
-     wfrc : annReadAddr N^2 + annBusy N^2 + annIndex N
-            + freeList 2N + annAlloc N + currentFreeList + helpCurrent
-     lfrc : stamped head = 1
-     hp   : K slots/thread (K = max 16 (2*links+8); links=1 here)
-            + head = K*N + 1  (retired lists are transient)
-     ebr  : global + head + per-thread (active + epoch) = 2N + 2
-     lockrc: lock + head = 2 *)
-  let rows =
-    List.map
-      (fun n ->
-        let k = 16 in
-        [
-          string_of_int n;
-          string_of_int ((2 * n * n) + n + (2 * n) + n + 2);
-          "1";
-          string_of_int ((k * n) + 1);
-          string_of_int ((2 * n) + 2);
-          "2";
-        ])
-      threads_list
-  in
-  {
-    id = "E11";
-    title = "scheme metadata (words) vs thread count N";
-    headers = [ "N"; "wfrc"; "lfrc"; "hp(K=16)"; "ebr"; "lockrc" ];
-    rows;
-    notes =
-      [
-        "wfrc's wait-freedom costs O(N^2) announcement cells (Figure 4) \
-         plus 2N free-lists (Figure 5); at N=64 that is ~8.6k words — \
-         negligible next to any real arena, but the asymptotic trade \
-         is worth stating";
-        "counts derive from each scheme's create(); the arena itself \
-         (capacity x node_size cells) is identical for every scheme \
-         and excluded";
-      ];
-  }
-
-(* ------------------------------------------------------------------ *)
-(* E12: bounded loss under crashes — the fault-injection layer plus   *)
-(* the auditor, quantifying what E10 only classified. One thread is   *)
-(* crashed mid-operation by a Fault plan (left unwound: its           *)
-(* announcements, hazards and references stay in place); survivors    *)
-(* finish and drain, and the auditor partitions every node. The       *)
-(* paper's claim: a crashed thread strands at most an                 *)
-(* O(N^2)-envelope of nodes under WFRC, independent of how long the   *)
-(* survivors keep running — while under EBR the crashed thread pins   *)
-(* the epoch and the loss grows with survivor work until the arena    *)
-(* is exhausted.                                                      *)
-(* ------------------------------------------------------------------ *)
-
-(* One root-churn operation; unlike E10's this one also retires the
-   fresh node when the CAS fails, so HP/EBR do not leak on the failure
-   path and every node the auditor finds stranded is stranded by the
-   crash alone. *)
-let churn_op mm ~root ~oom ~tid =
-  Mm.enter_op mm ~tid;
-  (match Mm.alloc mm ~tid with
-  | b ->
-      let old = Mm.deref mm ~tid root in
-      let ok = Mm.cas_link mm ~tid root ~old ~nw:b in
-      if not (Value.is_null old) then begin
-        Mm.release mm ~tid old;
-        if ok then Mm.terminate mm ~tid old
-      end;
-      if not ok then Mm.terminate mm ~tid b;
-      Mm.release mm ~tid b
-  | exception Mm.Out_of_memory -> oom := true);
-  Mm.exit_op mm ~tid
-
-(* Post-run drain: give every survivor a few empty operation brackets
-   (EBR epoch advances/collections, nothing for the others), then for
-   RC schemes one alloc/release round to pull in any annAlloc
-   donation parked for a survivor (A4). *)
-let drain_survivors mm ~survivors =
-  List.iter
-    (fun tid ->
-      for _ = 1 to 8 do
-        Mm.enter_op mm ~tid;
-        Mm.exit_op mm ~tid
-      done)
-    survivors;
-  if Mm.refcounted mm then
-    List.iter
-      (fun tid ->
-        match Mm.alloc mm ~tid with
-        | p -> Mm.release mm ~tid p
-        | exception Mm.Out_of_memory -> ())
-      survivors
-
-let e12 ?(schemes = Registry.names) ?(ops_list = [ 8; 24; 72 ]) ?(seeds = 10)
-    ?(seed = 43_000) () =
-  let threads = 3 and capacity = 48 in
-  let victim = threads - 1 in
-  let rows = ref [] in
-  List.iter
-    (fun scheme ->
-      List.iter
-        (fun ops ->
-          let completed = ref 0
-          and oom_runs = ref 0
-          and stalled = ref 0
-          and audited = ref 0
-          and audits_ok = ref 0
-          and max_lost = ref 0
-          and max_crash_held = ref 0
-          and max_leaked = ref 0
-          and bound = ref 0 in
-          for s = 0 to seeds - 1 do
-            let cfg =
-              Mm.config ~threads ~capacity ~num_links:1 ~num_data:1
-                ~num_roots:1 ()
-            in
-            let mm = Registry.instantiate scheme cfg in
-            let arena = Mm.arena mm in
-            let root = Shmem.Arena.root_addr arena 0 in
-            let a = Mm.alloc mm ~tid:0 in
-            Mm.store_link mm ~tid:0 root a;
-            Mm.release mm ~tid:0 a;
-            let oom = ref false in
-            let body tid =
-              if tid = victim then
-                while true do
-                  churn_op mm ~root ~oom ~tid
-                done
-              else
-                for _ = 1 to ops do
-                  churn_op mm ~root ~oom ~tid
-                done
-            in
-            let rng = Rng.create (seed + s) in
-            let faults =
-              [ Sched.Fault.crash ~tid:victim ~at_step:(30 + Rng.int rng 200) ]
-            in
-            let policy = Sched.Policy.random ~seed:(seed + (s * 7) + 1) in
-            match
-              Sched.Engine.run ~max_steps:120_000 ~faults ~threads ~policy
-                body
-            with
-            | _ ->
-                if !oom then incr oom_runs else incr completed;
-                drain_survivors mm ~survivors:[ 0; 1 ];
-                let r = Audit.run ~crashed:[ victim ] mm in
-                incr audited;
-                if Audit.ok r then incr audits_ok;
-                max_lost := max !max_lost r.Audit.lost;
-                max_crash_held := max !max_crash_held r.Audit.crash_held;
-                max_leaked := max !max_leaked r.Audit.leaked;
-                bound := r.Audit.loss_bound
-            | exception Sched.Engine.Out_of_steps ->
-                (* survivors never reached quiescence (lockrc: the
-                   victim died holding the lock) — nothing to audit *)
-                incr stalled
-          done;
-          rows :=
-            [
-              scheme;
-              string_of_int ops;
-              string_of_int !completed;
-              string_of_int !oom_runs;
-              string_of_int !stalled;
-              string_of_int !max_lost;
-              string_of_int !max_crash_held;
-              string_of_int !bound;
-              string_of_int !max_leaked;
-              (if !audited = 0 then "n/a"
-               else if !audits_ok = !audited then "ok"
-               else Printf.sprintf "FAIL(%d/%d)" !audits_ok !audited);
-            ]
-            :: !rows)
-        ops_list)
-    schemes;
-  {
-    id = "E12";
-    title =
-      Printf.sprintf
-        "bounded loss under a crashed thread (N=%d, capacity=%d, %d seeds): \
-         nodes stranded vs survivor work"
-        threads capacity seeds;
-    headers =
-      [
-        "scheme"; "ops/worker"; "completed"; "oom"; "stalled"; "lost(max)";
-        "crash_held(max)"; "bound"; "leaked(max)"; "audit";
-      ];
-    rows = List.rev !rows;
-    notes =
-      [
-        "lost = capacity - free - reachable after survivors drain; \
-         crash_held of it is attributed to the crashed thread by the \
-         auditor, leaked is attributable to nothing (a real failure)";
-        "wfrc: lost stays flat as survivor work grows and within the \
-         N(N+1)-per-crash envelope (Theorem 1's per-thread reference \
-         bound) — the crash costs a constant, not a rate";
-        "ebr: the crashed thread pins the epoch, so every survivor \
-         limbo bag jams and lost grows with ops until the arena is \
-         exhausted (oom) — unbounded loss, the §1 contrast";
-        "ebr can also leak outright (audit FAIL): a crash between \
-         emptying a limbo bag and repooling its nodes strands them \
-         outside any custody record, invisible to the scheme itself";
-        "lockrc: runs where the victim died inside the critical \
-         section stall the survivors (no audit possible)";
-      ];
-  }
-
-(* ------------------------------------------------------------------ *)
-(* E13: stall storm — k of N threads freeze for a window, then        *)
-(* resume. Survivors' operations are step-metered: under WFRC each    *)
-(* survivor op completes within its own-step bound no matter how      *)
-(* many peers are frozen (wait-freedom); under lockrc a survivor op   *)
-(* blocks for the whole stall window if a frozen thread holds the     *)
-(* lock. The auditor confirms nothing is lost once the stall ends.    *)
-(* ------------------------------------------------------------------ *)
-
-let e13 ?(schemes = Registry.names) ?(ks = [ 1; 2 ]) ?(ops = 12) ?(seeds = 8)
-    ?(seed = 47_000) () =
-  let threads = 4 and capacity = 32 in
-  let duration = 600 in
-  let rows = ref [] in
-  List.iter
-    (fun scheme ->
-      List.iter
-        (fun k ->
-          let completed = ref 0
-          and oom_runs = ref 0
-          and stalled = ref 0
-          and audits_ok = ref 0
-          and audited = ref 0
-          and max_op = ref 0
-          and max_lost = ref 0 in
-          for s = 0 to seeds - 1 do
-            let cfg =
-              Mm.config ~threads ~capacity ~num_links:1 ~num_data:1
-                ~num_roots:1 ()
-            in
-            let mm = Registry.instantiate scheme cfg in
-            let arena = Mm.arena mm in
-            let root = Shmem.Arena.root_addr arena 0 in
-            let a = Mm.alloc mm ~tid:0 in
-            Mm.store_link mm ~tid:0 root a;
-            Mm.release mm ~tid:0 a;
-            let faults =
-              Sched.Fault.random_stalls ~seed:(seed + s) ~threads ~victims:k
-                ~window:(40, 120) ~duration ()
-            in
-            let frozen = List.map Sched.Fault.tid_of faults in
-            let movers =
-              List.filter
-                (fun tid -> not (List.mem tid frozen))
-                (List.init threads (fun i -> i))
-            in
-            let storm =
-              let froms =
-                List.filter_map
-                  (function
-                    | Sched.Fault.Stall { from_step; _ } -> Some from_step
-                    | Sched.Fault.Crash _ -> None)
-                  faults
-              in
-              ( List.fold_left min max_int froms,
-                List.fold_left max 0 froms + duration )
-            in
-            let rec_ = Audit.Steps.create ~threads in
-            let oom = ref false in
-            let body tid =
-              for _ = 1 to ops do
-                Audit.Steps.around rec_ ~tid (fun () ->
-                    churn_op mm ~root ~oom ~tid)
-              done
-            in
-            let policy = Sched.Policy.random ~seed:(seed + (s * 11) + 2) in
-            match
-              Sched.Engine.run ~max_steps:200_000 ~faults ~threads ~policy
-                body
-            with
-            | _ ->
-                if !oom then incr oom_runs else incr completed;
-                let m =
-                  Audit.Steps.max_own_steps ~window:storm rec_ ~tids:movers
-                in
-                max_op := max !max_op m;
-                drain_survivors mm
-                  ~survivors:(List.init threads (fun i -> i));
-                let r = Audit.run mm in
-                incr audited;
-                if Audit.ok r then incr audits_ok;
-                max_lost := max !max_lost r.Audit.lost
-            | exception Sched.Engine.Out_of_steps -> incr stalled
-          done;
-          rows :=
-            [
-              scheme;
-              string_of_int k;
-              string_of_int !completed;
-              string_of_int !oom_runs;
-              string_of_int !stalled;
-              string_of_int !max_op;
-              string_of_int !max_lost;
-              (if !audited = 0 then "n/a"
-               else if !audits_ok = !audited then "ok"
-               else Printf.sprintf "FAIL(%d/%d)" !audits_ok !audited);
-            ]
-            :: !rows)
-        ks)
-    schemes;
-  {
-    id = "E13";
-    title =
-      Printf.sprintf
-        "stall storm (N=%d, %d-step freeze, %d seeds): survivor op cost \
-         while k peers are frozen"
-        threads duration seeds;
-    headers =
-      [
-        "scheme"; "k"; "completed"; "oom"; "stalled"; "max-op-steps";
-        "lost(max)"; "audit";
-      ];
-    rows = List.rev !rows;
-    notes =
-      [
-        "max-op-steps = the most *own* scheduling steps any survivor \
-         operation took while overlapping the storm (Audit.Steps); \
-         wait-free ops stay near their solo cost, lockrc ops absorb \
-         the whole stall window when a frozen thread holds the lock";
-        "stalled threads resume after the window and finish, so every \
-         run ends quiescent and audits with no crashed threads: \
-         nothing may be lost (lost counts only transient limbo \
-         backlogs, e.g. ebr bags not yet collected)";
-        "ebr during the storm: a frozen in-bracket thread blocks epoch \
-         advance, so allocation can exhaust the arena (oom column) — \
-         the blocking-reclamation cost even a *temporary* stall \
-         inflicts";
-      ];
-  }
-
-(* ------------------------------------------------------------------ *)
-(* Ablations.                                                         *)
-(* ------------------------------------------------------------------ *)
-
-(* E-A1: deref step bound vs thread count (the D1 slot scan and the
-   helping scan are both O(N); the bound must grow linearly, not
-   explode). *)
-let a1 ?(threads_list = [ 2; 4; 8; 16 ]) ?(seeds = 15) ?(seed = 29_000) () =
-  let rows =
-    List.map
-      (fun threads ->
-        let worst = ref 0 in
-        for s = 0 to seeds - 1 do
-          let cfg =
-            Mm.config ~threads ~capacity:(4 * threads) ~num_links:1
-              ~num_data:1 ~num_roots:1 ()
-          in
-          let mm = Registry.instantiate "wfrc" cfg in
-          let arena = Mm.arena mm in
-          let root = Shmem.Arena.root_addr arena 0 in
-          let a = Mm.alloc mm ~tid:0 in
-          Mm.store_link mm ~tid:0 root a;
-          Mm.release mm ~tid:0 a;
-          let body tid =
-            if tid = threads - 1 then begin
-              (* one updater creates helping traffic *)
-              for _ = 1 to 2 do
-                let b = Mm.alloc mm ~tid in
-                let rec flip () =
-                  let old = Mm.deref mm ~tid root in
-                  let ok = Mm.cas_link mm ~tid root ~old ~nw:b in
-                  if not (Value.is_null old) then Mm.release mm ~tid old;
-                  if not ok then flip ()
-                in
-                flip ();
-                Mm.release mm ~tid b
-              done
-            end
-            else begin
-              let p = Mm.deref mm ~tid root in
-              if not (Value.is_null p) then Mm.release mm ~tid p
-            end
-          in
-          let policy = Sched.Policy.random ~seed:(seed + s) in
-          let outcome = Sched.Engine.run ~threads ~policy body in
-          for tid = 0 to threads - 2 do
-            if outcome.steps.(tid) > !worst then worst := outcome.steps.(tid)
-          done
-        done;
-        [ string_of_int threads; string_of_int !worst ])
-      threads_list
-  in
-  {
-    id = "E-A1";
-    title = "WFRC deref step bound vs thread count (announcement scans)";
-    headers = [ "threads"; "max reader steps" ];
-    rows;
-    notes =
-      [ "the wait-free bound is O(N) in the thread count, by design (D1/H1)" ];
-  }
-
-(* Churn throughput/retry for a Gc variant — shared by A2/A3. *)
-let churn_gc gc ~threads ~ops ~max_burst ~seed =
-  let bursts =
-    Workload.per_thread ~threads ~seed (fun rng ->
-        Workload.churn_bursts ~rng ~n:(ops / threads) ~max_burst)
-  in
-  let result =
-    Runner.run ~threads (fun ~tid ->
-        let held = Array.make max_burst Value.null in
-        Array.iter
-          (fun burst ->
-            let got = ref 0 in
-            (try
-               for i = 0 to burst - 1 do
-                 held.(i) <- Wfrc.Gc.alloc gc ~tid;
-                 incr got
-               done
-             with Mm.Out_of_memory -> ());
-            for i = 0 to !got - 1 do
-              Wfrc.Gc.release gc ~tid held.(i)
-            done)
-          bursts.(tid))
-  in
-  let ctr = Wfrc.Gc.counters gc in
-  let allocs = Atomics.Counters.total ctr Alloc in
-  let per1k ev =
-    if allocs = 0 then 0.0
-    else
-      1000.0
-      *. float_of_int (Atomics.Counters.total ctr ev)
-      /. float_of_int allocs
-  in
-  (Runner.throughput ~ops:allocs result, per1k Alloc_retry, per1k Free_retry)
-
-let a2 ?(threads_list = [ 2; 4; 8 ]) ?(ops = 40_000) ?(capacity = 4096)
-    ?(seed = 31_000) () =
-  let rows = ref [] in
-  List.iter
-    (fun threads ->
-      List.iter
-        (fun (label, placement) ->
-          let cfg =
-            list_layout ~backend:Atomics.Backend.Native ~threads ~capacity
-          in
-          let gc = Wfrc.Gc.create ~placement cfg in
-          let tput, ar, fr =
-            churn_gc gc ~threads ~ops ~max_burst:8 ~seed
-          in
-          rows :=
-            [
-              string_of_int threads; label; Metrics.ops_to_string tput;
-              f1 ar; f1 fr;
-            ]
-            :: !rows)
-        [ ("paper(F5-F6)", `Paper); ("own-index", `Own_index) ])
-    threads_list;
-  {
-    id = "E-A2";
-    title = "FreeNode placement heuristic ablation (alloc/free churn)";
-    headers = [ "threads"; "placement"; "allocs/s"; "aretry/1k"; "fretry/1k" ];
-    rows = List.rev !rows;
-    notes =
-      [
-        "F5-F6 steers frees away from the list allocators are hitting \
-         (Lemma 10's conflict-avoidance argument)";
-      ];
-  }
-
-let a3 ?(threads_list = [ 2; 4; 8 ]) ?(ops = 40_000) ?(capacity = 4096)
-    ?(seed = 37_000) () =
-  let rows = ref [] in
-  List.iter
-    (fun threads ->
-      List.iter
-        (fun (label, help_alloc) ->
-          let cfg =
-            list_layout ~backend:Atomics.Backend.Native ~threads ~capacity
-          in
-          let gc = Wfrc.Gc.create ~help_alloc cfg in
-          let tput, ar, fr =
-            churn_gc gc ~threads ~ops ~max_burst:8 ~seed
-          in
-          let ctr = Wfrc.Gc.counters gc in
-          let helped = Atomics.Counters.total ctr Alloc_helped in
-          rows :=
-            [
-              string_of_int threads; label; Metrics.ops_to_string tput;
-              f1 ar; f1 fr; string_of_int helped;
-            ]
-            :: !rows)
-        [ ("help-on(wait-free)", true); ("help-off(lock-free)", false) ])
-    threads_list;
-  {
-    id = "E-A3";
-    title = "allocation-helping ablation (A11-A15/F3 on vs off)";
-    headers =
-      [ "threads"; "variant"; "allocs/s"; "aretry/1k"; "fretry/1k"; "helped" ];
-    rows = List.rev !rows;
-    notes =
-      [
-        "with helping off, AllocNode can starve (lock-free only); \
-         average throughput is similar — the paper's point that \
-         wait-freedom costs little on average";
-      ];
-  }
-
-(* ------------------------------------------------------------------ *)
-
-(* Quick variants for `run all --quick` and the test-suite shape checks. *)
-let registry : (string * (?quick:bool -> unit -> report)) list =
-  [
-    ( "e1",
-      fun ?(quick = false) () ->
-        if quick then e1 ~threads_list:[ 1; 2 ] ~ops:4_000 ~capacity:2048 ()
-        else e1 () );
-    ( "e2",
-      fun ?(quick = false) () ->
-        if quick then e2 ~budgets:[ 0; 4; 16 ] ~seeds:8 () else e2 () );
-    ( "e3",
-      fun ?(quick = false) () ->
-        if quick then e3 ~threads_list:[ 1; 2 ] ~ops:8_000 ~capacity:1024 ()
-        else e3 () );
-    ( "e4",
-      fun ?(quick = false) () ->
-        if quick then e4 ~threads_list:[ 2; 4 ] ~ops:12 ~runs:25 ()
-        else e4 () );
-    ( "e5",
-      fun ?(quick = false) () ->
-        if quick then e5 ~threads:2 ~ops:6_000 ~capacity:2048 () else e5 () );
-    ( "e7",
-      fun ?(quick = false) () -> if quick then e7 ~runs:60 () else e7 () );
-    ( "e8",
-      fun ?(quick = false) () ->
-        if quick then e8 ~threads_list:[ 1; 2 ] () else e8 () );
-    ( "e9",
-      fun ?(quick = false) () ->
-        if quick then e9 ~threads_list:[ 1; 2 ] ~ops:6_000 ~capacity:1024 ()
-        else e9 () );
-    ( "e10",
-      fun ?(quick = false) () ->
-        if quick then e10 ~runs:12 ~ops:10 () else e10 () );
-    ( "e11",
-      fun ?(quick = false) () ->
-        if quick then e11 ~threads_list:[ 2; 4; 8 ] () else e11 () );
-    ( "e12",
-      fun ?(quick = false) () ->
-        if quick then e12 ~ops_list:[ 6; 18 ] ~seeds:4 () else e12 () );
-    ( "e13",
-      fun ?(quick = false) () ->
-        if quick then e13 ~ks:[ 1 ] ~ops:8 ~seeds:3 () else e13 () );
-    ( "a1",
-      fun ?(quick = false) () ->
-        if quick then a1 ~threads_list:[ 2; 4 ] ~seeds:5 () else a1 () );
-    ( "a2",
-      fun ?(quick = false) () ->
-        if quick then a2 ~threads_list:[ 2 ] ~ops:8_000 ~capacity:1024 ()
-        else a2 () );
-    ( "a3",
-      fun ?(quick = false) () ->
-        if quick then a3 ~threads_list:[ 2 ] ~ops:8_000 ~capacity:1024 ()
-        else a3 () );
-  ]
-
-let ids = List.map fst registry
-
-let run ?quick id =
-  match List.assoc_opt (String.lowercase_ascii id) registry with
-  | Some f -> f ?quick ()
-  | None ->
-      invalid_arg
-        (Printf.sprintf "unknown experiment %S (known: %s)" id
-           (String.concat ", " ids))
+(* Direct entry points (full-size defaults), family by family. *)
+let e1 = Exp_throughput.e1
+let e2 = Exp_contention.e2
+let e3 = Exp_contention.e3
+let e4 = Exp_steps.e4
+let e5 = Exp_steps.e5
+let e7 = Exp_lincheck.e7
+let e8 = Exp_lincheck.e8
+let e9 = Exp_throughput.e9
+let e10 = Exp_ratio.e10
+let e11 = Exp_throughput.e11
+let e12 = Exp_fault.e12
+let e13 = Exp_fault.e13
+let a1 = Exp_ratio.a1
+let a2 = Exp_ratio.a2
+let a3 = Exp_ratio.a3

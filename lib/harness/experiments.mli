@@ -1,16 +1,20 @@
 (** The experiment suite — one entry point per experiment id of
-    DESIGN.md §4 / EXPERIMENTS.md. Every function returns a printable
-    {!report}; all randomness is seeded. *)
+    DESIGN.md §4 / EXPERIMENTS.md, aggregated from the family modules
+    ({!Exp_throughput}, {!Exp_contention}, {!Exp_steps},
+    {!Exp_lincheck}, {!Exp_ratio}, {!Exp_fault}). Every function
+    returns a typed {!Report.t} (render it with {!Sink}); all
+    randomness is seeded. *)
 
-type report = {
-  id : string;
-  title : string;
-  headers : string list;
-  rows : string list list;
-  notes : string list;
-}
+val specs : Exp.spec list
+(** Every registered experiment, in canonical display order. *)
 
-val print : ?csv:bool -> report -> unit
+val ids : string list
+(** All experiment ids accepted by {!run}. *)
+
+val run : ?quick:bool -> string -> Report.t
+(** Run an experiment by id; [quick] uses reduced parameters and is
+    recorded in the report metadata. Raises [Invalid_argument] for an
+    unknown id. *)
 
 val e1 :
   ?schemes:string list ->
@@ -20,7 +24,7 @@ val e1 :
   ?key_range:int ->
   ?seed:int ->
   unit ->
-  report
+  Report.t
 (** Priority-queue throughput per scheme and thread count — the
     paper's §5 experiment. *)
 
@@ -30,7 +34,7 @@ val e2 :
   ?seeds:int ->
   ?seed:int ->
   unit ->
-  report
+  Report.t
 (** Max victim steps for one DeRefLink vs adversary link-flip budget,
     under the deterministic scheduler: the wait-freedom evidence
     (Lemmas 6–10 vs the Valois unbounded retry). *)
@@ -43,12 +47,17 @@ val e3 :
   ?max_burst:int ->
   ?seed:int ->
   unit ->
-  report
+  Report.t
 (** Alloc/free churn: the wait-free [2N]-list free-list vs the single
     Treiber list (§3.1). *)
 
 val e4 :
-  ?threads_list:int list -> ?ops:int -> ?runs:int -> ?seed:int -> unit -> report
+  ?threads_list:int list ->
+  ?ops:int ->
+  ?runs:int ->
+  ?seed:int ->
+  unit ->
+  Report.t
 (** Helping-mechanism accounting under the deterministic scheduler. *)
 
 val e5 :
@@ -59,14 +68,14 @@ val e5 :
   ?key_range:int ->
   ?seed:int ->
   unit ->
-  report
+  Report.t
 (** Per-operation latency tails — the real-time argument of §5. *)
 
-val e7 : ?runs:int -> ?seed:int -> unit -> report
+val e7 : ?runs:int -> ?seed:int -> unit -> Report.t
 (** Linearizability sweeps (Wing–Gong check per schedule) for link
     semantics, the alloc multiset, stack, queue and priority queue. *)
 
-val e8 : ?threads_list:int list -> ?capacity:int -> unit -> report
+val e8 : ?threads_list:int list -> ?capacity:int -> unit -> Report.t
 (** Exhaustion behaviour: OOM detection (footnote 4) and node
     conservation. *)
 
@@ -78,18 +87,23 @@ val e9 :
   ?key_range:int ->
   ?seed:int ->
   unit ->
-  report
+  Report.t
 (** Ordered-set throughput on {e all} schemes — the applicability
     boundary of §1 in numbers (contrast with E1). *)
 
 val e10 :
-  ?schemes:string list -> ?runs:int -> ?ops:int -> ?seed:int -> unit -> report
+  ?schemes:string list ->
+  ?runs:int ->
+  ?ops:int ->
+  ?seed:int ->
+  unit ->
+  Report.t
 (** Crash tolerance under the deterministic scheduler: a peer thread
     is crashed mid-operation; non-blocking schemes must still let the
     workers finish (the §1 blocking-vs-non-blocking argument, plus the
     announcement-pool sizing under a crashed helper). *)
 
-val e11 : ?threads_list:int list -> unit -> report
+val e11 : ?threads_list:int list -> unit -> Report.t
 (** Scheme metadata space (words) vs thread count: the O(N{^2})
     announcement-pool cost of wait-freedom, made explicit. *)
 
@@ -99,7 +113,7 @@ val e12 :
   ?seeds:int ->
   ?seed:int ->
   unit ->
-  report
+  Report.t
 (** Bounded loss under a crashed thread ({!Sched.Fault} + {!Audit}):
     one thread is crashed mid-operation without unwinding; after the
     survivors drain, the auditor partitions every node. WFRC strands a
@@ -113,13 +127,13 @@ val e13 :
   ?seeds:int ->
   ?seed:int ->
   unit ->
-  report
+  Report.t
 (** Stall storm: k of N threads freeze for a fixed window; survivors'
     per-operation own-step costs are metered ({!Audit.Steps}) and the
     run is audited once everyone resumes and finishes. The empirical
     wait-freedom-bound experiment. *)
 
-val a1 : ?threads_list:int list -> ?seeds:int -> ?seed:int -> unit -> report
+val a1 : ?threads_list:int list -> ?seeds:int -> ?seed:int -> unit -> Report.t
 (** Ablation: deref step bound vs thread count (O(N) scans). *)
 
 val a2 :
@@ -128,7 +142,7 @@ val a2 :
   ?capacity:int ->
   ?seed:int ->
   unit ->
-  report
+  Report.t
 (** Ablation: FreeNode placement heuristic (F5–F6) vs own-index. *)
 
 val a3 :
@@ -137,11 +151,5 @@ val a3 :
   ?capacity:int ->
   ?seed:int ->
   unit ->
-  report
+  Report.t
 (** Ablation: allocation helping (A11–A15/F3) on vs off. *)
-
-val ids : string list
-(** All experiment ids accepted by {!run}. *)
-
-val run : ?quick:bool -> string -> report
-(** Run an experiment by id; [quick] uses reduced parameters. *)

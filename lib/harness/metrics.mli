@@ -21,6 +21,20 @@ module Hist : sig
   val percentile : t -> float -> int
   (** [percentile t q] for [q] in [0,1]: an upper bound on the value
       at that quantile, exact within one log sub-bucket (~6%). *)
+
+  val bucket_of : int -> int
+  (** The bucket index a (non-negative) sample lands in: identity
+      below 16, then 16 log sub-buckets per power of two. Exposed for
+      the precision tests. *)
+
+  val bucket_value : int -> int
+  (** Upper bound of the values mapping to a bucket — the value
+      {!percentile} reports for samples from that bucket. For any [b]
+      in the image of {!bucket_of}, [bucket_of (bucket_value b) = b],
+      and for [v >= 0], [v <= bucket_value (bucket_of v)] with at most
+      one sub-bucket (~1/16) of relative slack. (The index space has a
+      gap: values below 16 use buckets 0-15, larger values start at
+      bucket 64; [bucket_value] is unspecified on the gap.) *)
 end
 
 val pp_ns : Format.formatter -> int -> unit

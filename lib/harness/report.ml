@@ -1,0 +1,79 @@
+(* Typed experiment reports: the single currency of the harness→CLI
+   pipeline. Every experiment (and the backend benchmark) produces a
+   [t]; the sinks (Sink: aligned table, CSV, JSON Lines, JSON file)
+   render it. Cells carry their value, not a pre-rendered string, so
+   machine-readable sinks emit numbers while the table sink reproduces
+   the historical console formatting exactly. *)
+
+type cell =
+  | Int of int
+  | Float of float (* rendered "%.1f" *)
+  | Pct of float   (* rendered "%.2f%%" *)
+  | Ops of float   (* rendered via Metrics.ops_to_string *)
+  | Ns of int      (* rendered via Metrics.ns_to_string *)
+  | Str of string
+
+type role = Dim | Measure
+
+type col = { name : string; role : role; unit_ : string option }
+
+let dim name = { name; role = Dim; unit_ = None }
+let measure ?unit_ name = { name; role = Measure; unit_ }
+
+type meta = {
+  seed : int option;
+  quick : bool;
+  backend : string option;
+  params : (string * string) list;
+}
+
+let meta ?seed ?(quick = false) ?backend ?(params = []) () =
+  {
+    seed;
+    quick;
+    backend = Option.map Atomics.Backend.name backend;
+    params;
+  }
+
+let no_meta = { seed = None; quick = false; backend = None; params = [] }
+
+type t = {
+  id : string;
+  title : string;
+  cols : col list;
+  rows : cell list list;
+  counters : (string * int) list;
+  meta : meta;
+  notes : string list;
+}
+
+let make ~id ~title ~cols ?(notes = []) ?(counters = []) ?(meta = no_meta)
+    rows =
+  let arity = List.length cols in
+  List.iter
+    (fun row ->
+      if List.length row <> arity then
+        invalid_arg
+          (Printf.sprintf "Report.make %s: row arity %d <> %d columns" id
+             (List.length row) arity))
+    rows;
+  { id; title; cols; rows; counters; meta; notes }
+
+let cell_to_string = function
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%.1f" f
+  | Pct f -> Printf.sprintf "%.2f%%" f
+  | Ops f -> Metrics.ops_to_string f
+  | Ns n -> Metrics.ns_to_string n
+  | Str s -> s
+
+let headers t = List.map (fun c -> c.name) t.cols
+let row_strings t = List.map (List.map cell_to_string) t.rows
+
+let dims t = List.filter (fun c -> c.role = Dim) t.cols
+let measures t = List.filter (fun c -> c.role = Measure) t.cols
+
+(* Convenience for sweep-style tables: one dim column followed by one
+   measure per sweep point. *)
+let cols_of_sweep ~dim:d ?unit_ points =
+  dim d :: List.map (fun p -> measure ?unit_ p) points

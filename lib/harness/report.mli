@@ -1,0 +1,81 @@
+(** Typed experiment reports — the single currency of the
+    harness→CLI pipeline (see {!Sink} for the renderers).
+
+    A report is a table of typed cells under typed columns
+    (dimensions, i.e. sweep coordinates, then measures with units),
+    plus run metadata (seed, quick/full, backend, parameters) and the
+    scheme's {!Atomics.Counters} deltas captured by the
+    instrumentation spine ({!Exp_support.Spine}). *)
+
+type cell =
+  | Int of int
+  | Float of float  (** rendered ["%.1f"] in the table sink *)
+  | Pct of float    (** rendered ["%.2f%%"] *)
+  | Ops of float    (** rendered via {!Metrics.ops_to_string} *)
+  | Ns of int       (** rendered via {!Metrics.ns_to_string} *)
+  | Str of string
+
+type role = Dim | Measure
+
+type col = { name : string; role : role; unit_ : string option }
+
+val dim : string -> col
+(** A dimension column: a sweep coordinate (scheme, threads, …). *)
+
+val measure : ?unit_:string -> string -> col
+(** A measure column, optionally carrying a unit (["ops/s"], ["ns"],
+    ["steps"], …). *)
+
+type meta = {
+  seed : int option;
+  quick : bool;
+  backend : string option;
+  params : (string * string) list;
+      (** remaining describable parameters, as [key, value] strings *)
+}
+
+val meta :
+  ?seed:int ->
+  ?quick:bool ->
+  ?backend:Atomics.Backend.t ->
+  ?params:(string * string) list ->
+  unit ->
+  meta
+
+val no_meta : meta
+
+type t = {
+  id : string;
+  title : string;
+  cols : col list;
+  rows : cell list list;
+  counters : (string * int) list;
+      (** counter-event deltas observed during the run, by event name *)
+  meta : meta;
+  notes : string list;
+}
+
+val make :
+  id:string ->
+  title:string ->
+  cols:col list ->
+  ?notes:string list ->
+  ?counters:(string * int) list ->
+  ?meta:meta ->
+  cell list list ->
+  t
+(** Raises [Invalid_argument] on rows whose arity does not match
+    [cols]. *)
+
+val cell_to_string : cell -> string
+(** The table/CSV rendering of one cell (the historical console
+    formatting). *)
+
+val headers : t -> string list
+val row_strings : t -> string list list
+val dims : t -> col list
+val measures : t -> col list
+
+val cols_of_sweep : dim:string -> ?unit_:string -> string list -> col list
+(** [cols_of_sweep ~dim points]: one dimension column followed by one
+    measure column per sweep point (e.g. per thread count). *)

@@ -11,7 +11,10 @@ type result = {
   per_thread_ns : int array;  (* per-thread busy time *)
 }
 
-let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+(* Monotonic, nanosecond-resolution (clock_gettime CLOCK_MONOTONIC via
+   clock_stubs.c); immune to wall-clock steps, unlike the former
+   gettimeofday-based timer whose effective granularity was 1 µs. *)
+external now_ns : unit -> int = "wfrc_monotonic_ns" [@@noalloc]
 
 let run ~threads body =
   if threads < 1 then invalid_arg "Runner.run";

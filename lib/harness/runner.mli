@@ -7,7 +7,10 @@ type result = {
 }
 
 val now_ns : unit -> int
-(** Wall-clock nanoseconds (gettimeofday-based). *)
+(** Monotonic nanoseconds since an arbitrary epoch
+    ([clock_gettime(CLOCK_MONOTONIC)]): nanosecond resolution, never
+    stepped by wall-clock adjustments. Only differences are
+    meaningful. *)
 
 val run : threads:int -> (tid:int -> unit) -> result
 (** [run ~threads body] executes [body ~tid] for every tid in

@@ -1,0 +1,133 @@
+(* Pluggable renderers over Report.t: the aligned console table (the
+   historical CLI output), CSV, JSON Lines, and a JSON file writer
+   (one REPORT_<id>.json per report, the machine-readable record every
+   experiment now feeds the bench trajectory through).
+
+   JSON is hand-rolled (no JSON library in the build closure); strings
+   are escaped, non-finite floats become null. *)
+
+type t = Table | Csv | Jsonl
+
+let all = [ ("table", Table); ("csv", Csv); ("jsonl", Jsonl) ]
+
+(* ---------------- JSON helpers ---------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_str s = "\"" ^ json_escape s ^ "\""
+
+let json_float f =
+  match Float.classify_float f with
+  | FP_nan | FP_infinite -> "null"
+  | _ -> Printf.sprintf "%g" f
+
+let json_of_cell = function
+  | Report.Int i -> string_of_int i
+  | Report.Ns n -> string_of_int n
+  | Report.Float f | Report.Pct f | Report.Ops f -> json_float f
+  | Report.Str s -> json_str s
+
+let json_obj fields =
+  "{" ^ String.concat ", " (List.map (fun (k, v) -> json_str k ^ ": " ^ v) fields)
+  ^ "}"
+
+let json_arr items = "[" ^ String.concat ", " items ^ "]"
+
+let json_of_meta (m : Report.meta) =
+  json_obj
+    [
+      ("quick", if m.quick then "true" else "false");
+      ("seed", match m.seed with None -> "null" | Some s -> string_of_int s);
+      ("backend", match m.backend with None -> "null" | Some b -> json_str b);
+      ("params", json_obj (List.map (fun (k, v) -> (k, json_str v)) m.params));
+    ]
+
+let json_of_col (c : Report.col) =
+  json_obj
+    (("name", json_str c.name)
+     :: ("role", json_str (match c.role with Report.Dim -> "dim" | Report.Measure -> "measure"))
+     :: (match c.unit_ with None -> [] | Some u -> [ ("unit", json_str u) ]))
+
+let json_of_row (r : Report.t) row =
+  json_obj (List.map2 (fun (c : Report.col) v -> (c.name, json_of_cell v)) r.cols row)
+
+let to_json (r : Report.t) =
+  let b = Buffer.create 1024 in
+  let field ?(last = false) k v =
+    Buffer.add_string b "  ";
+    Buffer.add_string b (json_str k);
+    Buffer.add_string b ": ";
+    Buffer.add_string b v;
+    if not last then Buffer.add_char b ',';
+    Buffer.add_char b '\n'
+  in
+  Buffer.add_string b "{\n";
+  field "id" (json_str r.id);
+  field "title" (json_str r.title);
+  field "meta" (json_of_meta r.meta);
+  field "columns" (json_arr (List.map json_of_col r.cols));
+  field "rows"
+    ("[\n    "
+    ^ String.concat ",\n    " (List.map (json_of_row r) r.rows)
+    ^ "\n  ]");
+  field "counters"
+    (json_obj (List.map (fun (k, n) -> (k, string_of_int n)) r.counters));
+  field ~last:true "notes" (json_arr (List.map json_str r.notes));
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+(* One JSON object per row, each tagged with the report id: the
+   concatenation-friendly format for trajectory tooling. *)
+let jsonl (r : Report.t) =
+  String.concat ""
+    (List.map
+       (fun row ->
+         json_obj (("report", json_str r.id)
+                   :: List.map2
+                        (fun (c : Report.col) v -> (c.name, json_of_cell v))
+                        r.cols row)
+         ^ "\n")
+       r.rows)
+
+(* ---------------- rendering ---------------- *)
+
+let render sink (r : Report.t) =
+  match sink with
+  | Table -> Table.render ~headers:(Report.headers r) ~rows:(Report.row_strings r)
+  | Csv -> Table.csv ~headers:(Report.headers r) ~rows:(Report.row_strings r)
+  | Jsonl -> jsonl r
+
+(* The historical console output: banner, body, notes. The JSONL sink
+   is bare lines (machine-consumed), so it gets no banner. *)
+let print sink (r : Report.t) =
+  (match sink with
+  | Table | Csv ->
+      Printf.printf "== %s: %s ==\n" r.id r.title;
+      print_string (render sink r);
+      List.iter (fun n -> Printf.printf "note: %s\n" n) r.notes;
+      print_newline ()
+  | Jsonl -> print_string (render Jsonl r))
+
+let report_filename (r : Report.t) = Printf.sprintf "REPORT_%s.json" r.id
+
+let write_json ~dir (r : Report.t) =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let path = Filename.concat dir (report_filename r) in
+  let oc = open_out path in
+  output_string oc (to_json r);
+  close_out oc;
+  path

@@ -1,0 +1,32 @@
+(** Pluggable renderers over {!Report.t}: aligned console table (the
+    historical CLI output), CSV, JSON Lines, and the per-report JSON
+    file ([REPORT_<id>.json]) that feeds the bench trajectory. *)
+
+type t = Table | Csv | Jsonl
+
+val all : (string * t) list
+(** Name → sink, for CLI flag parsing. *)
+
+val render : t -> Report.t -> string
+(** The report body in the given format (no banner, no notes). *)
+
+val print : t -> Report.t -> unit
+(** [Table]/[Csv]: banner ([== id: title ==]), body, then [note:]
+    lines — byte-identical to the historical CLI output for [Table].
+    [Jsonl]: bare JSON lines only. *)
+
+val to_json : Report.t -> string
+(** The whole report as one JSON document: id, title, meta (seed,
+    quick, backend, params), columns (name/role/unit), rows (one
+    object per row keyed by column name), counters, notes. Non-finite
+    floats serialise as [null]. *)
+
+val jsonl : Report.t -> string
+(** One JSON object per row, each tagged with [{"report": id}]. *)
+
+val report_filename : Report.t -> string
+(** ["REPORT_<id>.json"]. *)
+
+val write_json : dir:string -> Report.t -> string
+(** Write {!to_json} to [dir/REPORT_<id>.json] (creating [dir] if
+    missing) and return the path. *)

@@ -1,17 +1,22 @@
 (* Experiment shape checks: every experiment must run (at reduced
-   parameters), produce a well-formed table, and reproduce the
+   parameters), produce a well-formed typed report, and reproduce the
    paper-shaped qualitative result it exists for. *)
 
 open Helpers
+module Report = Harness.Report
 
-let wellformed (r : Harness.Experiments.report) =
+let wellformed (r : Report.t) =
   check_bool "has rows" true (r.rows <> []);
-  let cols = List.length r.headers in
+  let cols = List.length r.cols in
   List.iter
     (fun row -> check_int "row arity" cols (List.length row))
     r.rows
 
-let parse_int s = int_of_string (String.trim s)
+let cell_str = Report.cell_to_string
+
+let cell_int = function
+  | Report.Int i | Report.Ns i -> i
+  | c -> Alcotest.failf "expected an integer cell, got %S" (cell_str c)
 
 let suite =
   [
@@ -21,9 +26,10 @@ let suite =
             ~capacity:1024 ()
         in
         wellformed r;
-        let schemes = List.map List.hd r.rows in
+        let schemes = List.map (fun row -> cell_str (List.hd row)) r.rows in
         check_bool "wfrc present" true (List.mem "wfrc" schemes);
-        check_bool "lfrc present" true (List.mem "lfrc" schemes));
+        check_bool "lfrc present" true (List.mem "lfrc" schemes);
+        check_bool "spine captured counters" true (r.counters <> []));
     tc_slow "E2 shape: wfrc bounded, lfrc grows" (fun () ->
         let r =
           Harness.Experiments.e2 ~schemes:[ "wfrc"; "lfrc" ]
@@ -32,10 +38,10 @@ let suite =
         wellformed r;
         match r.rows with
         | [ [ _; w0; l0 ]; [ _; w16; l16 ] ] ->
-            let w0 = parse_int w0
-            and l0 = parse_int l0
-            and w16 = parse_int w16
-            and l16 = parse_int l16 in
+            let w0 = cell_int w0
+            and l0 = cell_int l0
+            and w16 = cell_int w16
+            and l16 = cell_int l16 in
             (* the wait-free bound: a fixed constant for N=2 *)
             check_bool "wfrc bounded" true (w16 <= 60 && w0 <= 60);
             (* the lock-free baseline visibly grows *)
@@ -53,8 +59,13 @@ let suite =
         wellformed r;
         match r.rows with
         | [ row ] ->
-            let derefs = parse_int (List.nth row 1) in
-            check_bool "derefs happened" true (derefs > 0)
+            let derefs = cell_int (List.nth row 1) in
+            check_bool "derefs happened" true (derefs > 0);
+            (* the spine saw the same traffic the row reports *)
+            check_bool "deref counter present" true
+              (match List.assoc_opt "deref" r.counters with
+              | Some n -> n >= derefs
+              | None -> false)
         | _ -> Alcotest.fail "one row expected");
     tc_slow "E5 latency columns parse and are ordered" (fun () ->
         let r =
@@ -69,18 +80,21 @@ let suite =
         List.iter
           (fun row ->
             check_string
-              (Printf.sprintf "%s/%s clean" (List.nth row 0) (List.nth row 1))
-              "none" (List.nth row 3))
+              (Printf.sprintf "%s/%s clean"
+                 (cell_str (List.nth row 0))
+                 (cell_str (List.nth row 1)))
+              "none"
+              (cell_str (List.nth row 3)))
           r.rows);
     tc_slow "E8 conservation holds at exhaustion" (fun () ->
         let r = Harness.Experiments.e8 ~threads_list:[ 1; 2 ] ~capacity:16 () in
         wellformed r;
         List.iter
           (fun row ->
-            check_string "conservation column" "ok" (List.nth row 6);
-            let allocated = parse_int (List.nth row 2) in
-            let parked = parse_int (List.nth row 3) in
-            let lost = parse_int (List.nth row 4) in
+            check_string "conservation column" "ok" (cell_str (List.nth row 6));
+            let allocated = cell_int (List.nth row 2) in
+            let parked = cell_int (List.nth row 3) in
+            let lost = cell_int (List.nth row 4) in
             check_int "nothing lost" 0 lost;
             check_int "allocated+parked = capacity" 16 (allocated + parked))
           r.rows);
@@ -96,8 +110,8 @@ let suite =
         wellformed r;
         List.iter
           (fun row ->
-            let scheme = List.nth row 0 in
-            let stalled = parse_int (List.nth row 3) in
+            let scheme = cell_str (List.nth row 0) in
+            let stalled = cell_int (List.nth row 3) in
             if scheme <> "lockrc" then
               check_int (scheme ^ " never stalls") 0 stalled)
           r.rows);
@@ -108,7 +122,7 @@ let suite =
         wellformed r;
         match r.rows with
         | [ [ _; s2 ]; [ _; s8 ] ] ->
-            let s2 = parse_int s2 and s8 = parse_int s8 in
+            let s2 = cell_int s2 and s8 = cell_int s8 in
             (* linear-ish: N grew 4x; allow 8x slack but not explosion *)
             check_bool
               (Printf.sprintf "s2=%d s8=%d linearish" s2 s8)
@@ -125,10 +139,29 @@ let suite =
     tc "experiment registry resolves every id" (fun () ->
         List.iter
           (fun id ->
-            match List.assoc_opt id (List.map (fun i -> (i, ())) Harness.Experiments.ids) with
-            | Some () -> ()
-            | None -> Alcotest.failf "id %s missing" id)
-          [ "e1"; "e2"; "e3"; "e4"; "e5"; "e7"; "e8"; "e9"; "e10"; "e11"; "a1"; "a2"; "a3" ];
+            if not (List.mem id Harness.Experiments.ids) then
+              Alcotest.failf "id %s missing" id)
+          [
+            "e1"; "e2"; "e3"; "e4"; "e5"; "e7"; "e8"; "e9"; "e10"; "e11";
+            "e12"; "e13"; "a1"; "a2"; "a3";
+          ];
         fails_with ~substring:"unknown experiment" (fun () ->
             Harness.Experiments.run "e99"));
+    tc "registry order: experiments by number, then ablations" (fun () ->
+        check_bool "e1 first" true (List.hd Harness.Experiments.ids = "e1");
+        let rec after_e10 = function
+          | "e10" :: rest -> List.mem "e11" rest
+          | _ :: rest -> after_e10 rest
+          | [] -> false
+        in
+        check_bool "e10 before e11" true (after_e10 Harness.Experiments.ids);
+        check_bool "ablations last" true
+          (match List.rev Harness.Experiments.ids with
+          | "a3" :: "a2" :: "a1" :: _ -> true
+          | _ -> false));
+    tc "run stamps the quick flag into the metadata" (fun () ->
+        let r = Harness.Experiments.run ~quick:true "e11" in
+        check_bool "quick" true r.Report.meta.Report.quick;
+        let r = Harness.Experiments.run "e11" in
+        check_bool "full" false r.Report.meta.Report.quick);
   ]

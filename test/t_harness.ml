@@ -190,6 +190,190 @@ let registry_tests =
             Harness.Registry.find "nope"));
   ]
 
+(* Bucket-precision and algebraic properties of the histogram — the
+   guarantees the percentile documentation promises. *)
+let hist_bucket_tests =
+  [
+    tc "bucket_value/bucket_of round-trip over every reachable bucket"
+      (fun () ->
+        (* walk the sample space densely below 2^16, then by strides;
+           every bucket that [bucket_of] can produce is visited *)
+        let seen = Hashtbl.create 64 in
+        let visit v =
+          let b = Hist.bucket_of v in
+          if not (Hashtbl.mem seen b) then begin
+            Hashtbl.add seen b ();
+            check_int
+              (Printf.sprintf "bucket_of (bucket_value %d)" b)
+              b
+              (Hist.bucket_of (Hist.bucket_value b))
+          end
+        in
+        for v = 0 to 65_535 do
+          visit v
+        done;
+        let v = ref 65_536 in
+        while !v < 1_000_000_000 do
+          visit !v;
+          visit (!v + (!v / 17));
+          v := !v + (!v / 23) + 1
+        done);
+    tc "small values are exact buckets" (fun () ->
+        for v = 0 to 15 do
+          check_int "identity bucket" v (Hist.bucket_of v);
+          check_int "identity value" v (Hist.bucket_value v)
+        done);
+    qc "every sample is bracketed by its bucket"
+      QCheck.(int_range 0 1_000_000_000)
+      (fun v ->
+        let b = Hist.bucket_of v in
+        v <= Hist.bucket_value b
+        && (b = 0 || Hist.bucket_value (b - 1) < v)
+        (* one sub-bucket of relative error: upper bound <= v * 17/16 + 1 *)
+        && Hist.bucket_value b <= (v * 17 / 16) + 1);
+    qc "percentile is monotone in q"
+      QCheck.(
+        pair
+          (list_of_size (Gen.int_range 1 100) (int_range 0 1_000_000))
+          (list_of_size (Gen.int_range 2 8) (int_range 0 100)))
+      (fun (vs, qs) ->
+        let h = Hist.create () in
+        List.iter (Hist.add h) vs;
+        let ps =
+          List.map
+            (fun q -> Hist.percentile h (float_of_int q /. 100.0))
+            (List.sort compare qs)
+        in
+        let rec mono = function
+          | a :: (b :: _ as t) -> a <= b && mono t
+          | _ -> true
+        in
+        mono ps);
+    qc "merge_into is associative on the observables"
+      QCheck.(
+        triple
+          (small_list (int_range 0 1_000_000))
+          (small_list (int_range 0 1_000_000))
+          (small_list (int_range 0 1_000_000)))
+      (fun (xs, ys, zs) ->
+        let mk vs =
+          let h = Hist.create () in
+          List.iter (Hist.add h) vs;
+          h
+        in
+        let observe h =
+          ( Hist.count h,
+            Hist.min_value h,
+            Hist.max_value h,
+            Hist.percentile h 0.5,
+            Hist.percentile h 0.9,
+            Hist.percentile h 0.99 )
+        in
+        let l = mk xs in
+        Hist.merge_into l (mk ys);
+        Hist.merge_into l (mk zs);
+        let yz = mk ys in
+        Hist.merge_into yz (mk zs);
+        let r = mk xs in
+        Hist.merge_into r yz;
+        observe l = observe r
+        && abs_float (Hist.mean l -. Hist.mean r) < 1e-9);
+    tc "n=0 edges: merging an empty histogram is the identity" (fun () ->
+        let h = Hist.create () in
+        Hist.add h 100;
+        Hist.merge_into h (Hist.create ());
+        check_int "count" 1 (Hist.count h);
+        check_int "min" 100 (Hist.min_value h);
+        check_int "max" 100 (Hist.max_value h);
+        let e = Hist.create () in
+        Hist.merge_into e (Hist.create ());
+        check_int "empty+empty count" 0 (Hist.count e);
+        check_int "empty min" 0 (Hist.min_value e);
+        check_int "empty p0" 0 (Hist.percentile e 0.0);
+        check_int "empty p100" 0 (Hist.percentile e 1.0));
+  ]
+
+module R = Harness.Report
+module Sink = Harness.Sink
+
+let sample_report () =
+  R.make ~id:"T1" ~title:"a \"test\" report"
+    ~cols:
+      [ R.dim "scheme"; R.measure ~unit_:"ops/s" "tput"; R.measure "n" ]
+    ~counters:[ ("cas_attempt", 7) ]
+    ~meta:(R.meta ~seed:42 ~quick:true ~params:[ ("ops", "100") ] ())
+    ~notes:[ "a note" ]
+    [
+      [ R.Str "wfrc"; R.Ops 2.5e6; R.Int 3 ];
+      [ R.Str "lfrc"; R.Ops 3_200.0; R.Int 4 ];
+    ]
+
+let report_tests =
+  [
+    tc "cells render with the historical console formats" (fun () ->
+        check_string "int" "42" (R.cell_to_string (R.Int 42));
+        check_string "float" "1.5" (R.cell_to_string (R.Float 1.46));
+        check_string "pct" "12.50%" (R.cell_to_string (R.Pct 12.5));
+        check_string "ops" "2.50M" (R.cell_to_string (R.Ops 2.5e6));
+        check_string "ns" "1.5us" (R.cell_to_string (R.Ns 1_500));
+        check_string "str" "x" (R.cell_to_string (R.Str "x")));
+    tc "make rejects ragged rows" (fun () ->
+        fails_with (fun () ->
+            R.make ~id:"X" ~title:"t"
+              ~cols:[ R.dim "a"; R.measure "b" ]
+              [ [ R.Int 1 ] ]));
+    tc "headers and dims/measures derive from the columns" (fun () ->
+        let r = sample_report () in
+        check_bool "headers" true (R.headers r = [ "scheme"; "tput"; "n" ]);
+        check_int "dims" 1 (List.length (R.dims r));
+        check_int "measures" 2 (List.length (R.measures r)));
+  ]
+
+let sink_tests =
+  [
+    tc "table sink equals the legacy renderer on stringified cells"
+      (fun () ->
+        let r = sample_report () in
+        check_string "same table"
+          (Harness.Table.render ~headers:(R.headers r)
+             ~rows:(R.row_strings r))
+          (Sink.render Sink.Table r));
+    tc "jsonl: one tagged object per row" (fun () ->
+        let r = sample_report () in
+        let lines =
+          List.filter (fun l -> l <> "")
+            (String.split_on_char '\n' (Sink.jsonl r))
+        in
+        check_int "line count" 2 (List.length lines);
+        List.iter
+          (fun l ->
+            check_bool "tagged" true (contains l "\"report\": \"T1\""))
+          lines);
+    tc "to_json carries meta, columns, counters and escapes strings"
+      (fun () ->
+        let j = Sink.to_json (sample_report ()) in
+        check_bool "escaped title" true (contains j "a \\\"test\\\" report");
+        check_bool "quick flag" true (contains j "\"quick\": true");
+        check_bool "seed" true (contains j "\"seed\": 42");
+        check_bool "param" true (contains j "\"ops\": \"100\"");
+        check_bool "unit" true (contains j "\"unit\": \"ops/s\"");
+        check_bool "role" true (contains j "\"role\": \"dim\"");
+        check_bool "counter" true (contains j "\"cas_attempt\": 7"));
+    tc "write_json creates the directory and REPORT_<id>.json" (fun () ->
+        let dir =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "wfrc_sink_%d" (Unix.getpid ()))
+        in
+        let path = Sink.write_json ~dir (sample_report ()) in
+        check_bool "filename" true
+          (Filename.basename path = "REPORT_T1.json");
+        check_bool "exists" true (Sys.file_exists path);
+        Sys.remove path;
+        Unix.rmdir dir);
+  ]
+
 let suite =
-  hist_tests @ fmt_tests @ table_tests @ workload_tests @ runner_tests
-  @ config_tests @ registry_tests
+  hist_tests @ hist_bucket_tests @ fmt_tests @ table_tests @ report_tests
+  @ sink_tests @ workload_tests @ runner_tests @ config_tests
+  @ registry_tests
