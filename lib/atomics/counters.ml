@@ -31,13 +31,17 @@ type event =
   | Hp_scan
   | Epoch_advance
   | Lock_acquire
+  | Cache_refill
+  | Cache_spill
+  | Free_remote
+  | Steal
 
 let all_events =
   [ Cas_attempt; Cas_failure; Faa; Swap; Read; Write; Deref; Deref_retry;
     Deref_helped; Help_scan; Help_answered; Help_refused; Alloc;
     Alloc_retry; Alloc_helped; Alloc_gave_help; Free; Free_retry;
     Free_gave_help; Release; Node_reclaimed; Hp_scan; Epoch_advance;
-    Lock_acquire ]
+    Lock_acquire; Cache_refill; Cache_spill; Free_remote; Steal ]
 
 let event_index = function
   | Cas_attempt -> 0
@@ -64,6 +68,10 @@ let event_index = function
   | Hp_scan -> 21
   | Epoch_advance -> 22
   | Lock_acquire -> 23
+  | Cache_refill -> 24
+  | Cache_spill -> 25
+  | Free_remote -> 26
+  | Steal -> 27
 
 let num_events = List.length all_events
 
@@ -92,6 +100,10 @@ let event_name = function
   | Hp_scan -> "hp_scan"
   | Epoch_advance -> "epoch_advance"
   | Lock_acquire -> "lock_acquire"
+  | Cache_refill -> "cache_refill"
+  | Cache_spill -> "cache_spill"
+  | Free_remote -> "free_remote"
+  | Steal -> "steal"
 
 (* Row stride, per backend: events rounded up to a multiple of 16
    words under [Sim] (the historical padding — keeps rows line-pair

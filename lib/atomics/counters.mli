@@ -29,6 +29,10 @@ type event =
   | Hp_scan          (** hazard-pointer scan passes *)
   | Epoch_advance    (** successful global-epoch advances *)
   | Lock_acquire     (** mutex acquisitions in the lock-based scheme *)
+  | Cache_refill     (** domain-local allocation-cache refills (sharded) *)
+  | Cache_spill      (** cache overflow spills back to a stripe *)
+  | Free_remote      (** frees routed through a remote stripe's buffer *)
+  | Steal            (** refill probes of a non-home stripe *)
 
 val all_events : event list
 val event_name : event -> string

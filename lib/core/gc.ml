@@ -37,6 +37,12 @@ module Arena = Shmem.Arena
      AllocNode from wait-free to lock-free. *)
 type placement = [ `Paper | `Own_index ]
 
+(* Domain-local allocation cache for the sharded Native configuration
+   (Mm_intf.sharded): the paper's 2N free-lists already play the role
+   of stripes, so WFRC adopts only the cache layer. Unsynchronised:
+   each thread touches exactly its own entry. *)
+type tcache = { cslots : int array; mutable clen : int }
+
 type t = {
   cfg : Mm_intf.config;
   backend : B.t;
@@ -51,6 +57,8 @@ type t = {
   oom_scan_limit : int;
   placement : placement;
   help_alloc : bool;
+  caches : tcache array option; (* per-thread caches when sharded *)
+  batch : int;
 }
 
 let arena t = t.arena
@@ -96,6 +104,13 @@ let create ?(placement = `Paper) ?(help_alloc = true) (cfg : Mm_intf.config) =
     oom_scan_limit = (16 * n) + 16;
     placement;
     help_alloc;
+    caches =
+      (if Mm_intf.sharded cfg then
+         Some
+           (Array.init n (fun _ ->
+                { cslots = Array.make (2 * cfg.batch) Value.null; clen = 0 }))
+       else None);
+    batch = cfg.batch;
   }
 
 (* ---------------- ReleaseRef (R1–R4) + FreeNode (F1–F10) ----------- *)
@@ -153,27 +168,48 @@ and free_node t ~tid node =
        end
   in
   if donated then C.incr t.ctr ~tid Free_gave_help
-  else begin
-    let current = B.read t.backend t.current_free_list in           (* F4 *)
-    let index =                                                     (* F5 *)
-      match t.placement with
-      | `Own_index -> tid (* ablation E-A2 *)
-      | `Paper ->
-          if current <= tid || current > n + tid then n + tid       (* F6 *)
-          else tid
-    in
-    let rec push index =                                            (* F7 *)
-      let head = B.read t.backend t.free_list.(index) in
-      Arena.write_mm_next t.arena node head;                        (* F8 *)
-      if not (B.cas t.backend t.free_list.(index) ~old:head ~nw:node)
-      then begin
+  else
+    match t.caches with
+    | Some caches ->
+        (* Sharded config: park the claimed node (mm_ref stays 1) in
+           the domain-local cache; on overflow, spill [batch] nodes
+           through the ordinary F4–F10 pushes. Donation was already
+           attempted above, so the helping channel that makes
+           AllocNode wait-free is untouched by the caching. *)
+        let c = caches.(tid) in
+        c.cslots.(c.clen) <- node;
+        c.clen <- c.clen + 1;
+        if c.clen = Array.length c.cslots then begin
+          C.incr t.ctr ~tid Cache_spill;
+          for _ = 1 to t.batch do
+            c.clen <- c.clen - 1;
+            free_push t ~tid c.cslots.(c.clen)
+          done
+        end
+    | None -> free_push t ~tid node
+
+(* F4–F10: push a claimed node onto one of the 2N free-lists. *)
+and free_push t ~tid node =
+  let n = t.n in
+  let current = B.read t.backend t.current_free_list in             (* F4 *)
+  let index =                                                       (* F5 *)
+    match t.placement with
+    | `Own_index -> tid (* ablation E-A2 *)
+    | `Paper ->
+        if current <= tid || current > n + tid then n + tid         (* F6 *)
+        else tid
+  in
+  let rec push index =                                              (* F7 *)
+    let head = B.read t.backend t.free_list.(index) in
+    Arena.write_mm_next t.arena node head;                          (* F8 *)
+    if not (B.cas t.backend t.free_list.(index) ~old:head ~nw:node)
+    then begin
                                                                     (* F9 *)
-        C.incr t.ctr ~tid Free_retry;
-        push ((index + n) mod (2 * n))                              (* F10 *)
-      end
-    in
-    push index
-  end
+      C.incr t.ctr ~tid Free_retry;
+      push ((index + n) mod (2 * n))                                (* F10 *)
+    end
+  in
+  push index
 
 (* ---------------- AllocNode (A1–A18) ------------------------------- *)
 
@@ -194,6 +230,21 @@ let alloc t ~tid =
       finished := true
     end
     else begin
+      match t.caches with
+      | Some caches when caches.(tid).clen > 0 ->
+          (* Sharded config: serve from the domain-local cache with no
+             shared-word traffic at all. The cached node carries
+             mm_ref = 1; FAA (not a store) it to 2, because a stale D5
+             may still land a transient +2/-2 pair on it. Donations
+             (A4 above) keep priority so helped allocations are
+             collected promptly. *)
+          let c = caches.(tid) in
+          c.clen <- c.clen - 1;
+          let node = c.cslots.(c.clen) in
+          Arena.faa_mm_ref t.arena node 1;
+          result := node;
+          finished := true
+      | _ ->
       let current = B.read t.backend t.current_free_list in         (* A5 *)
       let node = B.read t.backend t.free_list.(current) in          (* A6 *)
       if Value.is_null node then begin                              (* A7 *)
@@ -321,6 +372,17 @@ let free_set t =
       if not (Value.is_null p) then
         record ~where:(Printf.sprintf "annAlloc[%d]" i) p ~expect_ref:3)
     t.ann_alloc;
+  (match t.caches with
+  | Some caches ->
+      Array.iteri
+        (fun tid c ->
+          for i = 0 to c.clen - 1 do
+            record
+              ~where:(Printf.sprintf "cache[%d]" tid)
+              c.cslots.(i) ~expect_ref:1
+          done)
+        caches
+  | None -> ());
   seen
 
 let free_count t =
@@ -365,6 +427,21 @@ let custody t =
         else pending := (i, h) :: !pending
       end)
     t.ann_alloc;
+  (* Domain-local caches count as [free] custody, like the free
+     chains: the auditor's node partition must stay conservative when
+     the run quiesced with populated caches. *)
+  (match t.caches with
+  | Some caches ->
+      Array.iteri
+        (fun tid c ->
+          for i = 0 to c.clen - 1 do
+            let h = Value.handle c.cslots.(i) in
+            if free.(h) then
+              violation "cache[%d] node #%d also on a free chain" tid h
+            else free.(h) <- true
+          done)
+        caches
+  | None -> ());
   let pinned =
     List.map (fun (tid, p) -> (tid, Value.handle p)) (Ann.answers t.ann)
   in

@@ -19,6 +19,7 @@ module C = Atomics.Counters
 module Value = Shmem.Value
 module Layout = Shmem.Layout
 module Arena = Shmem.Arena
+module Freestore = Shmem.Freestore
 
 type per_thread = {
   active : P.cell;
@@ -36,6 +37,7 @@ type t = {
   ctr : C.t;
   global : P.cell;
   head : P.cell; (* stamped free-pool head *)
+  store : Freestore.t option; (* sharded Native free store (else legacy) *)
   threads : per_thread array;
   advance_every : int;
 }
@@ -60,15 +62,25 @@ let create (cfg : Mm_intf.config) =
     Arena.write_mm_next arena p
       (if h < cfg.capacity then Value.of_handle (h + 1) else Value.null)
   done;
+  let ctr = C.create ~backend ~threads:cfg.threads () in
+  let store =
+    if Mm_intf.sharded cfg then
+      Some
+        (Freestore.create ~backend ~arena ~counters:ctr ~shards:cfg.shards
+           ~batch:cfg.batch ~threads:cfg.threads ())
+    else None
+  in
   {
     cfg;
     backend;
     arena;
-    ctr = C.create ~backend ~threads:cfg.threads ();
+    ctr;
     global = B.make_contended backend 0;
     head =
       B.make_contended backend
-        (Value.pack_stamped ~stamp:0 ~ptr:(Value.of_handle 1));
+        (Value.pack_stamped ~stamp:0
+           ~ptr:(if store = None then Value.of_handle 1 else Value.null));
+    store;
     threads =
       Array.init cfg.threads (fun _ ->
           {
@@ -85,18 +97,21 @@ let create (cfg : Mm_intf.config) =
 
 let pool_push t ~tid node =
   C.incr t.ctr ~tid Free;
-  let rec push () =
-    let hv = B.read t.backend t.head in
-    Arena.write_mm_next t.arena node (Value.stamped_ptr hv);
-    let nw =
-      Value.pack_stamped ~stamp:(Value.stamped_stamp hv + 1) ~ptr:node
-    in
-    if not (B.cas t.backend t.head ~old:hv ~nw) then begin
-      C.incr t.ctr ~tid Free_retry;
+  match t.store with
+  | Some fs -> Freestore.free fs ~tid node
+  | None ->
+      let rec push () =
+        let hv = B.read t.backend t.head in
+        Arena.write_mm_next t.arena node (Value.stamped_ptr hv);
+        let nw =
+          Value.pack_stamped ~stamp:(Value.stamped_stamp hv + 1) ~ptr:node
+        in
+        if not (B.cas t.backend t.head ~old:hv ~nw) then begin
+          C.incr t.ctr ~tid Free_retry;
+          push ()
+        end
+      in
       push ()
-    end
-  in
-  push ()
 
 (* Free this thread's bag for epoch slot [(e+1) mod 3]: those nodes
    were retired at epoch [e-2] or earlier and every thread has since
@@ -150,37 +165,54 @@ let alloc t ~tid =
      thread is stalled inside an epoch this cannot make progress —
      EBR's reclamation is blocking, which is part of the comparison. *)
   let pressure = ref 0 in
-  let rec pop () =
-    let hv = B.read t.backend t.head in
-    let node = Value.stamped_ptr hv in
-    if Value.is_null node then begin
-      if !pressure >= 6 then raise Mm_intf.Out_of_memory;
-      incr pressure;
-      (* NB: we may hold epoch-protected references ourselves, so we
-         must not republish our epoch here; at most one advance can
-         happen while we are inside the bracket, draining one bag
-         generation. *)
-      try_advance t ~tid;
-      let e = B.read t.backend t.global in
-      let pt = t.threads.(tid) in
-      if e <> pt.last_seen then begin
-        pt.last_seen <- e;
-        collect t ~tid e
-      end;
-      pop ()
+  let under_pressure () =
+    if !pressure >= 6 then raise Mm_intf.Out_of_memory;
+    incr pressure;
+    (* NB: we may hold epoch-protected references ourselves, so we
+       must not republish our epoch here; at most one advance can
+       happen while we are inside the bracket, draining one bag
+       generation. *)
+    try_advance t ~tid;
+    let e = B.read t.backend t.global in
+    let pt = t.threads.(tid) in
+    if e <> pt.last_seen then begin
+      pt.last_seen <- e;
+      collect t ~tid e
     end
-    else
-      let next = Arena.read_mm_next t.arena node in
-      let nw =
-        Value.pack_stamped ~stamp:(Value.stamped_stamp hv + 1) ~ptr:next
-      in
-      if B.cas t.backend t.head ~old:hv ~nw then node
-      else begin
-        C.incr t.ctr ~tid Alloc_retry;
-        pop ()
-      end
   in
-  pop ()
+  match t.store with
+  | Some fs ->
+      (* Collected nodes land in our own cache, so the next pass sees
+         them immediately. *)
+      let rec claim () =
+        match Freestore.alloc fs ~tid with
+        | Some node -> node
+        | None ->
+            under_pressure ();
+            C.incr t.ctr ~tid Alloc_retry;
+            claim ()
+      in
+      claim ()
+  | None ->
+      let rec pop () =
+        let hv = B.read t.backend t.head in
+        let node = Value.stamped_ptr hv in
+        if Value.is_null node then begin
+          under_pressure ();
+          pop ()
+        end
+        else
+          let next = Arena.read_mm_next t.arena node in
+          let nw =
+            Value.pack_stamped ~stamp:(Value.stamped_stamp hv + 1) ~ptr:next
+          in
+          if B.cas t.backend t.head ~old:hv ~nw then node
+          else begin
+            C.incr t.ctr ~tid Alloc_retry;
+            pop ()
+          end
+      in
+      pop ()
 
 (* Within the epoch bracket a plain read is already safe. *)
 let deref t ~tid link =
@@ -218,14 +250,18 @@ let free_set t =
     if seen.(h) then failwith ("Epoch: node reachable twice (" ^ where ^ ")");
     seen.(h) <- true
   in
-  let rec walk p steps =
-    if steps > cap then failwith "Epoch: cycle in free pool"
-    else if not (Value.is_null p) then begin
-      record "pool" p;
-      walk (Arena.read_mm_next t.arena p) (steps + 1)
-    end
-  in
-  walk (Value.stamped_ptr (B.read t.backend t.head)) 0;
+  (match t.store with
+  | Some fs ->
+      Freestore.iter_free fs ~violation:failwith ~f:(fun p -> record "pool" p)
+  | None ->
+      let rec walk p steps =
+        if steps > cap then failwith "Epoch: cycle in free pool"
+        else if not (Value.is_null p) then begin
+          record "pool" p;
+          walk (Arena.read_mm_next t.arena p) (steps + 1)
+        end
+      in
+      walk (Value.stamped_ptr (B.read t.backend t.head)) 0);
   Array.iter
     (fun pt ->
       Array.iter (List.iter (fun p -> record "bag" p)) pt.bags)
@@ -249,20 +285,33 @@ let custody t =
   let cap = t.cfg.capacity in
   let free = Array.make (cap + 1) false in
   let violations = ref [] in
-  let rec walk p steps =
-    if steps > cap then violations := "cycle in free pool" :: !violations
-    else if not (Value.is_null p) then begin
-      let h = Value.handle p in
-      if free.(h) then
-        violations :=
-          Printf.sprintf "node #%d in the pool twice" h :: !violations
-      else begin
-        free.(h) <- true;
-        walk (Arena.read_mm_next t.arena p) (steps + 1)
-      end
-    end
-  in
-  walk (Value.stamped_ptr (B.read t.backend t.head)) 0;
+  (match t.store with
+  | Some fs ->
+      (* Stripe chains, return buffers and caches are all [free]
+         custody for the auditor's partition. *)
+      Freestore.iter_free fs
+        ~violation:(fun s -> violations := s :: !violations)
+        ~f:(fun p ->
+          let h = Value.handle p in
+          if free.(h) then
+            violations :=
+              Printf.sprintf "node #%d in the pool twice" h :: !violations
+          else free.(h) <- true)
+  | None ->
+      let rec walk p steps =
+        if steps > cap then violations := "cycle in free pool" :: !violations
+        else if not (Value.is_null p) then begin
+          let h = Value.handle p in
+          if free.(h) then
+            violations :=
+              Printf.sprintf "node #%d in the pool twice" h :: !violations
+          else begin
+            free.(h) <- true;
+            walk (Arena.read_mm_next t.arena p) (steps + 1)
+          end
+        end
+      in
+      walk (Value.stamped_ptr (B.read t.backend t.head)) 0);
   let pending = ref [] in
   Array.iteri
     (fun tid pt ->

@@ -17,6 +17,8 @@ type point = {
   scheme : string;
   backend : B.t;
   threads : int;
+  shards : int;         (* free-store stripes (1 = legacy list) *)
+  batch : int;          (* allocation-cache batch size *)
   ops : int;            (* completed alloc+release pairs *)
   wall_ns : int;
   ops_per_sec : float;
@@ -25,14 +27,16 @@ type point = {
   p90_ns : int;
   p99_ns : int;
   max_ns : int;
+  neg_samples : int;    (* negative timer samples — 0 unless broken *)
 }
 
 let batch_pairs = 64
 
-let run_point ?spine ~scheme ~backend ~threads ~ops ~capacity () =
+let run_point ?spine ?(shards = 1) ?(batch = 1) ~scheme ~backend ~threads ~ops
+    ~capacity () =
   let cfg =
-    Mm.config ~backend ~threads ~capacity ~num_links:1 ~num_data:1
-      ~num_roots:0 ()
+    Mm.config ~backend ~shards ~batch ~threads ~capacity ~num_links:1
+      ~num_data:1 ~num_roots:0 ()
   in
   let mm = Registry.instantiate scheme cfg in
   let per_thread = ops / threads in
@@ -77,6 +81,8 @@ let run_point ?spine ~scheme ~backend ~threads ~ops ~capacity () =
     scheme;
     backend;
     threads;
+    shards;
+    batch;
     ops = done_ops;
     wall_ns = result.Runner.wall_ns;
     ops_per_sec = Runner.throughput ~ops:done_ops result;
@@ -85,20 +91,37 @@ let run_point ?spine ~scheme ~backend ~threads ~ops ~capacity () =
     p90_ns = Metrics.Hist.percentile hist 0.90;
     p99_ns = Metrics.Hist.percentile hist 0.99;
     max_ns = Metrics.Hist.max_value hist;
+    neg_samples = Metrics.Hist.negatives hist;
   }
 
 let run_suite ?spine ?(schemes = [ "wfrc" ]) ?(backends = [ B.Sim; B.Native ])
     ?(threads_list = [ 1; 2; 4 ]) ?(ops = 50_000) ?(capacity = 4096) () =
-  List.concat_map
-    (fun scheme ->
-      List.concat_map
-        (fun threads ->
-          List.map
-            (fun backend ->
-              run_point ?spine ~scheme ~backend ~threads ~ops ~capacity ())
-            backends)
-        threads_list)
-    schemes
+  let base =
+    List.concat_map
+      (fun scheme ->
+        List.concat_map
+          (fun threads ->
+            List.map
+              (fun backend ->
+                run_point ?spine ~scheme ~backend ~threads ~ops ~capacity ())
+              backends)
+          threads_list)
+      schemes
+  in
+  (* The sharded hot path: one extra Native point per scheme at the
+     highest thread count, with the striped free store and the
+     domain-local cache switched on. *)
+  let sharded =
+    if not (List.mem B.Native backends) then []
+    else
+      let threads = List.fold_left max 1 threads_list in
+      List.map
+        (fun scheme ->
+          run_point ?spine ~scheme ~backend:B.Native
+            ~shards:(min 4 capacity) ~batch:8 ~threads ~ops ~capacity ())
+        schemes
+  in
+  base @ sharded
 
 (* Legacy flat JSON for the point list (BENCH_wfrc.json, consumed by
    CI plots). All fields are numbers or plain [a-z_] strings, so no
@@ -107,11 +130,12 @@ let run_suite ?spine ?(schemes = [ "wfrc" ]) ?(backends = [ B.Sim; B.Native ])
 
 let json_of_point p =
   Printf.sprintf
-    "    {\"scheme\": %S, \"backend\": %S, \"threads\": %d, \"ops\": %d, \
-     \"wall_ns\": %d, \"ops_per_sec\": %.1f, \"mean_ns\": %.1f, \
-     \"p50_ns\": %d, \"p90_ns\": %d, \"p99_ns\": %d, \"max_ns\": %d}"
-    p.scheme (B.name p.backend) p.threads p.ops p.wall_ns p.ops_per_sec
-    p.mean_ns p.p50_ns p.p90_ns p.p99_ns p.max_ns
+    "    {\"scheme\": %S, \"backend\": %S, \"threads\": %d, \"shards\": %d, \
+     \"batch\": %d, \"ops\": %d, \"wall_ns\": %d, \"ops_per_sec\": %.1f, \
+     \"mean_ns\": %.1f, \"p50_ns\": %d, \"p90_ns\": %d, \"p99_ns\": %d, \
+     \"max_ns\": %d, \"neg_samples\": %d}"
+    p.scheme (B.name p.backend) p.threads p.shards p.batch p.ops p.wall_ns
+    p.ops_per_sec p.mean_ns p.p50_ns p.p90_ns p.p99_ns p.max_ns p.neg_samples
 
 let to_json points =
   String.concat "\n"
@@ -126,6 +150,7 @@ let write_json ~path points =
   close_out oc
 
 let report ?(counters = []) points =
+  let negs = List.fold_left (fun a p -> a + p.neg_samples) 0 points in
   Report.make ~id:"BENCH"
     ~title:"alloc/release churn: sim vs native backend"
     ~cols:
@@ -133,6 +158,8 @@ let report ?(counters = []) points =
         Report.dim "scheme";
         Report.dim "backend";
         Report.dim "threads";
+        Report.dim "shards";
+        Report.dim "batch";
         Report.measure ~unit_:"ops/s" "ops/s";
         Report.measure ~unit_:"ns" "p50";
         Report.measure ~unit_:"ns" "p90";
@@ -140,16 +167,28 @@ let report ?(counters = []) points =
       ]
     ~counters
     ~notes:
-      [
-        "per-op latencies are batch-averaged (64 pairs per sample); \
-         native drops the Schedpoint dispatch and pads hot words";
-      ]
+      ([
+         "per-op latencies are batch-averaged (64 pairs per sample); \
+          native drops the Schedpoint dispatch and pads hot words";
+         "shards/batch > 1 = sharded free store with domain-local caches";
+       ]
+      @
+      if negs > 0 then
+        [
+          Printf.sprintf
+            "WARNING: %d negative timer samples dropped — non-monotonic \
+             clock?"
+            negs;
+        ]
+      else [])
     (List.map
        (fun p ->
          [
            Report.Str p.scheme;
            Report.Str (B.name p.backend);
            Report.Int p.threads;
+           Report.Int p.shards;
+           Report.Int p.batch;
            Report.Ops p.ops_per_sec;
            Report.Ns p.p50_ns;
            Report.Ns p.p90_ns;

@@ -10,6 +10,8 @@ type point = {
   scheme : string;
   backend : Atomics.Backend.t;
   threads : int;
+  shards : int;  (** free-store stripes (1 = legacy global free list) *)
+  batch : int;  (** allocation-cache batch size (1 = cache disabled) *)
   ops : int;
       (** alloc+release pairs actually completed — the request rounds
           down to whole batches; a drop of more than 10% is warned
@@ -21,10 +23,15 @@ type point = {
   p90_ns : int;
   p99_ns : int;
   max_ns : int;
+  neg_samples : int;
+      (** negative timer samples dropped by {!Metrics.Hist.add} —
+          always 0 unless the clock is broken *)
 }
 
 val run_point :
   ?spine:Exp_support.Spine.t ->
+  ?shards:int ->
+  ?batch:int ->
   scheme:string ->
   backend:Atomics.Backend.t ->
   threads:int ->
@@ -33,7 +40,9 @@ val run_point :
   unit ->
   point
 (** One cell of the suite. [spine] accumulates the instance's
-    {!Atomics.Counters} deltas (see {!Exp_support.Spine}). *)
+    {!Atomics.Counters} deltas (see {!Exp_support.Spine}).
+    [shards]/[batch] (default 1/1) select the sharded free store —
+    Native backend only. *)
 
 val run_suite :
   ?spine:Exp_support.Spine.t ->
@@ -44,7 +53,10 @@ val run_suite :
   ?capacity:int ->
   unit ->
   point list
-(** Defaults: wfrc only, both backends, 1/2/4 threads, 50k pairs. *)
+(** Defaults: wfrc only, both backends, 1/2/4 threads, 50k pairs.
+    When Native is among the backends, one extra sharded point per
+    scheme (shards 4, batch 8, highest thread count) tracks the
+    sharded hot path. *)
 
 val to_json : point list -> string
 val write_json : path:string -> point list -> unit

@@ -1,7 +1,8 @@
 (** The experiment suite — one entry point per experiment id of
     DESIGN.md §4 / EXPERIMENTS.md, aggregated from the family modules
     ({!Exp_throughput}, {!Exp_contention}, {!Exp_steps},
-    {!Exp_lincheck}, {!Exp_ratio}, {!Exp_fault}). Every function
+    {!Exp_lincheck}, {!Exp_ratio}, {!Exp_fault}, {!Exp_shard}). Every
+    function
     returns a typed {!Report.t} (render it with {!Sink}); all
     randomness is seeded. *)
 
@@ -132,6 +133,22 @@ val e13 :
     per-operation own-step costs are metered ({!Audit.Steps}) and the
     run is audited once everyone resumes and finishes. The empirical
     wait-freedom-bound experiment. *)
+
+val e14 :
+  ?schemes:string list ->
+  ?shards_list:int list ->
+  ?threads_list:int list ->
+  ?ops:int ->
+  ?capacity:int ->
+  ?batch:int ->
+  ?max_burst:int ->
+  ?seed:int ->
+  unit ->
+  Report.t
+(** Sharded free store: alloc/free churn throughput and free-list CAS
+    retries vs shard count × domain count (Native). lfrc is the
+    subject (its single Treiber list is what the striping replaces);
+    wfrc rides along as a flat control. *)
 
 val a1 : ?threads_list:int list -> ?seeds:int -> ?seed:int -> unit -> Report.t
 (** Ablation: deref step bound vs thread count (O(N) scans). *)

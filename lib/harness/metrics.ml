@@ -17,10 +17,22 @@ module Hist = struct
     mutable sum : float;
     mutable min : int;
     mutable max : int;
+    mutable negatives : int;
+        (* negative samples seen: counted here, excluded from the
+           distribution. A negative duration is always a measurement
+           bug (e.g. a non-monotonic clock) — silently clamping it to
+           0 would mask exactly that, so it is surfaced instead. *)
   }
 
   let create () =
-    { counts = Array.make buckets 0; n = 0; sum = 0.0; min = max_int; max = 0 }
+    {
+      counts = Array.make buckets 0;
+      n = 0;
+      sum = 0.0;
+      min = max_int;
+      max = 0;
+      negatives = 0;
+    }
 
   let log2_floor v =
     let rec go v acc = if v <= 1 then acc else go (v lsr 1) (acc + 1) in
@@ -43,22 +55,26 @@ module Hist = struct
     end
 
   let add t v =
-    let v = if v < 0 then 0 else v in
-    let b = bucket_of v in
-    t.counts.(b) <- t.counts.(b) + 1;
-    t.n <- t.n + 1;
-    t.sum <- t.sum +. float_of_int v;
-    if v < t.min then t.min <- v;
-    if v > t.max then t.max <- v
+    if v < 0 then t.negatives <- t.negatives + 1
+    else begin
+      let b = bucket_of v in
+      t.counts.(b) <- t.counts.(b) + 1;
+      t.n <- t.n + 1;
+      t.sum <- t.sum +. float_of_int v;
+      if v < t.min then t.min <- v;
+      if v > t.max then t.max <- v
+    end
 
   let merge_into dst src =
     Array.iteri (fun i c -> dst.counts.(i) <- dst.counts.(i) + c) src.counts;
     dst.n <- dst.n + src.n;
     dst.sum <- dst.sum +. src.sum;
     if src.min < dst.min then dst.min <- src.min;
-    if src.max > dst.max then dst.max <- src.max
+    if src.max > dst.max then dst.max <- src.max;
+    dst.negatives <- dst.negatives + src.negatives
 
   let count t = t.n
+  let negatives t = t.negatives
   let max_value t = if t.n = 0 then 0 else t.max
   let min_value t = if t.n = 0 then 0 else t.min
   let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n

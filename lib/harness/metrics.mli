@@ -7,13 +7,22 @@ module Hist : sig
   val create : unit -> t
 
   val add : t -> int -> unit
-  (** Record one (non-negative; clamped) sample. *)
+  (** Record one sample. Negative samples are not folded into the
+      distribution (they always indicate a measurement bug, e.g. a
+      non-monotonic clock): they are tallied in {!negatives} so
+      reports can surface them. *)
 
   val merge_into : t -> t -> unit
   (** [merge_into dst src] folds [src] into [dst] (per-thread
       histograms are merged after a run). *)
 
   val count : t -> int
+  (** Non-negative samples recorded (excludes {!negatives}). *)
+
+  val negatives : t -> int
+  (** Negative samples seen by {!add}; non-zero means a measurement
+      bug upstream. *)
+
   val max_value : t -> int
   val min_value : t -> int
   val mean : t -> float

@@ -57,10 +57,12 @@ let render ~headers ~rows =
   sep ();
   Buffer.contents buf
 
+(* RFC 4180: a cell containing a comma, quote, CR or LF is wrapped in
+   quotes, with embedded quotes doubled. *)
 let csv ~headers ~rows =
   let quote s =
-    if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
-      "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+    if String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+    then "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
     else s
   in
   let line cells = String.concat "," (List.map quote cells) in

@@ -20,9 +20,21 @@ let mixed ~rng ~n ~produce_pct ~key_range =
 let churn_bursts ~rng ~n ~max_burst =
   Array.init n (fun _ -> 1 + Rng.int rng max_burst)
 
-(* Pre-seeded per-thread streams. *)
+(* Pre-seeded per-thread streams, split off one root. The old scheme
+   seeded thread [tid] with [seed + tid * 1_000_003], so two
+   experiments whose seeds differ by that stride shared thread
+   streams (seed s, tid 1 = seed s + 1_000_003, tid 0). Splitting
+   derives every stream from the root's output sequence instead, so
+   distinct root seeds give unrelated stream families. The split
+   order is pinned by an explicit loop ([Array.init]'s evaluation
+   order is unspecified). *)
 let per_thread ~threads ~seed f =
-  Array.init threads (fun tid -> f (Rng.create (seed + (tid * 1_000_003))))
+  let root = Rng.create seed in
+  let rngs = Array.make threads root in
+  for tid = 0 to threads - 1 do
+    rngs.(tid) <- Rng.split root
+  done;
+  Array.map f rngs
 
 let count_produces ops =
   Array.fold_left

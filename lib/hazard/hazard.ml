@@ -25,6 +25,7 @@ module C = Atomics.Counters
 module Value = Shmem.Value
 module Layout = Shmem.Layout
 module Arena = Shmem.Arena
+module Freestore = Shmem.Freestore
 
 type per_thread = {
   slots : P.cell array;   (* shared: scanners read these *)
@@ -39,6 +40,7 @@ type t = {
   arena : Arena.t;
   ctr : C.t;
   head : P.cell;          (* stamped free-pool head *)
+  store : Freestore.t option; (* sharded Native free store (else legacy) *)
   threads : per_thread array;
   k : int;
   threshold : int;
@@ -74,14 +76,24 @@ let create (cfg : Mm_intf.config) =
     max 2
       (min (2 * k * cfg.threads) ((cfg.capacity / (4 * cfg.threads)) + 1))
   in
+  let ctr = C.create ~backend ~threads:cfg.threads () in
+  let store =
+    if Mm_intf.sharded cfg then
+      Some
+        (Freestore.create ~backend ~arena ~counters:ctr ~shards:cfg.shards
+           ~batch:cfg.batch ~threads:cfg.threads ())
+    else None
+  in
   {
     cfg;
     backend;
     arena;
-    ctr = C.create ~backend ~threads:cfg.threads ();
+    ctr;
     head =
       B.make_contended backend
-        (Value.pack_stamped ~stamp:0 ~ptr:(Value.of_handle 1));
+        (Value.pack_stamped ~stamp:0
+           ~ptr:(if store = None then Value.of_handle 1 else Value.null));
+    store;
     threads =
       Array.init cfg.threads (fun _ ->
           {
@@ -121,18 +133,21 @@ let find_empty pt =
 (* Free-pool push: the node is certainly private here. *)
 let pool_push t ~tid node =
   C.incr t.ctr ~tid Free;
-  let rec push () =
-    let hv = B.read t.backend t.head in
-    Arena.write_mm_next t.arena node (Value.stamped_ptr hv);
-    let nw =
-      Value.pack_stamped ~stamp:(Value.stamped_stamp hv + 1) ~ptr:node
-    in
-    if not (B.cas t.backend t.head ~old:hv ~nw) then begin
-      C.incr t.ctr ~tid Free_retry;
+  match t.store with
+  | Some fs -> Freestore.free fs ~tid node
+  | None ->
+      let rec push () =
+        let hv = B.read t.backend t.head in
+        Arena.write_mm_next t.arena node (Value.stamped_ptr hv);
+        let nw =
+          Value.pack_stamped ~stamp:(Value.stamped_stamp hv + 1) ~ptr:node
+        in
+        if not (B.cas t.backend t.head ~old:hv ~nw) then begin
+          C.incr t.ctr ~tid Free_retry;
+          push ()
+        end
+      in
       push ()
-    end
-  in
-  push ()
 
 (* Forward declaration: [scan] is defined below but alloc needs it for
    pressure-driven reclamation. *)
@@ -142,40 +157,65 @@ let scan_ref :
 
 let alloc t ~tid =
   C.incr t.ctr ~tid Alloc;
-  let scanned = ref false in
-  let rec pop () =
-    let hv = B.read t.backend t.head in
-    let node = Value.stamped_ptr hv in
-    if Value.is_null node then
-      if not !scanned then begin
-        (* pool pressure: reclaim our own retired backlog and retry *)
-        scanned := true;
-        !scan_ref t ~tid;
-        pop ()
-      end
-      else raise Mm_intf.Out_of_memory
-    else
-    let next = Arena.read_mm_next t.arena node in
-    let nw =
-      Value.pack_stamped ~stamp:(Value.stamped_stamp hv + 1) ~ptr:next
-    in
-    if B.cas t.backend t.head ~old:hv ~nw then begin
-      (* Register the fresh node in a hazard slot so the uniform
-         "every acquired reference is released" discipline of
-         Mm_intf applies to allocations too. The node is exclusively
-         owned, so no validation is needed. *)
-      let pt = t.threads.(tid) in
-      let s = find_empty pt in
-      B.write t.backend pt.slots.(s) node;
-      pt.counts.(s) <- 1;
-      node
-    end
-    else begin
-      C.incr t.ctr ~tid Alloc_retry;
-      pop ()
-    end
+  (* Register the fresh node in a hazard slot so the uniform "every
+     acquired reference is released" discipline of Mm_intf applies to
+     allocations too. The node is exclusively owned, so no validation
+     is needed. *)
+  let register node =
+    let pt = t.threads.(tid) in
+    let s = find_empty pt in
+    B.write t.backend pt.slots.(s) node;
+    pt.counts.(s) <- 1;
+    node
   in
-  pop ()
+  let scanned = ref false in
+  match t.store with
+  | Some fs ->
+      (* Pool pressure: first reclaim our own retired backlog, then
+         retry bounded full passes — an empty pass may just mean the
+         free nodes are parked in other threads' caches. *)
+      let limit = (16 * t.cfg.threads) + 16 in
+      let rec claim rounds =
+        match Freestore.alloc fs ~tid with
+        | Some node -> register node
+        | None ->
+            if not !scanned then begin
+              scanned := true;
+              !scan_ref t ~tid;
+              claim rounds
+            end
+            else if rounds >= limit then raise Mm_intf.Out_of_memory
+            else begin
+              C.incr t.ctr ~tid Alloc_retry;
+              Domain.cpu_relax ();
+              claim (rounds + 1)
+            end
+      in
+      claim 0
+  | None ->
+      let rec pop () =
+        let hv = B.read t.backend t.head in
+        let node = Value.stamped_ptr hv in
+        if Value.is_null node then
+          if not !scanned then begin
+            (* pool pressure: reclaim our own retired backlog and retry *)
+            scanned := true;
+            !scan_ref t ~tid;
+            pop ()
+          end
+          else raise Mm_intf.Out_of_memory
+        else
+          let next = Arena.read_mm_next t.arena node in
+          let nw =
+            Value.pack_stamped ~stamp:(Value.stamped_stamp hv + 1) ~ptr:next
+          in
+          if B.cas t.backend t.head ~old:hv ~nw then register node
+          else begin
+            C.incr t.ctr ~tid Alloc_retry;
+            pop ()
+          end
+      in
+      pop ()
 
 let rec deref t ~tid link =
   C.incr t.ctr ~tid Deref;
@@ -279,14 +319,18 @@ let free_set t =
     if seen.(h) then failwith ("Hazard: node reachable twice (" ^ where ^ ")");
     seen.(h) <- true
   in
-  let rec walk p steps =
-    if steps > cap then failwith "Hazard: cycle in free pool"
-    else if not (Value.is_null p) then begin
-      record "pool" p;
-      walk (Arena.read_mm_next t.arena p) (steps + 1)
-    end
-  in
-  walk (Value.stamped_ptr (B.read t.backend t.head)) 0;
+  (match t.store with
+  | Some fs ->
+      Freestore.iter_free fs ~violation:failwith ~f:(fun p -> record "pool" p)
+  | None ->
+      let rec walk p steps =
+        if steps > cap then failwith "Hazard: cycle in free pool"
+        else if not (Value.is_null p) then begin
+          record "pool" p;
+          walk (Arena.read_mm_next t.arena p) (steps + 1)
+        end
+      in
+      walk (Value.stamped_ptr (B.read t.backend t.head)) 0);
   Array.iter
     (fun pt -> List.iter (fun p -> record "retired" p) pt.retired)
     t.threads;
@@ -308,20 +352,34 @@ let custody t =
   let cap = t.cfg.capacity in
   let free = Array.make (cap + 1) false in
   let violations = ref [] in
-  let rec walk p steps =
-    if steps > cap then violations := "cycle in free pool" :: !violations
-    else if not (Value.is_null p) then begin
-      let h = Value.handle p in
-      if free.(h) then
-        violations :=
-          Printf.sprintf "node #%d in the pool twice" h :: !violations
-      else begin
-        free.(h) <- true;
-        walk (Arena.read_mm_next t.arena p) (steps + 1)
-      end
-    end
+  let record p =
+    let h = Value.handle p in
+    if free.(h) then
+      violations := Printf.sprintf "node #%d in the pool twice" h :: !violations
+    else free.(h) <- true
   in
-  walk (Value.stamped_ptr (B.read t.backend t.head)) 0;
+  (match t.store with
+  | Some fs ->
+      (* Stripe chains, return buffers and caches are all [free]
+         custody for the auditor's partition. *)
+      Freestore.iter_free fs
+        ~violation:(fun s -> violations := s :: !violations)
+        ~f:record
+  | None ->
+      let rec walk p steps =
+        if steps > cap then violations := "cycle in free pool" :: !violations
+        else if not (Value.is_null p) then begin
+          let h = Value.handle p in
+          if free.(h) then
+            violations :=
+              Printf.sprintf "node #%d in the pool twice" h :: !violations
+          else begin
+            free.(h) <- true;
+            walk (Arena.read_mm_next t.arena p) (steps + 1)
+          end
+        end
+      in
+      walk (Value.stamped_ptr (B.read t.backend t.head)) 0);
   let pending = ref [] and pinned = ref [] in
   Array.iteri
     (fun tid pt ->

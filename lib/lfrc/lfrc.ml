@@ -20,6 +20,7 @@ module C = Atomics.Counters
 module Value = Shmem.Value
 module Layout = Shmem.Layout
 module Arena = Shmem.Arena
+module Freestore = Shmem.Freestore
 
 type t = {
   cfg : Mm_intf.config;
@@ -27,6 +28,7 @@ type t = {
   arena : Arena.t;
   ctr : C.t;
   head : P.cell; (* stamped pointer to the free-list *)
+  store : Freestore.t option; (* sharded Native free store (else legacy) *)
 }
 
 let name = "lfrc"
@@ -50,15 +52,26 @@ let create (cfg : Mm_intf.config) =
       (if h < cfg.capacity then Value.of_handle (h + 1) else Value.null);
     Arena.write arena (Arena.mm_ref_addr arena p) 1
   done;
+  let ctr = C.create ~backend ~threads:cfg.threads () in
+  let store =
+    if Mm_intf.sharded cfg then
+      Some
+        (Freestore.create ~backend ~arena ~counters:ctr ~shards:cfg.shards
+           ~batch:cfg.batch ~threads:cfg.threads ())
+    else None
+  in
   {
     cfg;
     backend;
     arena;
-    ctr = C.create ~backend ~threads:cfg.threads ();
-    (* the single Treiber head is the scheme's one global hot word *)
+    ctr;
+    (* the single Treiber head is the scheme's one global hot word;
+       under the sharded store it is unused and stays null *)
     head =
       B.make_contended backend
-        (Value.pack_stamped ~stamp:0 ~ptr:(Value.of_handle 1));
+        (Value.pack_stamped ~stamp:0
+           ~ptr:(if store = None then Value.of_handle 1 else Value.null));
+    store;
   }
 
 let enter_op _t ~tid:_ = ()
@@ -94,43 +107,72 @@ and release_loop t ~tid = function
 
 and free_node t ~tid node =
   C.incr t.ctr ~tid Free;
-  let rec push () =
-    let hv = B.read t.backend t.head in
-    Arena.write_mm_next t.arena node (Value.stamped_ptr hv);
-    let nw =
-      Value.pack_stamped ~stamp:(Value.stamped_stamp hv + 1) ~ptr:node
-    in
-    if not (B.cas t.backend t.head ~old:hv ~nw) then begin
-      C.incr t.ctr ~tid Free_retry;
+  match t.store with
+  | Some fs ->
+      (* The node was just claimed (mm_ref = 1) and keeps that count
+         throughout its stay in the cache/stripes. *)
+      Freestore.free fs ~tid node
+  | None ->
+      let rec push () =
+        let hv = B.read t.backend t.head in
+        Arena.write_mm_next t.arena node (Value.stamped_ptr hv);
+        let nw =
+          Value.pack_stamped ~stamp:(Value.stamped_stamp hv + 1) ~ptr:node
+        in
+        if not (B.cas t.backend t.head ~old:hv ~nw) then begin
+          C.incr t.ctr ~tid Free_retry;
+          push ()
+        end
+      in
       push ()
-    end
-  in
-  push ()
 
 let alloc t ~tid =
   C.incr t.ctr ~tid Alloc;
-  let rec pop () =
-    let hv = B.read t.backend t.head in
-    let node = Value.stamped_ptr hv in
-    if Value.is_null node then raise Mm_intf.Out_of_memory;
-    (* §3.1: raise the count before reading mm_next so the node cannot
-       be reclaimed (and thus re-pushed with a different next). *)
-    Arena.faa_mm_ref t.arena node 2;
-    let next = Arena.read_mm_next t.arena node in
-    let nw =
-      Value.pack_stamped ~stamp:(Value.stamped_stamp hv + 1) ~ptr:next
-    in
-    if B.cas t.backend t.head ~old:hv ~nw then begin
-      Arena.faa_mm_ref t.arena node (-1);
-      node
-    end
-    else begin
-      C.incr t.ctr ~tid Alloc_retry;
-      release t ~tid node;
+  match t.store with
+  | Some fs ->
+      (* An empty pass is not yet out-of-memory: nodes may be parked
+         in other threads' caches, so retry a bounded number of full
+         passes (same envelope as WFRC's A7 scan limit). The cached
+         node carries mm_ref = 1; FAA (not a store) to 2, because a
+         stale Valois deref may still land a transient +2/-2 pair on
+         it concurrently. *)
+      let limit = (16 * t.cfg.threads) + 16 in
+      let rec claim rounds =
+        match Freestore.alloc fs ~tid with
+        | Some node ->
+            Arena.faa_mm_ref t.arena node 1;
+            node
+        | None ->
+            if rounds >= limit then raise Mm_intf.Out_of_memory;
+            C.incr t.ctr ~tid Alloc_retry;
+            Domain.cpu_relax ();
+            claim (rounds + 1)
+      in
+      claim 0
+  | None ->
+      let rec pop () =
+        let hv = B.read t.backend t.head in
+        let node = Value.stamped_ptr hv in
+        if Value.is_null node then raise Mm_intf.Out_of_memory;
+        (* §3.1: raise the count before reading mm_next so the node
+           cannot be reclaimed (and thus re-pushed with a different
+           next). *)
+        Arena.faa_mm_ref t.arena node 2;
+        let next = Arena.read_mm_next t.arena node in
+        let nw =
+          Value.pack_stamped ~stamp:(Value.stamped_stamp hv + 1) ~ptr:next
+        in
+        if B.cas t.backend t.head ~old:hv ~nw then begin
+          Arena.faa_mm_ref t.arena node (-1);
+          node
+        end
+        else begin
+          C.incr t.ctr ~tid Alloc_retry;
+          release t ~tid node;
+          pop ()
+        end
+      in
       pop ()
-    end
-  in
-  pop ()
 
 (* The Valois de-reference: unbounded retries under contention. *)
 let deref t ~tid link =
@@ -181,19 +223,25 @@ let terminate _t ~tid:_ _p = ()
 let free_set t =
   let cap = t.cfg.capacity in
   let seen = Array.make (cap + 1) false in
-  let rec walk p steps =
-    if steps > cap then failwith "Lfrc: cycle in free-list"
-    else if not (Value.is_null p) then begin
-      let h = Value.handle p in
-      if seen.(h) then failwith "Lfrc: node reachable twice";
-      seen.(h) <- true;
-      let r = Arena.read_mm_ref t.arena p in
-      if r <> 1 then
-        failwith (Printf.sprintf "Lfrc: free node #%d has mm_ref=%d" h r);
-      walk (Arena.read_mm_next t.arena p) (steps + 1)
-    end
+  let record p =
+    let h = Value.handle p in
+    if seen.(h) then failwith "Lfrc: node reachable twice";
+    seen.(h) <- true;
+    let r = Arena.read_mm_ref t.arena p in
+    if r <> 1 then
+      failwith (Printf.sprintf "Lfrc: free node #%d has mm_ref=%d" h r)
   in
-  walk (Value.stamped_ptr (B.read t.backend t.head)) 0;
+  (match t.store with
+  | Some fs -> Freestore.iter_free fs ~violation:failwith ~f:record
+  | None ->
+      let rec walk p steps =
+        if steps > cap then failwith "Lfrc: cycle in free-list"
+        else if not (Value.is_null p) then begin
+          record p;
+          walk (Arena.read_mm_next t.arena p) (steps + 1)
+        end
+      in
+      walk (Value.stamped_ptr (B.read t.backend t.head)) 0);
   seen
 
 let free_count t =
@@ -209,20 +257,33 @@ let custody t =
   let cap = t.cfg.capacity in
   let free = Array.make (cap + 1) false in
   let violations = ref [] in
-  let rec walk p steps =
-    if steps > cap then violations := "cycle in free-list" :: !violations
-    else if not (Value.is_null p) then begin
-      let h = Value.handle p in
-      if free.(h) then
-        violations :=
-          Printf.sprintf "node #%d on the free-list twice" h :: !violations
-      else begin
-        free.(h) <- true;
-        walk (Arena.read_mm_next t.arena p) (steps + 1)
-      end
-    end
+  let violation s = violations := s :: !violations in
+  let record p =
+    let h = Value.handle p in
+    if free.(h) then
+      violation (Printf.sprintf "node #%d on the free-list twice" h)
+    else free.(h) <- true
   in
-  walk (Value.stamped_ptr (B.read t.backend t.head)) 0;
+  (match t.store with
+  | Some fs ->
+      (* Stripe chains, return-buffer slots and per-thread caches are
+         all allocator custody: they count as [free] so the auditor's
+         node partition stays conservative with a populated store. *)
+      Freestore.iter_free fs ~violation ~f:record
+  | None ->
+      let rec walk p steps =
+        if steps > cap then violation "cycle in free-list"
+        else if not (Value.is_null p) then begin
+          let h = Value.handle p in
+          if free.(h) then
+            violation (Printf.sprintf "node #%d on the free-list twice" h)
+          else begin
+            free.(h) <- true;
+            walk (Arena.read_mm_next t.arena p) (steps + 1)
+          end
+        end
+      in
+      walk (Value.stamped_ptr (B.read t.backend t.head)) 0);
   Mm_intf.{ free; pending = []; pinned = []; violations = List.rev !violations }
 
 let validate t =

@@ -18,6 +18,7 @@ module C = Atomics.Counters
 module Value = Shmem.Value
 module Layout = Shmem.Layout
 module Arena = Shmem.Arena
+module Freestore = Shmem.Freestore
 
 type t = {
   cfg : Mm_intf.config;
@@ -26,6 +27,7 @@ type t = {
   ctr : C.t;
   lock : P.cell;
   free_head : P.cell;
+  store : Freestore.t option; (* sharded Native free store (else legacy) *)
 }
 
 let name = "lockrc"
@@ -49,15 +51,26 @@ let create (cfg : Mm_intf.config) =
       (if h < cfg.capacity then Value.of_handle (h + 1) else Value.null);
     Arena.write arena (Arena.mm_ref_addr arena p) 1
   done;
+  let ctr = C.create ~backend ~threads:cfg.threads () in
+  let store =
+    if Mm_intf.sharded cfg then
+      Some
+        (Freestore.create ~backend ~arena ~counters:ctr ~shards:cfg.shards
+           ~batch:cfg.batch ~threads:cfg.threads ())
+    else None
+  in
   {
     cfg;
     backend;
     arena;
-    ctr = C.create ~backend ~threads:cfg.threads ();
+    ctr;
     (* every thread spins on the lock word; keep it and the free head
        on separate padded lines so the spin does not slow the holder *)
     lock = B.make_contended backend 0;
-    free_head = B.make_contended backend (Value.of_handle 1);
+    free_head =
+      B.make_contended backend
+        (if store = None then Value.of_handle 1 else Value.null);
+    store;
   }
 
 let with_lock t ~tid f =
@@ -98,8 +111,11 @@ let reclaim t ~tid node0 =
       done;
       C.incr t.ctr ~tid Node_reclaimed;
       C.incr t.ctr ~tid Free;
-      Arena.write_mm_next t.arena node (B.read t.backend t.free_head);
-      B.write t.backend t.free_head node;
+      (match t.store with
+      | Some fs -> Freestore.free fs ~tid node
+      | None ->
+          Arena.write_mm_next t.arena node (B.read t.backend t.free_head);
+          B.write t.backend t.free_head node);
       List.iter drop !held
     end
   in
@@ -114,11 +130,22 @@ let release t ~tid p =
 let alloc t ~tid =
   C.incr t.ctr ~tid Alloc;
   with_lock t ~tid (fun () ->
-      let node = B.read t.backend t.free_head in
-      if Value.is_null node then raise Mm_intf.Out_of_memory;
-      B.write t.backend t.free_head (Arena.read_mm_next t.arena node);
-      Arena.write t.arena (Arena.mm_ref_addr t.arena node) 2;
-      node)
+      match t.store with
+      | Some fs -> begin
+          (* Every store operation runs under the one lock, so one
+             full pass is conclusive: nobody can free concurrently. *)
+          match Freestore.alloc fs ~tid with
+          | Some node ->
+              Arena.write t.arena (Arena.mm_ref_addr t.arena node) 2;
+              node
+          | None -> raise Mm_intf.Out_of_memory
+        end
+      | None ->
+          let node = B.read t.backend t.free_head in
+          if Value.is_null node then raise Mm_intf.Out_of_memory;
+          B.write t.backend t.free_head (Arena.read_mm_next t.arena node);
+          Arena.write t.arena (Arena.mm_ref_addr t.arena node) 2;
+          node)
 
 let deref t ~tid link =
   C.incr t.ctr ~tid Deref;
@@ -159,19 +186,25 @@ let terminate _t ~tid:_ _p = ()
 let free_set t =
   let cap = t.cfg.capacity in
   let seen = Array.make (cap + 1) false in
-  let rec walk p steps =
-    if steps > cap then failwith "Lockrc: cycle in free-list"
-    else if not (Value.is_null p) then begin
-      let h = Value.handle p in
-      if seen.(h) then failwith "Lockrc: node reachable twice";
-      seen.(h) <- true;
-      let r = Arena.read_mm_ref t.arena p in
-      if r <> 1 then
-        failwith (Printf.sprintf "Lockrc: free node #%d has mm_ref=%d" h r);
-      walk (Arena.read_mm_next t.arena p) (steps + 1)
-    end
+  let record p =
+    let h = Value.handle p in
+    if seen.(h) then failwith "Lockrc: node reachable twice";
+    seen.(h) <- true;
+    let r = Arena.read_mm_ref t.arena p in
+    if r <> 1 then
+      failwith (Printf.sprintf "Lockrc: free node #%d has mm_ref=%d" h r)
   in
-  walk (B.read t.backend t.free_head) 0;
+  (match t.store with
+  | Some fs -> Freestore.iter_free fs ~violation:failwith ~f:record
+  | None ->
+      let rec walk p steps =
+        if steps > cap then failwith "Lockrc: cycle in free-list"
+        else if not (Value.is_null p) then begin
+          record p;
+          walk (Arena.read_mm_next t.arena p) (steps + 1)
+        end
+      in
+      walk (B.read t.backend t.free_head) 0);
   seen
 
 let free_count t =
@@ -189,20 +222,33 @@ let custody t =
   let violations = ref [] in
   if B.read t.backend t.lock <> 0 then
     violations := "lock held at quiescence" :: !violations;
-  let rec walk p steps =
-    if steps > cap then violations := "cycle in free-list" :: !violations
-    else if not (Value.is_null p) then begin
-      let h = Value.handle p in
-      if free.(h) then
-        violations :=
-          Printf.sprintf "node #%d on the free-list twice" h :: !violations
-      else begin
-        free.(h) <- true;
-        walk (Arena.read_mm_next t.arena p) (steps + 1)
-      end
-    end
-  in
-  walk (B.read t.backend t.free_head) 0;
+  (match t.store with
+  | Some fs ->
+      (* Stripe chains, return buffers and caches are all [free]
+         custody for the auditor's partition. *)
+      Freestore.iter_free fs
+        ~violation:(fun s -> violations := s :: !violations)
+        ~f:(fun p ->
+          let h = Value.handle p in
+          if free.(h) then
+            violations :=
+              Printf.sprintf "node #%d on the free-list twice" h :: !violations
+          else free.(h) <- true)
+  | None ->
+      let rec walk p steps =
+        if steps > cap then violations := "cycle in free-list" :: !violations
+        else if not (Value.is_null p) then begin
+          let h = Value.handle p in
+          if free.(h) then
+            violations :=
+              Printf.sprintf "node #%d on the free-list twice" h :: !violations
+          else begin
+            free.(h) <- true;
+            walk (Arena.read_mm_next t.arena p) (steps + 1)
+          end
+        end
+      in
+      walk (B.read t.backend t.free_head) 0);
   Mm_intf.{ free; pending = []; pinned = []; violations = List.rev !violations }
 
 let validate t =

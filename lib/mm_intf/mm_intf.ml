@@ -30,13 +30,35 @@ type config = {
      deterministic-scheduler/lincheck runs (one scheduling point per
      primitive), [Native] for hook-free Domain-parallel runs with
      contention padding. *)
+  shards : int;
+  (* free-store stripes for the [Native] backend. 1 = the single
+     legacy free-list; > 1 splits the node range into per-domain
+     stripes with padded heads and per-stripe remote-free buffers.
+     Ignored (must be 1) under [Sim], whose byte-for-byte behaviour
+     the deterministic scheduler and lincheck depend on. *)
+  batch : int;
+  (* domain-local allocation-cache batch size [B]: caches hold up to
+     [2*B] nodes and grab/return them [B] at a time. 1 = no cache
+     (every alloc/free goes straight to a stripe, the legacy path). *)
 }
 
 let config ?(num_links = 0) ?(num_data = 0) ?(num_roots = 0)
-    ?(backend = Atomics.Backend.Sim) ~threads ~capacity () =
+    ?(backend = Atomics.Backend.Sim) ?(shards = 1) ?(batch = 1) ~threads
+    ~capacity () =
   if threads < 1 then invalid_arg "Mm_intf.config: threads";
   if capacity < 1 then invalid_arg "Mm_intf.config: capacity";
-  { threads; capacity; num_links; num_data; num_roots; backend }
+  if shards < 1 then invalid_arg "Mm_intf.config: shards";
+  if batch < 1 then invalid_arg "Mm_intf.config: batch";
+  if shards > capacity then invalid_arg "Mm_intf.config: shards > capacity";
+  if backend = Atomics.Backend.Sim && (shards > 1 || batch > 1) then
+    invalid_arg "Mm_intf.config: sharding requires the Native backend";
+  { threads; capacity; num_links; num_data; num_roots; backend; shards; batch }
+
+(* Whether a config opts into the sharded free store (stripes +
+   domain-local caches). [shards = 1, batch = 1] — the default — keeps
+   every manager on its legacy free-list code path. *)
+let sharded cfg =
+  cfg.backend = Atomics.Backend.Native && (cfg.shards > 1 || cfg.batch > 1)
 
 (* Fault-tolerant accounting snapshot for the post-run auditor
    (Harness.Audit). Unlike [validate]/[free_count] the [custody]

@@ -21,9 +21,20 @@ let next64 t =
 (* A non-negative 62-bit int. *)
 let next_int t = Int64.to_int (Int64.shift_right_logical (next64 t) 2)
 
+(* Uniform in [0, bound) by rejection sampling. [next_int] is uniform
+   on [0, 2^62) = [0, max_int]; plain [mod bound] over-weights the
+   first [2^62 mod bound] residues. Draws above [cutoff] (the largest
+   multiple-of-bound boundary) are redrawn — with 62-bit draws the
+   rejection probability is ~bound/2^62, so in practice streams are
+   unchanged and the fix costs nothing. *)
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
-  next_int t mod bound
+  let cutoff = max_int - (((max_int mod bound) + 1) mod bound) in
+  let rec draw () =
+    let v = next_int t in
+    if v > cutoff then draw () else v mod bound
+  in
+  draw ()
 
 let bool t = Int64.logand (next64 t) 1L = 1L
 

@@ -11,7 +11,8 @@ val next_int : t -> int
 (** Non-negative 62-bit integer. *)
 
 val int : t -> int -> int
-(** [int t bound] is uniform-ish in [\[0, bound)]; [bound > 0]. *)
+(** [int t bound] is uniform in [\[0, bound)] (rejection-sampled, no
+    modulo bias); [bound > 0]. *)
 
 val bool : t -> bool
 val float : t -> float

@@ -140,6 +140,176 @@ let equivalence_tests =
             (stack_roundtrip ~backend:B.Native));
     ]
 
+(* The sharded native store must not change what any scheme computes.
+   Raw handle traces are not comparable across allocators — a free
+   list has set semantics, and the cache legitimately reuses nodes in
+   a different order than each scheme's legacy placement (wfrc's
+   F5-F6 heuristic, hp/ebr scan order) — so this runs the same
+   deterministic client workload and records every op-level
+   observable that IS allocator-independent: alloc success/OOM, deref
+   null-ness, CAS outcomes, and the final free count. Node identity
+   is checked against a shadow of the root ("deref returns exactly
+   the node last stored") inside the run rather than across runs. *)
+let run_shape_workload ?(shards = 1) ?(batch = 1) ~backend scheme =
+  let cfg =
+    Mm.config ~backend ~shards ~batch ~threads:2 ~capacity:64 ~num_links:1
+      ~num_data:1 ~num_roots:2 ()
+  in
+  let mm = Harness.Registry.instantiate scheme cfg in
+  let root = Arena.root_addr (Mm.arena mm) 0 in
+  let rng = Sched.Rng.create 91_001 in
+  let shadow = ref Value.null in
+  let trace = ref [] in
+  let push v = trace := v :: !trace in
+  let h p = if Value.is_null p then 0 else Value.handle p in
+  let check_root p =
+    check_int "deref returns the node last stored" (h !shadow) (h p)
+  in
+  for _step = 1 to 300 do
+    Mm.enter_op mm ~tid:0;
+    (match Sched.Rng.int rng 3 with
+    | 0 -> (
+        try
+          let p = Mm.alloc mm ~tid:0 in
+          push 1;
+          Mm.release mm ~tid:0 p;
+          Mm.terminate mm ~tid:0 p
+        with Mm.Out_of_memory -> push (-1))
+    | 1 -> (
+        let p = Mm.deref mm ~tid:0 root in
+        check_root p;
+        push (if Value.is_null p then 0 else 2);
+        if not (Value.is_null p) then Mm.release mm ~tid:0 p)
+    | _ -> (
+        try
+          let b = Mm.alloc mm ~tid:0 in
+          let old = Mm.deref mm ~tid:0 root in
+          check_root old;
+          let swapped = Mm.cas_link mm ~tid:0 root ~old ~nw:b in
+          if swapped then shadow := b;
+          push (if Value.is_null old then 0 else 2);
+          push (if swapped then 1 else 0);
+          if swapped && not (Value.is_null old) then begin
+            Mm.release mm ~tid:0 old;
+            Mm.terminate mm ~tid:0 old
+          end;
+          if (not (Value.is_null old)) && not swapped then
+            Mm.release mm ~tid:0 old;
+          Mm.release mm ~tid:0 b
+        with Mm.Out_of_memory -> push (-1)));
+    Mm.exit_op mm ~tid:0
+  done;
+  Mm.enter_op mm ~tid:0;
+  let last = Mm.deref mm ~tid:0 root in
+  check_root last;
+  if not (Value.is_null last) then begin
+    ignore (Mm.cas_link mm ~tid:0 root ~old:last ~nw:Value.null);
+    Mm.release mm ~tid:0 last;
+    Mm.terminate mm ~tid:0 last
+  end;
+  Mm.exit_op mm ~tid:0;
+  push (Mm.free_count mm);
+  Mm.validate mm;
+  List.rev !trace
+
+let sharded_equivalence_tests =
+  List.concat_map
+    (fun scheme ->
+      List.map
+        (fun shards ->
+          tc
+            (Printf.sprintf "%s with %d-stripe store matches sim op-for-op"
+               scheme shards)
+            (fun () ->
+              let sim_trace = run_shape_workload ~backend:B.Sim scheme in
+              let nat_trace =
+                run_shape_workload ~backend:B.Native ~shards ~batch:4 scheme
+              in
+              Alcotest.(check (list int)) "op results" sim_trace nat_trace))
+        [ 1; 2; 4 ])
+    Harness.Registry.names
+
+(* Custody conservation with a populated store: drive nodes into a
+   thread cache and a remote stripe's return buffer, then check that
+   inspection still finds every node exactly once. tid 1 drains its
+   home stripe (capacity 32, 2 stripes, so handles 17..32); tid 0
+   frees all 16 — its cache fills and every spill is remote, so the
+   return buffer fills and the overflow falls back to direct chain
+   pushes. *)
+let freestore_custody_tests =
+  [
+    tc "populated caches and return buffers conserve every node" (fun () ->
+        let backend = B.Native in
+        let layout = Shmem.Layout.create ~num_links:1 ~num_data:1 in
+        let arena = Arena.create ~backend ~layout ~capacity:32 ~num_roots:0 () in
+        let ctr = Atomics.Counters.create ~backend ~threads:2 () in
+        let fs =
+          Shmem.Freestore.create ~backend ~arena ~counters:ctr ~shards:2
+            ~batch:2 ~threads:2 ()
+        in
+        let taken =
+          List.init 16 (fun _ ->
+              match Shmem.Freestore.alloc fs ~tid:1 with
+              | Some p -> p
+              | None -> Alcotest.fail "stripe 1 ran dry early")
+        in
+        List.iter (fun p -> Shmem.Freestore.free fs ~tid:0 p) taken;
+        check_bool "tid 0 cache populated" true
+          (Shmem.Freestore.cached fs ~tid:0 > 0);
+        check_bool "return buffers populated" true
+          (Shmem.Freestore.buffered fs > 0);
+        check_bool "remote frees recorded" true
+          (Atomics.Counters.total ctr Atomics.Counters.Free_remote > 0);
+        let seen = Array.make 33 false in
+        let count = ref 0 in
+        Shmem.Freestore.iter_free fs
+          ~violation:(fun s -> Alcotest.fail s)
+          ~f:(fun p ->
+            let h = Value.handle p in
+            check_bool "no duplicate" false seen.(h);
+            seen.(h) <- true;
+            incr count);
+        check_int "every node accounted for" 32 !count;
+        (* All of it is allocatable again by tid 0, whose full pass
+           reaches its own cache, both stripe chains and both return
+           buffers. (tid 1 could not: tid 0's cache is private — the
+           reason managers retry OOM instead of trusting one empty
+           pass.) *)
+        for _ = 1 to 32 do
+          match Shmem.Freestore.alloc fs ~tid:0 with
+          | Some _ -> ()
+          | None -> Alcotest.fail "node unreachable to alloc"
+        done;
+        check_bool "then empty" true (Shmem.Freestore.alloc fs ~tid:0 = None));
+    tc "auditor conserves a manager with populated caches/buffers" (fun () ->
+        let cfg =
+          Mm.config ~backend:B.Native ~shards:2 ~batch:2 ~threads:2
+            ~capacity:32 ~num_links:1 ~num_data:1 ~num_roots:1 ()
+        in
+        let mm = Harness.Registry.instantiate "lfrc" cfg in
+        Mm.enter_op mm ~tid:1;
+        let nodes = List.init 16 (fun _ -> Mm.alloc mm ~tid:1) in
+        Mm.exit_op mm ~tid:1;
+        Mm.enter_op mm ~tid:0;
+        List.iter
+          (fun p ->
+            Mm.release mm ~tid:0 p;
+            Mm.terminate mm ~tid:0 p)
+          nodes;
+        Mm.exit_op mm ~tid:0;
+        let ctr = Mm.counters mm in
+        check_bool "remote frees happened" true
+          (Atomics.Counters.total ctr Atomics.Counters.Free_remote > 0);
+        check_bool "cache spills happened" true
+          (Atomics.Counters.total ctr Atomics.Counters.Cache_spill > 0);
+        let r = Harness.Audit.run mm in
+        check_bool
+          ("audit ok: " ^ Harness.Audit.to_string r)
+          true (Harness.Audit.ok r);
+        check_int "everything is free custody" 32 r.Harness.Audit.free;
+        check_int "nothing leaked" 0 r.Harness.Audit.leaked);
+  ]
+
 (* The acceptance property of the native backend: a full manager
    workload crosses ZERO scheduling points, while the same workload on
    the sim backend crosses one per primitive. *)
@@ -187,4 +357,6 @@ let hook_tests =
         check_int "hits" 0 !hits);
   ]
 
-let suite = cell_tests @ equivalence_tests @ hook_tests
+let suite =
+  cell_tests @ equivalence_tests @ sharded_equivalence_tests
+  @ freestore_custody_tests @ hook_tests

@@ -41,10 +41,27 @@ let hist_tests =
         check_int "count" 2 (Hist.count a);
         check_int "min" 10 (Hist.min_value a);
         check_int "max" 1_000_000 (Hist.max_value a));
-    tc "negative values clamp to zero" (fun () ->
+    tc "negative samples are tallied, not folded in" (fun () ->
+        (* A negative duration is a measurement bug; the old behaviour
+           clamped it to 0, silently polluting the distribution. *)
         let h = Hist.create () in
         Hist.add h (-5);
-        check_int "min" 0 (Hist.min_value h));
+        check_int "not counted" 0 (Hist.count h);
+        check_int "tallied" 1 (Hist.negatives h);
+        Hist.add h 10;
+        Hist.add h (-1);
+        check_int "count sees only the real sample" 1 (Hist.count h);
+        check_int "negatives accumulate" 2 (Hist.negatives h);
+        check_int "min untouched by negatives" 10 (Hist.min_value h);
+        check_bool "mean untouched by negatives" true (Hist.mean h = 10.0));
+    tc "merge_into carries negatives across" (fun () ->
+        let a = Hist.create () and b = Hist.create () in
+        Hist.add a (-3);
+        Hist.add b (-4);
+        Hist.add b 7;
+        Hist.merge_into a b;
+        check_int "negatives merged" 2 (Hist.negatives a);
+        check_int "count merged" 1 (Hist.count a));
     qc "max is exact, percentile(1.0) equals it"
       QCheck.(list_of_size (Gen.int_range 1 200) (int_range 0 1_000_000))
       (fun vs ->
@@ -101,6 +118,57 @@ let table_tests =
         in
         check_bool "comma quoted" true (contains out "\"a,b\"");
         check_bool "quote doubled" true (contains out "\"c\"\"d\""));
+    tc "csv round-trips RFC 4180 specials" (fun () ->
+        (* A minimal quote-aware RFC 4180 reader: records split on
+           newlines outside quotes, [""] inside a quoted cell is a
+           literal quote. *)
+        let parse s =
+          let records = ref [] and cells = ref [] in
+          let cell = Buffer.create 16 in
+          let in_quotes = ref false in
+          let flush_cell () =
+            cells := Buffer.contents cell :: !cells;
+            Buffer.clear cell
+          in
+          let flush_record () =
+            flush_cell ();
+            records := List.rev !cells :: !records;
+            cells := []
+          in
+          let n = String.length s in
+          let i = ref 0 in
+          while !i < n do
+            let c = s.[!i] in
+            (if !in_quotes then
+               if c = '"' then
+                 if !i + 1 < n && s.[!i + 1] = '"' then begin
+                   Buffer.add_char cell '"';
+                   incr i
+                 end
+                 else in_quotes := false
+               else Buffer.add_char cell c
+             else
+               match c with
+               | '"' -> in_quotes := true
+               | ',' -> flush_cell ()
+               | '\n' -> flush_record ()
+               | c -> Buffer.add_char cell c);
+            incr i
+          done;
+          if Buffer.length cell > 0 || !cells <> [] then flush_record ();
+          List.rev !records
+        in
+        let headers = [ "plain"; "with,comma" ] in
+        let rows =
+          [
+            [ "a\"quote"; "multi\nline" ];
+            [ "carriage\rreturn"; "all,of\"it\r\n" ];
+            [ ""; "trailing" ];
+          ]
+        in
+        let parsed = parse (Harness.Table.csv ~headers ~rows) in
+        Alcotest.(check (list (list string)))
+          "round-trip" (headers :: rows) parsed);
   ]
 
 let workload_tests =
@@ -129,6 +197,26 @@ let workload_tests =
         let b = Harness.Workload.per_thread ~threads:3 ~seed:9 gen in
         check_bool "reproducible" true (a = b);
         check_bool "distinct across threads" true (a.(0) <> a.(1)));
+    tc "per_thread streams are independent across seeds" (fun () ->
+        (* The old fixed-stride seeding (seed + tid * 1_000_003) made
+           thread 1 of seed s replay thread 0 of seed s + 1_000_003.
+           Split-derived streams must not collide for any (seed, tid)
+           pair across nearby or stride-related seeds. *)
+        let gen rng = Array.init 32 (fun _ -> Sched.Rng.int rng 1_000_000) in
+        let base = Harness.Workload.per_thread ~threads:4 ~seed:42 gen in
+        List.iter
+          (fun seed ->
+            let other = Harness.Workload.per_thread ~threads:4 ~seed gen in
+            Array.iter
+              (fun s ->
+                Array.iter
+                  (fun o ->
+                    check_bool
+                      (Printf.sprintf "no stream collision with seed %d" seed)
+                      false (s = o))
+                  other)
+              base)
+          [ 43; 42 + 1_000_003; 42 + (2 * 1_000_003); 42 - 1_000_003 ]);
     tc "churn bursts within bounds" (fun () ->
         let rng = Sched.Rng.create 6 in
         let bursts = Harness.Workload.churn_bursts ~rng ~n:500 ~max_burst:8 in
@@ -171,6 +259,63 @@ let config_tests =
         check_int "capacity" 32 (Shmem.Arena.capacity (Mm_intf.arena mm));
         check_int "counters rows" 3
           (Atomics.Counters.threads (Mm_intf.counters mm)));
+    tc "sharding knobs are validated" (fun () ->
+        let native = Atomics.Backend.Native in
+        fails_with (fun () ->
+            Mm_intf.config ~backend:native ~shards:0 ~threads:2 ~capacity:8 ());
+        fails_with (fun () ->
+            Mm_intf.config ~backend:native ~batch:0 ~threads:2 ~capacity:8 ());
+        fails_with (fun () ->
+            Mm_intf.config ~backend:native ~shards:16 ~threads:2 ~capacity:8 ());
+        (* Sim must never see a sharded store: its schedules are the
+           byte-identical baseline. *)
+        fails_with ~substring:"Native" (fun () ->
+            Mm_intf.config ~shards:2 ~threads:2 ~capacity:8 ());
+        fails_with ~substring:"Native" (fun () ->
+            Mm_intf.config ~batch:2 ~threads:2 ~capacity:8 ());
+        let c =
+          Mm_intf.config ~backend:native ~shards:2 ~batch:4 ~threads:2
+            ~capacity:8 ()
+        in
+        check_bool "sharded" true (Mm_intf.sharded c);
+        let legacy = Mm_intf.config ~backend:native ~threads:2 ~capacity:8 () in
+        check_bool "defaults are legacy" false (Mm_intf.sharded legacy));
+  ]
+
+let bench_report_tests =
+  [
+    tc "bench report surfaces negative timer samples" (fun () ->
+        let point neg =
+          {
+            Harness.Bench.scheme = "wfrc";
+            backend = Atomics.Backend.Native;
+            threads = 1;
+            shards = 1;
+            batch = 1;
+            ops = 100;
+            wall_ns = 1_000;
+            ops_per_sec = 1.0;
+            mean_ns = 1.0;
+            p50_ns = 1;
+            p90_ns = 1;
+            p99_ns = 1;
+            max_ns = 1;
+            neg_samples = neg;
+          }
+        in
+        let has_warning r =
+          List.exists
+            (fun n -> contains n "negative timer")
+            r.Harness.Report.notes
+        in
+        check_bool "clean points carry no warning" false
+          (has_warning (Harness.Bench.report [ point 0 ]));
+        check_bool "negative samples raise a note" true
+          (has_warning (Harness.Bench.report [ point 3 ]));
+        check_bool "json carries the field" true
+          (contains
+             (Harness.Bench.to_json [ point 3 ])
+             "\"neg_samples\": 3"));
   ]
 
 let registry_tests =
@@ -376,4 +521,4 @@ let sink_tests =
 let suite =
   hist_tests @ hist_bucket_tests @ fmt_tests @ table_tests @ report_tests
   @ sink_tests @ workload_tests @ runner_tests @ config_tests
-  @ registry_tests
+  @ bench_report_tests @ registry_tests
