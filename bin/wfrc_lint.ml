@@ -1,0 +1,22 @@
+(* CLI for the reclamation-protocol lint. Exit 0 when the tree is
+   clean, 1 when any violation is found — CI runs `wfrc_lint lib` as
+   a blocking job. *)
+
+let () =
+  let roots =
+    match Array.to_list Sys.argv with [] | [ _ ] -> [ "lib" ] | _ :: r -> r
+  in
+  let missing = List.filter (fun r -> not (Sys.file_exists r)) roots in
+  if missing <> [] then begin
+    List.iter (Printf.eprintf "wfrc_lint: no such path: %s\n") missing;
+    exit 2
+  end;
+  match Lint.run ~roots with
+  | [] ->
+      print_endline "wfrc_lint: clean";
+      exit 0
+  | vs ->
+      List.iter (fun v -> print_endline (Lint.to_string v)) vs;
+      Printf.printf "wfrc_lint: %d violation%s\n" (List.length vs)
+        (if List.length vs = 1 then "" else "s");
+      exit 1

@@ -1,0 +1,102 @@
+(* Vector-clock happens-before over the simulated shared memory, in
+   the style of FastTrack's full-clock representation.
+
+   Every thread [t] carries a clock C_t; every memory location carries
+   a "last release" clock L. The simulated machine is sequentially
+   consistent (each primitive is one atomic step of the deterministic
+   scheduler), so we model every primitive as the strongest barrier it
+   could be under SC:
+
+     Read          acquire            C_t := C_t ⊔ L
+     Write         release            L := L ⊔ C_t, then C_t[t]++
+     Cas/Faa/Swap  acquire + release  both of the above
+
+   Reads must acquire: the pointer-publication chains the managers
+   rely on (free → push → pop → publish in a link → deref) close
+   through plain reads of links and free-list heads, and the oracle's
+   "ordered after the reclaiming free" rule (Analysis.Reclaim) is
+   only sound with those edges present. The over-approximation (a
+   failed CAS also releases, any read acquires) can only add HB edges
+   that SC executions indeed have, so it produces no false positives;
+   it can hide genuinely racy orderings behind incidental edges, which
+   is the usual price of a dynamic HB tool.
+
+   Locations are keyed by global arena address ([Shmem.Arena]'s
+   process-wide address space). All cells outside any arena — scheme
+   globals like free-list heads, announcement slots, epoch words —
+   share one coarse channel: they are exactly the rendezvous points
+   through which the managers synchronise, so merging them only adds
+   edges (conservative, same argument as above). *)
+
+type clock = int array
+
+type t = {
+  threads : int;
+  clocks : clock array; (* C_t, indexed by engine tid *)
+  locs : (int, clock) Hashtbl.t; (* L, keyed by global arena address *)
+  coarse : clock; (* shared L for every non-arena cell *)
+}
+
+let create ~threads =
+  if threads < 1 then invalid_arg "Hb.create: threads";
+  {
+    threads;
+    clocks = Array.init threads (fun _ -> Array.make threads 0);
+    locs = Hashtbl.create 256;
+    coarse = Array.make threads 0;
+  }
+
+let join dst src =
+  for i = 0 to Array.length dst - 1 do
+    if src.(i) > dst.(i) then dst.(i) <- src.(i)
+  done
+
+let loc_clock t addr =
+  if addr < 0 then t.coarse
+  else
+    match Hashtbl.find_opt t.locs addr with
+    | Some l -> l
+    | None ->
+        let l = Array.make t.threads 0 in
+        Hashtbl.add t.locs addr l;
+        l
+
+(* One instrumented access. [tid] outside [0, threads) — accesses from
+   setup/teardown code running outside the engine — order nothing. *)
+let on_access t ~tid ~addr (kind : Atomics.Schedpoint.kind) =
+  if tid >= 0 && tid < t.threads then begin
+    let c = t.clocks.(tid) in
+    let l = loc_clock t addr in
+    match kind with
+    | Read -> join c l
+    | Write ->
+        join l c;
+        c.(tid) <- c.(tid) + 1
+    | Cas | Faa | Swap ->
+        join c l;
+        join l c;
+        c.(tid) <- c.(tid) + 1
+  end
+
+let snapshot t ~tid =
+  if tid >= 0 && tid < t.threads then Array.copy t.clocks.(tid)
+  else Array.make t.threads 0
+
+(* [dominated a b]: every component of [a] is ≤ the one in [b], i.e.
+   the event that recorded [a] happens-before (or equals) the point
+   that holds [b]. *)
+let dominated a b =
+  let n = Array.length a in
+  let rec go i = i >= n || (a.(i) <= b.(i) && go (i + 1)) in
+  go 0
+
+(* [hb_after t ~tid past]: is [tid]'s current point ordered after the
+   recorded clock [past]? Conservatively false for out-of-engine tids
+   (callers skip the check there). *)
+let hb_after t ~tid past =
+  tid >= 0 && tid < t.threads && dominated past t.clocks.(tid)
+
+let pp_clock ppf c =
+  Fmt.pf ppf "[%s]"
+    (String.concat ","
+       (Array.to_list (Array.map string_of_int c)))

@@ -1,0 +1,37 @@
+(** FastTrack-style vector-clock happens-before over the simulated
+    shared memory.
+
+    Each thread carries a clock; each location carries the clock of
+    its last release. The simulated machine is sequentially
+    consistent, so every primitive is modelled as the strongest
+    barrier it could be: reads acquire, writes release, RMWs do both.
+    The over-approximation only adds edges SC executions really have,
+    so checks built on it produce no false positives.
+
+    Arena words are keyed by their global address
+    ([Shmem.Arena.addr_base]); all non-arena cells (free-list heads,
+    announcement slots, epoch words — address [-1] at the hook) share
+    one coarse channel, which is again only edge-adding. *)
+
+type clock = int array
+
+type t
+
+val create : threads:int -> t
+
+val on_access : t -> tid:int -> addr:int -> Atomics.Schedpoint.kind -> unit
+(** Advance the relation by one instrumented access. A [tid] outside
+    [0, threads) (code running outside the engine) orders nothing. *)
+
+val snapshot : t -> tid:int -> clock
+(** Copy of [tid]'s current clock (all-zero for out-of-engine tids). *)
+
+val dominated : clock -> clock -> bool
+(** [dominated a b]: pointwise [a <= b] — the event that recorded [a]
+    happens-before (or equals) the point holding [b]. *)
+
+val hb_after : t -> tid:int -> clock -> bool
+(** [hb_after t ~tid past]: is [tid]'s current point ordered after the
+    recorded clock [past]? [false] for out-of-engine tids. *)
+
+val pp_clock : Format.formatter -> clock -> unit

@@ -1,0 +1,239 @@
+(* The reclamation-safety oracle.
+
+   The paper's central safety property (Lemma 5, §4): a reclaimed node
+   may only ever be touched through its indefinitely-present header
+   words — every other access to a FREE node is a use-after-free. The
+   oracle tracks each node's lifecycle from the managers'
+   [Mm_intf.Events] stream and checks every instrumented arena access
+   (delivered by [Atomics.Schedpoint.hit_at] through the Sim backend)
+   against it:
+
+     R1  an access to a FREE node outside the header words
+         (mm_ref/mm_next, the allocator's custody channel) is a
+         use-after-free;
+     R2  an access to a LIVE node must be ordered, in the
+         happens-before relation of {!Hb}, after the free that ended
+         the node's previous life — otherwise a stale reference from
+         before the reclamation survived into the node's next life
+         (the ABA shape state checking alone cannot see);
+     R3  lifecycle sanity: freeing a FREE node is a double-free,
+         allocating a non-free node is corruption, retiring anything
+         but a LIVE node is a protocol violation; an allocation must
+         itself be ordered after the last free (R2 applied to the
+         allocator).
+
+   Violations raise {!Violation} at the exact scheduling step of the
+   offending access, inside the engine, so [Sched.Explore] records the
+   failing choice trace and the counterexample replays with
+   [Explore.replay]. RETIRED nodes (HP/EBR custody between [terminate]
+   and the actual free) stay accessible: protected readers may still
+   hold them — that is the point of deferred reclamation. *)
+
+module Value = Shmem.Value
+module Layout = Shmem.Layout
+module Arena = Shmem.Arena
+module C = Atomics.Counters
+
+type state = Free | Live | Retired
+
+let state_name = function
+  | Free -> "FREE"
+  | Live -> "LIVE"
+  | Retired -> "RETIRED"
+
+exception Violation of string
+
+let () =
+  Printexc.register_printer (function
+    | Violation msg -> Some (Printf.sprintf "Reclaim.Violation(%s)" msg)
+    | _ -> None)
+
+type t = {
+  arena : Arena.t;
+  base : int; (* global address window of [arena] *)
+  ncells : int;
+  threads : int;
+  hb : Hb.t;
+  states : state array; (* indexed by handle, slot 0 unused *)
+  free_clock : Hb.clock option array; (* clock at the last Free event *)
+  freed_by : int array; (* tid of the last Free event *)
+  counters : C.t option; (* optional per-kind access tally *)
+  mutable accesses : int; (* instrumented arena accesses seen *)
+  mutable violations : string list; (* newest first; raised too *)
+}
+
+let create ?counters ~arena ~threads () =
+  let cap = Arena.capacity arena in
+  {
+    arena;
+    base = Arena.addr_base arena;
+    ncells = Arena.num_cells arena;
+    threads;
+    hb = Hb.create ~threads;
+    states = Array.make (cap + 1) Free;
+    free_clock = Array.make (cap + 1) None;
+    freed_by = Array.make (cap + 1) (-1);
+    counters;
+    accesses = 0;
+    violations = [];
+  }
+
+let violations t = List.rev t.violations
+let accesses t = t.accesses
+
+let violate t msg =
+  t.violations <- msg :: t.violations;
+  raise (Violation msg)
+
+let tally t ~tid (kind : Atomics.Schedpoint.kind) =
+  match t.counters with
+  | Some c when tid >= 0 && tid < t.threads ->
+      C.incr c ~tid
+        (match kind with
+        | Read -> C.Read
+        | Write -> C.Write
+        | Cas -> C.Cas_attempt
+        | Faa -> C.Faa
+        | Swap -> C.Swap)
+  | _ -> ()
+
+(* One instrumented access, from the validator hook. Runs after the
+   scheduling decision, i.e. at the step where the primitive takes
+   effect, so every free interleaved before this point has been
+   recorded. *)
+let on_access t ~tid ~addr kind =
+  Hb.on_access t.hb ~tid ~addr kind;
+  if addr >= t.base && addr < t.base + t.ncells then begin
+    t.accesses <- t.accesses + 1;
+    tally t ~tid kind;
+    match Arena.owner_of t.arena (addr - t.base) with
+    | `Root _ -> ()
+    | `Node (h, off) ->
+        if off >= Layout.header_size then begin
+          match t.states.(h) with
+          | Retired -> ()
+          | Free ->
+              violate t
+                (Printf.sprintf
+                   "use-after-free: %s of node #%d offset %d by tid %d, \
+                    freed by tid %d"
+                   (Atomics.Schedpoint.kind_name kind)
+                   h off tid t.freed_by.(h))
+          | Live -> (
+              match t.free_clock.(h) with
+              | Some fc when tid >= 0 && not (Hb.hb_after t.hb ~tid fc) ->
+                  violate t
+                    (Printf.sprintf
+                       "unordered access: %s of node #%d offset %d by tid %d \
+                        is not happens-after the free by tid %d that ended \
+                        the node's previous life (stale reference across \
+                        reclamation)"
+                       (Atomics.Schedpoint.kind_name kind)
+                       h off tid t.freed_by.(h))
+              | _ -> ())
+        end
+  end
+
+(* One lifecycle event, from the [Mm_intf.Events] listener. *)
+let on_event t ~tid node (lc : Mm_intf.Events.lifecycle) =
+  let h = Value.handle node in
+  if h >= 1 && h < Array.length t.states then
+    match lc with
+    | Free ->
+        if t.states.(h) = Free then
+          violate t
+            (Printf.sprintf "double-free: node #%d freed by tid %d, already \
+                             freed by tid %d"
+               h tid t.freed_by.(h));
+        t.states.(h) <- Free;
+        t.freed_by.(h) <- tid;
+        t.free_clock.(h) <- Some (Hb.snapshot t.hb ~tid)
+    | Alloc ->
+        (if t.states.(h) <> Free then
+           violate t
+             (Printf.sprintf
+                "corrupt allocation: node #%d allocated by tid %d while %s"
+                h tid (state_name t.states.(h))));
+        (match t.free_clock.(h) with
+        | Some fc when tid >= 0 && tid < t.threads
+                       && not (Hb.hb_after t.hb ~tid fc) ->
+            violate t
+              (Printf.sprintf
+                 "unordered allocation: node #%d allocated by tid %d without \
+                  happening-after the free by tid %d"
+                 h tid t.freed_by.(h))
+        | _ -> ());
+        t.states.(h) <- Live
+    | Retire ->
+        if t.states.(h) <> Live then
+          violate t
+            (Printf.sprintf "bad retire: node #%d retired by tid %d while %s"
+               h tid (state_name t.states.(h)));
+        t.states.(h) <- Retired
+
+(* Quiescent leak check: nodes still LIVE at the end of a balanced
+   program mark an unreleased reference (a dropped release_ref).
+   RETIRED nodes are not leaks here — the client did its part; the
+   manager is merely deferring — and [reserved] accounts for immortal
+   sentinels the program keeps alive by design. *)
+let leaked t =
+  let out = ref [] in
+  for h = Array.length t.states - 1 downto 1 do
+    if t.states.(h) = Live then out := h :: !out
+  done;
+  !out
+
+let check_all_free ?(reserved = 0) t =
+  let l = leaked t in
+  if List.length l > reserved then
+    violate t
+      (Printf.sprintf "leak: %d node(s) still LIVE at quiescence (%s)%s"
+         (List.length l)
+         (String.concat "," (List.map (Printf.sprintf "#%d") l))
+         (if reserved > 0 then Printf.sprintf " with %d reserved" reserved
+          else ""))
+
+(* ---------------- Global installation ----------------------------- *)
+
+(* The oracle dispatches through one mutable slot so that a bracketing
+   [with_oracle] installs the (validator, listener) pair exactly once
+   around a whole exploration, while [instrument] swaps in a fresh
+   detector for every schedule the explorer runs. Nothing global
+   outlives the bracket: [Schedpoint.with_validator] and
+   [Events.with_listener] restore on the way out even when a schedule
+   dies mid-run with a pending violation. *)
+
+let current : t option ref = ref None
+
+let dispatch_access ~addr kind =
+  match !current with
+  | Some det -> on_access det ~tid:(Sched.Engine.current_tid ()) ~addr kind
+  | None -> ()
+
+let dispatch_event ~tid node lc =
+  match !current with Some det -> on_event det ~tid node lc | None -> ()
+
+let with_oracle body =
+  Atomics.Schedpoint.with_validator dispatch_access @@ fun () ->
+  Mm_intf.Events.with_listener dispatch_event @@ fun () ->
+  Fun.protect ~finally:(fun () -> current := None) body
+
+(* Wrap an exploration factory. The inner factory is two-stage:
+   [mk ()] builds the manager/arena and returns it together with an
+   [init] continuation that performs the program's setup (initial
+   allocations, root links) and yields the body/check pair. The
+   wrapper slots a fresh detector in between, so setup-time
+   allocations are already observed — a program's initial nodes must
+   be LIVE in the oracle, or their first use would be a false
+   use-after-free. Must run inside {!with_oracle}; outside it the
+   hooks are not installed and the oracle sees nothing. *)
+let instrument ?counters ?(expect_all_free = false) ?(reserved = 0) ~threads
+    mk () =
+  let arena, init = mk () in
+  let det = create ?counters ~arena ~threads () in
+  current := Some det;
+  let body, check = init () in
+  ( body,
+    fun () ->
+      check ();
+      if expect_all_free then check_all_free ~reserved det )

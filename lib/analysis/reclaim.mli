@@ -1,0 +1,85 @@
+(** The reclamation-safety oracle: an online use-after-free /
+    double-free / stale-reference detector for Sim-backend runs.
+
+    It consumes two streams:
+    - every instrumented arena access, via the
+      {!Atomics.Schedpoint.hit_at} validator hook (installed by
+      {!with_oracle});
+    - every node lifecycle transition, via {!Mm_intf.Events} (all five
+      managers emit [Alloc]/[Free]/[Retire]).
+
+    Rules (paper Lemma 5 / §4): an access to a FREE node outside the
+    [mm_ref]/[mm_next] header words is a use-after-free; an access to
+    a LIVE node must happen-after (per {!Hb}) the free that ended the
+    node's previous life; freeing a FREE node is a double-free;
+    allocating a non-free node, or allocating without happening-after
+    the last free, is allocator corruption; retiring a non-LIVE node
+    is a protocol violation. RETIRED nodes (HP/EBR limbo) stay
+    accessible by design.
+
+    Violations raise {!Violation} at the offending scheduling step, so
+    [Sched.Explore] captures a deterministic choice trace replayable
+    with [Explore.replay]. *)
+
+type state = Free | Live | Retired
+
+val state_name : state -> string
+
+exception Violation of string
+
+type t
+
+val create :
+  ?counters:Atomics.Counters.t ->
+  arena:Shmem.Arena.t ->
+  threads:int ->
+  unit ->
+  t
+(** Fresh detector for [arena]. All nodes start FREE. [counters], when
+    given, receives one [Read]/[Write]/[Cas_attempt]/[Faa]/[Swap]
+    increment per instrumented arena access (per accessing tid). *)
+
+val on_access : t -> tid:int -> addr:int -> Atomics.Schedpoint.kind -> unit
+(** Feed one instrumented access ([addr] is global). Out-of-engine
+    tids ([-1]) still get the FREE-node check but order nothing. *)
+
+val on_event : t -> tid:int -> Shmem.Value.ptr -> Mm_intf.Events.lifecycle -> unit
+(** Feed one lifecycle event. *)
+
+val leaked : t -> int list
+(** Handles still LIVE — unreleased references if the program was
+    balanced. *)
+
+val check_all_free : ?reserved:int -> t -> unit
+(** Raise {!Violation} if more than [reserved] nodes are still LIVE. *)
+
+val violations : t -> string list
+(** All violations recorded by this detector, oldest first (each was
+    also raised at its occurrence). *)
+
+val accesses : t -> int
+(** Number of instrumented accesses that landed in this detector's
+    arena window. *)
+
+val with_oracle : (unit -> 'a) -> 'a
+(** Install the oracle's validator and event listener around [body]
+    (typically one whole [Sched.Explore] call over an {!instrument}ed
+    factory), restoring both hooks afterwards — a detector can never
+    leak into later tests, even when a schedule dies mid-run. *)
+
+val instrument :
+  ?counters:Atomics.Counters.t ->
+  ?expect_all_free:bool ->
+  ?reserved:int ->
+  threads:int ->
+  (unit -> Shmem.Arena.t * (unit -> (int -> unit) * (unit -> unit))) ->
+  unit ->
+  (int -> unit) * (unit -> unit)
+(** [instrument ~threads mk] adapts a two-stage exploration factory:
+    [mk ()] builds the manager and returns its arena plus an [init]
+    continuation performing the program's setup. A fresh detector is
+    created in between, so setup-time allocations are observed (the
+    program's initial nodes must be LIVE in the oracle). With
+    [expect_all_free], the post-run check additionally fails if more
+    than [reserved] nodes are still LIVE (a dropped release). Use
+    inside {!with_oracle}. *)

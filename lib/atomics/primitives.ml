@@ -30,3 +30,30 @@ let faa (c : cell) delta =
 let swap (c : cell) v =
   Schedpoint.hit ();
   Atomic.exchange c v
+
+(* Instrumented variants, used by [Shmem.Arena] for cells that live at
+   a stable arena address. Scheduling behaviour is identical to the
+   plain variants (exactly one crossing per call); the only difference
+   is the access metadata handed to the installed validator. These are
+   separate functions rather than optional arguments so the hot plain
+   path allocates nothing and pays nothing. *)
+
+let read_at ~addr (c : cell) =
+  Schedpoint.hit_at ~addr Schedpoint.Read;
+  Atomic.get c
+
+let write_at ~addr (c : cell) v =
+  Schedpoint.hit_at ~addr Schedpoint.Write;
+  Atomic.set c v
+
+let cas_at ~addr (c : cell) ~old ~nw =
+  Schedpoint.hit_at ~addr Schedpoint.Cas;
+  Atomic.compare_and_set c old nw
+
+let faa_at ~addr (c : cell) delta =
+  Schedpoint.hit_at ~addr Schedpoint.Faa;
+  Atomic.fetch_and_add c delta
+
+let swap_at ~addr (c : cell) v =
+  Schedpoint.hit_at ~addr Schedpoint.Swap;
+  Atomic.exchange c v

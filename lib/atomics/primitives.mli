@@ -29,3 +29,17 @@ val faa : cell -> int -> int
 val swap : cell -> int -> int
 (** [swap c v] is the paper's [SWAP]: atomically stores [v] in [c] and
     returns the previous value. *)
+
+(** {1 Instrumented variants}
+
+    Identical to the plain operations — exactly one scheduling
+    crossing each — but the crossing is {!Schedpoint.hit_at}, carrying
+    the cell's global arena address and the access kind to the
+    installed validator. Used by [Shmem.Arena] for all arena words;
+    cells without a stable address keep the plain entry points. *)
+
+val read_at : addr:int -> cell -> int
+val write_at : addr:int -> cell -> int -> unit
+val cas_at : addr:int -> cell -> old:int -> nw:int -> bool
+val faa_at : addr:int -> cell -> int -> int
+val swap_at : addr:int -> cell -> int -> int

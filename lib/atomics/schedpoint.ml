@@ -10,6 +10,18 @@
    materialises a fresh closure at every use site, which would break
    the physical-equality test in [is_installed]. *)
 
+(* Access-kind metadata carried by the instrumented crossing
+   ([hit_at]). [Read]/[Write] are the plain single-word operations;
+   [Cas]/[Faa]/[Swap] are the paper's Figure 2 RMW primitives. *)
+type kind = Read | Write | Cas | Faa | Swap
+
+let kind_name = function
+  | Read -> "read"
+  | Write -> "write"
+  | Cas -> "cas"
+  | Faa -> "faa"
+  | Swap -> "swap"
+
 let noop () = ()
 
 let hook : (unit -> unit) ref = ref noop
@@ -21,22 +33,66 @@ let hook : (unit -> unit) ref = ref noop
    indirect call otherwise. *)
 let check : (unit -> unit) ref = ref noop
 
+(* Access validator, run after the scheduling hook with the access
+   metadata. Ordering matters: the primitive's atomic operation
+   executes when the engine resumes the fiber out of the [Yield]
+   raised by [hook], so the validator observes shared state at the
+   moment the access actually takes effect — any free interleaved
+   before this step has already been recorded. Like [noop] above,
+   [no_validate] is a named closure so installation is detectable by
+   physical equality. *)
+let no_validate ~addr:(_ : int) (_ : kind) = ()
+
+let validator : (addr:int -> kind -> unit) ref = ref no_validate
+
 let hit () =
   !check ();
   !hook ()
+
+(* The instrumented crossing: identical scheduling behaviour to [hit]
+   (one [check], one [hook]), plus one indirect validator call. With
+   no validator installed the extra cost is that single call to a
+   no-op, and native runs keep using the metadata-free entry points,
+   so the metadata is free where it is not wanted. [addr] is a global
+   arena address ([Shmem.Arena.addr_base] + local offset), or -1 for
+   cells outside any arena. *)
+let hit_at ~addr kind =
+  !check ();
+  !hook ();
+  !validator ~addr kind
 
 let install f = hook := f
 
 let reset () = hook := noop
 
+(* [with_hook] brackets one deterministic run, so it must give the
+   body a clean instrumentation context and put everything back after:
+   a validator (or check) installed inside one [Sched.Explore] run
+   must not leak into later runs that share the process. *)
 let with_hook f body =
   let saved = !hook in
+  let saved_check = !check in
+  let saved_validator = !validator in
   hook := f;
-  Fun.protect ~finally:(fun () -> hook := saved) body
+  Fun.protect
+    ~finally:(fun () ->
+      hook := saved;
+      check := saved_check;
+      validator := saved_validator)
+    body
 
 let with_check f body =
   let saved = !check in
   check := f;
   Fun.protect ~finally:(fun () -> check := saved) body
 
+let install_validator f = validator := f
+let reset_validator () = validator := no_validate
+
+let with_validator f body =
+  let saved = !validator in
+  validator := f;
+  Fun.protect ~finally:(fun () -> validator := saved) body
+
 let is_installed () = !hook != noop
+let validator_installed () = !validator != no_validate

@@ -4,9 +4,27 @@
     deterministic scheduler installs an effect-performing hook so that
     each atomic primitive becomes one scheduling decision. *)
 
+type kind = Read | Write | Cas | Faa | Swap
+(** Access metadata carried by {!hit_at}: plain single-word operations
+    ([Read]/[Write]) and the paper's Figure 2 RMW primitives
+    ([Cas]/[Faa]/[Swap]). *)
+
+val kind_name : kind -> string
+(** Lower-case name of an access kind, for messages and reports. *)
+
 val hit : unit -> unit
 (** [hit ()] invokes the current hook. Called by {!Primitives} before
     each atomic sub-operation. *)
+
+val hit_at : addr:int -> kind -> unit
+(** [hit_at ~addr kind] is {!hit} plus one call to the installed
+    access validator with the access metadata. [addr] is a global
+    arena address (see [Shmem.Arena.addr_base]), or [-1] for cells
+    outside any arena. The validator runs {e after} the scheduling
+    hook: the atomic operation takes effect when the engine resumes
+    the fiber, so the validator observes shared state as of the step
+    at which the access really happens. With no validator installed
+    the only cost over {!hit} is one indirect call to a no-op. *)
 
 val install : (unit -> unit) -> unit
 (** [install f] makes [f] the hook. Only meaningful from a
@@ -17,7 +35,10 @@ val reset : unit -> unit
 
 val with_hook : (unit -> unit) -> (unit -> 'a) -> 'a
 (** [with_hook f body] runs [body] with [f] installed, restoring the
-    previous hook afterwards (also on exceptions). *)
+    previous hook afterwards (also on exceptions). The secondary check
+    and the access validator are saved and restored too, so a
+    validator installed inside one deterministic run cannot leak into
+    later runs. *)
 
 val with_check : (unit -> unit) -> (unit -> 'a) -> 'a
 (** [with_check f body] runs [body] with [f] installed as a secondary
@@ -26,5 +47,24 @@ val with_check : (unit -> unit) -> (unit -> 'a) -> 'a
     checks (asserting the executing fiber is the one it resumed);
     restores the previous check afterwards (also on exceptions). *)
 
+val install_validator : (addr:int -> kind -> unit) -> unit
+(** Unbracketed validator installation; prefer {!with_validator}.
+    {!with_hook} (i.e. every engine run) restores the validator that
+    was active when it started, so an installation leaked inside a
+    run cannot survive it. *)
+
+val reset_validator : unit -> unit
+(** Restore the default no-op validator. *)
+
+val with_validator : (addr:int -> kind -> unit) -> (unit -> 'a) -> 'a
+(** [with_validator f body] runs [body] with [f] installed as the
+    access validator invoked by {!hit_at} on every instrumented
+    primitive, restoring the previous validator afterwards (also on
+    exceptions). *)
+
 val is_installed : unit -> bool
 (** [is_installed ()] is [true] iff a non-default hook is active. *)
+
+val validator_installed : unit -> bool
+(** [validator_installed ()] is [true] iff a non-default access
+    validator is active. *)

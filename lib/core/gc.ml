@@ -147,7 +147,11 @@ and release_loop t ~tid = function
 
 and free_node t ~tid node =
   (* Pre-condition: mm_ref = 1 (claimed), as established by R2 or by
-     the initial chaining. *)
+     the initial chaining. From here the node is allocator custody —
+     donation (F3), cache parking and the F4–F10 pushes only ever
+     touch its mm_ref/mm_next words — so this is the lifecycle [Free]
+     point for the reclamation oracle. *)
+  Mm_intf.Events.emit ~tid node Mm_intf.Events.Free;
   C.incr t.ctr ~tid Free;
   let n = t.n in
   let help_id = B.read t.backend t.help_current in                  (* F1 *)
@@ -226,6 +230,7 @@ let alloc t ~tid =
       let node = B.swap t.backend t.ann_alloc.(tid) Value.null in
       Arena.faa_mm_ref t.arena node (-1);         (* FixRef(node, -1) *)
       C.incr t.ctr ~tid Alloc_helped;
+      Mm_intf.Events.emit ~tid node Mm_intf.Events.Alloc;
       result := node;
       finished := true
     end
@@ -242,6 +247,7 @@ let alloc t ~tid =
           c.clen <- c.clen - 1;
           let node = c.cslots.(c.clen) in
           Arena.faa_mm_ref t.arena node 1;
+          Mm_intf.Events.emit ~tid node Mm_intf.Events.Alloc;
           result := node;
           finished := true
       | _ ->
@@ -281,6 +287,7 @@ let alloc t ~tid =
               (B.cas t.backend t.help_current ~old:help_id
                  ~nw:((help_id + 1) mod n));                        (* A16 *)
             Arena.faa_mm_ref t.arena node (-1);   (* A17: FixRef(-1) *)
+            Mm_intf.Events.emit ~tid node Mm_intf.Events.Alloc;
             result := node;
             finished := true
           end

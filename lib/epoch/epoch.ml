@@ -96,6 +96,7 @@ let create (cfg : Mm_intf.config) =
   }
 
 let pool_push t ~tid node =
+  Mm_intf.Events.emit ~tid node Mm_intf.Events.Free;
   C.incr t.ctr ~tid Free;
   match t.store with
   | Some fs -> Freestore.free fs ~tid node
@@ -186,7 +187,9 @@ let alloc t ~tid =
          them immediately. *)
       let rec claim () =
         match Freestore.alloc fs ~tid with
-        | Some node -> node
+        | Some node ->
+            Mm_intf.Events.emit ~tid node Mm_intf.Events.Alloc;
+            node
         | None ->
             under_pressure ();
             C.incr t.ctr ~tid Alloc_retry;
@@ -206,7 +209,10 @@ let alloc t ~tid =
           let nw =
             Value.pack_stamped ~stamp:(Value.stamped_stamp hv + 1) ~ptr:next
           in
-          if B.cas t.backend t.head ~old:hv ~nw then node
+          if B.cas t.backend t.head ~old:hv ~nw then begin
+            Mm_intf.Events.emit ~tid node Mm_intf.Events.Alloc;
+            node
+          end
           else begin
             C.incr t.ctr ~tid Alloc_retry;
             pop ()
@@ -235,6 +241,7 @@ let cas_link t ~tid link ~old ~nw =
 let store_link t ~tid:_ link p = Arena.write t.arena link p
 
 let terminate t ~tid p =
+  Mm_intf.Events.emit ~tid (Value.unmark p) Mm_intf.Events.Retire;
   let pt = t.threads.(tid) in
   let e = B.read t.backend t.global in
   let slot = e mod 3 in

@@ -32,8 +32,13 @@ type point = {
 
 let batch_pairs = 64
 
-let run_point ?spine ?(shards = 1) ?(batch = 1) ~scheme ~backend ~threads ~ops
-    ~capacity () =
+let run_point ?spine ?(shards = 1) ?(batch = 1) ?(oracle = false) ~scheme
+    ~backend ~threads ~ops ~capacity () =
+  if oracle && (backend <> B.Sim || threads <> 1) then
+    invalid_arg
+      "Bench.run_point: the oracle point is Sim-only and single-threaded \
+       (the detector is not domain-safe, and Native has no Schedpoint \
+       dispatch to measure)";
   let cfg =
     Mm.config ~backend ~shards ~batch ~threads ~capacity ~num_links:1
       ~num_data:1 ~num_roots:0 ()
@@ -70,6 +75,26 @@ let run_point ?spine ?(shards = 1) ?(batch = 1) ~scheme ~backend ~threads ~ops
           Metrics.Hist.add h ((Runner.now_ns () - t0) / batch_pairs)
         done)
   in
+  (* The analysis-overhead point: the same loop with the full
+     {!Analysis.Reclaim} oracle armed — every instrumented Sim access
+     dispatches through the hit_at validator into the detector, every
+     alloc/free crosses the Events listener. The delta against the
+     plain Sim point is the whole cost of the analysis layer; Native
+     rows are untouched by construction (the hook stays [ignore]
+     there, so there is nothing to switch off). *)
+  let run =
+    if not oracle then run
+    else fun () ->
+      let det =
+        Analysis.Reclaim.create ~arena:(Mm.arena mm) ~threads:1 ()
+      in
+      Atomics.Schedpoint.with_validator
+        (fun ~addr kind -> Analysis.Reclaim.on_access det ~tid:0 ~addr kind)
+        (fun () ->
+          Mm.Events.with_listener
+            (fun ~tid node lc -> Analysis.Reclaim.on_event det ~tid node lc)
+            run)
+  in
   let result =
     match spine with
     | None -> run ()
@@ -78,7 +103,7 @@ let run_point ?spine ?(shards = 1) ?(batch = 1) ~scheme ~backend ~threads ~ops
   let hist = Metrics.Hist.create () in
   Array.iter (fun h -> Metrics.Hist.merge_into hist h) hists;
   {
-    scheme;
+    scheme = (if oracle then scheme ^ "+oracle" else scheme);
     backend;
     threads;
     shards;
@@ -121,7 +146,19 @@ let run_suite ?spine ?(schemes = [ "wfrc" ]) ?(backends = [ B.Sim; B.Native ])
             ~shards:(min 4 capacity) ~batch:8 ~threads ~ops ~capacity ())
         schemes
   in
-  base @ sharded
+  (* The analysis-layer cost: one single-threaded Sim point per scheme
+     with the Reclaim oracle armed, to set against the plain 1T Sim
+     row. *)
+  let oracle =
+    if not (List.mem B.Sim backends) then []
+    else
+      List.map
+        (fun scheme ->
+          run_point ?spine ~oracle:true ~scheme ~backend:B.Sim ~threads:1
+            ~ops ~capacity ())
+        schemes
+  in
+  base @ sharded @ oracle
 
 (* Legacy flat JSON for the point list (BENCH_wfrc.json, consumed by
    CI plots). All fields are numbers or plain [a-z_] strings, so no
@@ -171,6 +208,11 @@ let report ?(counters = []) points =
          "per-op latencies are batch-averaged (64 pairs per sample); \
           native drops the Schedpoint dispatch and pads hot words";
          "shards/batch > 1 = sharded free store with domain-local caches";
+         "<scheme>+oracle = the same Sim loop with the Analysis.Reclaim \
+          detector armed (hit_at validator + Events listener): the delta \
+          against the plain 1T Sim row bounds the analysis layer's cost; \
+          Native rows carry no detector because the hook stays ignore \
+          there";
        ]
       @
       if negs > 0 then

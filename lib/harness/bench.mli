@@ -32,6 +32,7 @@ val run_point :
   ?spine:Exp_support.Spine.t ->
   ?shards:int ->
   ?batch:int ->
+  ?oracle:bool ->
   scheme:string ->
   backend:Atomics.Backend.t ->
   threads:int ->
@@ -42,7 +43,11 @@ val run_point :
 (** One cell of the suite. [spine] accumulates the instance's
     {!Atomics.Counters} deltas (see {!Exp_support.Spine}).
     [shards]/[batch] (default 1/1) select the sharded free store —
-    Native backend only. *)
+    Native backend only. [oracle] (Sim, single-threaded only) arms the
+    full {!Analysis.Reclaim} detector for the measured loop and labels
+    the point's scheme ["<scheme>+oracle"] — the delta against the
+    plain Sim point is the analysis layer's whole cost; Native points
+    cannot carry it because the hook there stays [ignore]. *)
 
 val run_suite :
   ?spine:Exp_support.Spine.t ->
@@ -56,7 +61,9 @@ val run_suite :
 (** Defaults: wfrc only, both backends, 1/2/4 threads, 50k pairs.
     When Native is among the backends, one extra sharded point per
     scheme (shards 4, batch 8, highest thread count) tracks the
-    sharded hot path. *)
+    sharded hot path; when Sim is among them, one extra
+    single-threaded oracle-armed point per scheme tracks the analysis
+    layer's Sim cost. *)
 
 val to_json : point list -> string
 val write_json : path:string -> point list -> unit

@@ -311,7 +311,10 @@ let e7 ?(runs = 300) ?(seed = 23_000) () =
         (match r.failure with
         | None -> "none"
         | Some f ->
-            Printf.sprintf "VIOLATION at schedule [%s]"
+            Printf.sprintf "VIOLATION%s at schedule [%s]"
+              (match f.seed with
+              | Some s -> Printf.sprintf " (seed %d)" s
+              | None -> "")
               (String.concat ";"
                  (List.map string_of_int (Array.to_list f.schedule))));
     ]

@@ -9,7 +9,7 @@ let all : Exp.spec list =
   Exp.sort
     (Exp_throughput.specs @ Exp_contention.specs @ Exp_steps.specs
    @ Exp_lincheck.specs @ Exp_ratio.specs @ Exp_fault.specs
-   @ Exp_shard.specs)
+   @ Exp_shard.specs @ Exp_analysis.specs)
 
 let ids = Exp.ids all
 let specs = all
@@ -32,3 +32,4 @@ let e14 = Exp_shard.e14
 let a1 = Exp_ratio.a1
 let a2 = Exp_ratio.a2
 let a3 = Exp_ratio.a3
+let a4 = Exp_analysis.a4

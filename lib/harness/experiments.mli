@@ -170,3 +170,17 @@ val a3 :
   unit ->
   Report.t
 (** Ablation: allocation helping (A11–A15/F3) on vs off. *)
+
+val a4 :
+  ?schemes:string list ->
+  ?churn_schedules:int ->
+  ?contend_schedules:int ->
+  ?hunt_runs:int ->
+  ?seed:int ->
+  unit ->
+  Report.t
+(** Reclamation-safety detector sweep ({!Analysis.Reclaim} over
+    {!Sched.Explore}): every scheme explored clean over two small
+    contended programs, then three seeded protocol mutations (HP
+    validation skip, double release, dropped release) each caught with
+    a replayable choice trace. *)

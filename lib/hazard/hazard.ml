@@ -44,6 +44,11 @@ type t = {
   threads : per_thread array;
   k : int;
   threshold : int;
+  mutable validate_deref : bool;
+  (* [true] in every real configuration. [unsafe_skip_validation]
+     clears it to seed the classic hazard-pointer bug — publishing the
+     slot without re-validating the link — for detector non-vacuity
+     tests. *)
 }
 
 let name = "hp"
@@ -106,7 +111,10 @@ let create (cfg : Mm_intf.config) =
           });
     k;
     threshold;
+    validate_deref = true;
   }
+
+let unsafe_skip_validation t = t.validate_deref <- false
 
 let enter_op _t ~tid:_ = ()
 let exit_op _t ~tid:_ = ()
@@ -132,6 +140,7 @@ let find_empty pt =
 
 (* Free-pool push: the node is certainly private here. *)
 let pool_push t ~tid node =
+  Mm_intf.Events.emit ~tid node Mm_intf.Events.Free;
   C.incr t.ctr ~tid Free;
   match t.store with
   | Some fs -> Freestore.free fs ~tid node
@@ -166,6 +175,7 @@ let alloc t ~tid =
     let s = find_empty pt in
     B.write t.backend pt.slots.(s) node;
     pt.counts.(s) <- 1;
+    Mm_intf.Events.emit ~tid node Mm_intf.Events.Alloc;
     node
   in
   let scanned = ref false in
@@ -232,7 +242,7 @@ let rec deref t ~tid link =
     | None ->
         let s = find_empty pt in
         B.write t.backend pt.slots.(s) u;
-        if Arena.read t.arena link = w then begin
+        if (not t.validate_deref) || Arena.read t.arena link = w then begin
           pt.counts.(s) <- 1;
           w
         end
@@ -305,6 +315,7 @@ let scan t ~tid =
     free
 
 let terminate t ~tid p =
+  Mm_intf.Events.emit ~tid (Value.unmark p) Mm_intf.Events.Retire;
   let pt = t.threads.(tid) in
   pt.retired <- Value.unmark p :: pt.retired;
   pt.retired_len <- pt.retired_len + 1;

@@ -17,3 +17,9 @@ val slots_per_thread : t -> int
 val scan : t -> tid:int -> unit
 (** Force a retirement scan for [tid]'s retired list (normally
     triggered automatically past the retirement threshold). *)
+
+val unsafe_skip_validation : t -> unit
+(** Seed the classic hazard-pointer bug into this instance: [deref]
+    still publishes the slot but skips the link re-validation, so a
+    node retired-and-scanned between the read and the publish is used
+    after reclamation. For detector non-vacuity tests only. *)

@@ -106,6 +106,7 @@ and release_loop t ~tid = function
       else release_loop t ~tid rest
 
 and free_node t ~tid node =
+  Mm_intf.Events.emit ~tid node Mm_intf.Events.Free;
   C.incr t.ctr ~tid Free;
   match t.store with
   | Some fs ->
@@ -141,6 +142,7 @@ let alloc t ~tid =
         match Freestore.alloc fs ~tid with
         | Some node ->
             Arena.faa_mm_ref t.arena node 1;
+            Mm_intf.Events.emit ~tid node Mm_intf.Events.Alloc;
             node
         | None ->
             if rounds >= limit then raise Mm_intf.Out_of_memory;
@@ -164,6 +166,7 @@ let alloc t ~tid =
         in
         if B.cas t.backend t.head ~old:hv ~nw then begin
           Arena.faa_mm_ref t.arena node (-1);
+          Mm_intf.Events.emit ~tid node Mm_intf.Events.Alloc;
           node
         end
         else begin

@@ -1,0 +1,339 @@
+(* A parse-tree protocol checker for the reclamation API.
+
+   The paper's user model (§3.2) imposes discipline the type system
+   cannot see: every reference acquired through DeRefLink/AllocNode
+   must be released, and clients must never reach around the manager
+   to the raw shared-memory primitives. This pass walks parsetrees
+   (compiler-libs, no typing) and enforces the syntactic shadow of
+   those rules; it is deliberately under-approximate — aliasing and
+   flow through data structures count as ownership transfer — so it
+   stays quiet on correct idiomatic code. *)
+
+open Parsetree
+
+type violation = { file : string; line : int; rule : string; msg : string }
+
+let to_string v = Printf.sprintf "%s:%d: [%s] %s" v.file v.line v.rule v.msg
+
+(* ---------------- Names ------------------------------------------- *)
+
+let fn_name e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> Some (Longident.last txt)
+  | _ -> None
+
+(* The acquiring operations of Mm_intf: their result carries a
+   reference the caller owes back. *)
+let acquire_fns = [ "deref"; "alloc"; "copy_ref" ]
+
+(* Discharging operations: the reference obligation ends here. *)
+let release_fns = [ "release"; "terminate"; "make_immortal"; "release_ref" ]
+
+(* Read-through accessors: a reference passed to one of these is
+   used, not consumed — the obligation stays with the caller. This
+   includes cas_link/store_link, whose link share is managed
+   internally by the scheme (Mm_intf): linking a node does NOT
+   discharge the caller's own reference. *)
+let accessor_fns =
+  [
+    "read"; "write"; "cas"; "faa"; "swap"; "read_data"; "write_data";
+    "read_link"; "write_link"; "read_mm_ref"; "faa_mm_ref"; "cas_mm_ref";
+    "read_mm_next"; "write_mm_next"; "mm_ref_addr"; "mm_next_addr";
+    "link_addr"; "data_addr"; "node_base"; "dump_node"; "cas_link";
+    "store_link"; "is_null"; "is_marked"; "mark"; "unmark"; "handle";
+    "same_node"; "pp_ptr"; "pp_word"; "ignore"; "not"; "incr"; "decr";
+  ]
+
+(* Calls that abort the path: the obligation is excused on
+   exceptional exits. *)
+let abort_fns = [ "raise"; "raise_notrace"; "failwith"; "invalid_arg"; "failf" ]
+
+(* ---------------- Expression queries ------------------------------ *)
+
+exception Found
+
+let mentions v e =
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt = Longident.Lident x; _ } when x = v ->
+              raise Found
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  try
+    it.expr it e;
+    false
+  with Found -> true
+
+(* [if not (is_null v) then ...]: the null-guard idiom. The branch
+   where [v] is null carries no obligation, so a release in either
+   arm discharges. *)
+let null_guard v cond =
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_apply (f, args)
+            when fn_name f = Some "is_null"
+                 && List.exists (fun (_, a) -> mentions v a) args ->
+              raise Found
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  try
+    it.expr it cond;
+    false
+  with Found -> true
+
+(* Does [e] discharge the obligation on [v] along every
+   non-exceptional path? "Discharge" is a release-ish call, a return,
+   a store into any data structure, or a hand-off to a function we do
+   not recognise as a pure accessor (ownership transfer). *)
+let rec discharges v e =
+  match e.pexp_desc with
+  | Pexp_ident { txt = Longident.Lident x; _ } when x = v -> true (* returned *)
+  | Pexp_apply (f, args) -> (
+      match fn_name f with
+      | Some n when List.mem n release_fns ->
+          List.exists (fun (_, a) -> mentions v a) args
+      | Some n when List.mem n abort_fns -> true
+      | Some n when List.mem n accessor_fns -> false
+      | _ -> List.exists (fun (_, a) -> mentions v a) args)
+  | Pexp_sequence (a, b) -> discharges v a || discharges v b
+  | Pexp_let (_, vbs, body) ->
+      List.exists (fun vb -> discharges v vb.pvb_expr) vbs
+      || discharges v body
+      (* [let u = Value.unmark v in ...]: [u] aliases the same node
+         reference (mark/unmark only toggle the low bit), so
+         discharging the alias discharges [v]. *)
+      || List.exists
+           (fun vb ->
+             match (vb.pvb_pat.ppat_desc, vb.pvb_expr.pexp_desc) with
+             | Ppat_var { txt = a; _ }, Pexp_apply (f, args)
+               when (fn_name f = Some "mark" || fn_name f = Some "unmark")
+                    && List.exists (fun (_, x) -> mentions v x) args ->
+                 a <> v && discharges a body
+             | _ -> false)
+           vbs
+  | Pexp_ifthenelse (c, th, el) ->
+      discharges v c
+      ||
+      let el_d = match el with Some e -> discharges v e | None -> false in
+      if null_guard v c then discharges v th || el_d
+      else discharges v th && el_d
+  | Pexp_match (scr, cases) | Pexp_try (scr, cases) ->
+      discharges v scr
+      || (cases <> [] && List.for_all (fun c -> discharges v c.pc_rhs) cases)
+  | Pexp_construct (_, Some a) | Pexp_variant (_, Some a) -> mentions v a
+  | Pexp_tuple es | Pexp_array es -> List.exists (mentions v) es
+  | Pexp_record (fields, base) ->
+      List.exists (fun (_, a) -> mentions v a) fields
+      || (match base with Some b -> mentions v b | None -> false)
+  | Pexp_setfield (a, _, b) -> mentions v a || mentions v b
+  | Pexp_fun (_, _, _, body) -> mentions v body (* captured by a closure *)
+  | Pexp_function cases ->
+      List.exists (fun c -> mentions v c.pc_rhs) cases
+  | Pexp_while _ | Pexp_for _ -> mentions v e (* conservative on loops *)
+  | Pexp_assert { pexp_desc = Pexp_construct ({ txt = Lident "false"; _ }, None); _ }
+    ->
+      true (* assert false aborts the path *)
+  | Pexp_constraint (a, _)
+  | Pexp_coerce (a, _, _)
+  | Pexp_open (_, a)
+  | Pexp_letmodule (_, _, a)
+  | Pexp_letexception (_, a) ->
+      discharges v a
+  | _ -> false
+
+let acquire_rhs e =
+  match e.pexp_desc with
+  | Pexp_apply (f, _) -> (
+      match fn_name f with
+      | Some n when List.mem n acquire_fns -> Some n
+      | _ -> None)
+  | _ -> None
+
+(* ---------------- Per-file checks --------------------------------- *)
+
+let dir_of file = Filename.basename (Filename.dirname file)
+
+(* Layers allowed to name the raw shared-memory primitives and the
+   native free store: the managers themselves plus the layers below
+   them. Everything else must go through Mm_intf. *)
+let primitives_ok = [ "atomics"; "shmem"; "core"; "lfrc"; "hazard"; "epoch"; "lockrc" ]
+let freestore_ok = [ "shmem"; "core"; "lfrc"; "hazard"; "epoch"; "lockrc" ]
+
+let restricted_module file comp =
+  (comp = "Primitives" && not (List.mem (dir_of file) primitives_ok))
+  || (comp = "Freestore" && not (List.mem (dir_of file) freestore_ok))
+
+let check_lid add ~file lid (loc : Location.t) =
+  List.iter
+    (fun comp ->
+      if restricted_module file comp then
+        add ~file ~line:loc.loc_start.pos_lnum ~rule:"raw-primitives"
+          (Printf.sprintf
+             "%s is reserved to the managers and the shmem/atomics layers; \
+              go through Mm_intf"
+             comp))
+    (Longident.flatten lid)
+
+let check_structure add ~file str =
+  let expr_hook self e =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; loc } -> check_lid add ~file txt loc
+    | Pexp_let (_, vbs, cont) ->
+        List.iter
+          (fun vb ->
+            match (vb.pvb_pat.ppat_desc, acquire_rhs vb.pvb_expr) with
+            | Ppat_var { txt = v; _ }, Some fn ->
+                if not (discharges v cont) then
+                  add ~file ~line:vb.pvb_loc.loc_start.pos_lnum
+                    ~rule:"unbalanced-deref"
+                    (Printf.sprintf
+                       "`%s' bound from %s is not released (or handed off) \
+                        on every path"
+                       v fn)
+            | Ppat_any, Some fn ->
+                add ~file ~line:vb.pvb_loc.loc_start.pos_lnum
+                  ~rule:"unbalanced-deref"
+                  (Printf.sprintf
+                     "result of %s is dropped: the acquired reference can \
+                      never be released"
+                     fn)
+            | _ -> ())
+          vbs
+    | _ -> ());
+    Ast_iterator.default_iterator.expr self e
+  in
+  let module_expr_hook self m =
+    (match m.pmod_desc with
+    | Pmod_ident { txt; loc } -> check_lid add ~file txt loc
+    | _ -> ());
+    Ast_iterator.default_iterator.module_expr self m
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr = expr_hook;
+      module_expr = module_expr_hook;
+    }
+  in
+  it.structure it str
+
+(* ---------------- Counter coverage -------------------------------- *)
+
+(* Every [Counters.event] constructor must be constructed somewhere in
+   the scanned tree (outside counters.ml itself): an event nobody can
+   increment is dead telemetry, and the instrumentation layers are
+   required to keep the whole vocabulary live. Matching is by
+   constructor name — parsetrees carry no module resolution — which is
+   the usual precision of a syntactic lint. *)
+let counter_constructors str =
+  let out = ref [] in
+  List.iter
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_type (_, decls) ->
+          List.iter
+            (fun d ->
+              if d.ptype_name.txt = "event" then
+                match d.ptype_kind with
+                | Ptype_variant cds ->
+                    List.iter
+                      (fun cd ->
+                        out :=
+                          (cd.pcd_name.txt, cd.pcd_loc.loc_start.pos_lnum)
+                          :: !out)
+                      cds
+                | _ -> ())
+            decls
+      | _ -> ())
+    str;
+  List.rev !out
+
+let check_counter_coverage add structures =
+  match
+    List.find_opt
+      (fun (f, _) -> Filename.basename f = "counters.ml")
+      structures
+  with
+  | None -> () (* counters.ml not in scope: nothing to check *)
+  | Some (cfile, cstr) ->
+      let wanted = counter_constructors cstr in
+      if wanted <> [] then begin
+        let constructed = Hashtbl.create 64 in
+        let it =
+          {
+            Ast_iterator.default_iterator with
+            expr =
+              (fun self e ->
+                (match e.pexp_desc with
+                | Pexp_construct ({ txt; _ }, _) ->
+                    Hashtbl.replace constructed (Longident.last txt) ()
+                | _ -> ());
+                Ast_iterator.default_iterator.expr self e);
+          }
+        in
+        List.iter
+          (fun (f, s) -> if f <> cfile then it.structure it s)
+          structures;
+        List.iter
+          (fun (name, line) ->
+            if not (Hashtbl.mem constructed name) then
+              add ~file:cfile ~line ~rule:"counter-coverage"
+                (Printf.sprintf
+                   "Counters.%s is never constructed: dead telemetry event"
+                   name))
+          wanted
+      end
+
+(* ---------------- Driver ------------------------------------------ *)
+
+let rec collect_ml acc path =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc name ->
+        if name = "_build" || (String.length name > 0 && name.[0] = '.') then
+          acc
+        else collect_ml acc (Filename.concat path name))
+      acc (Sys.readdir path)
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let parse_file file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let lb = Lexing.from_channel ic in
+      Lexing.set_filename lb file;
+      Parse.implementation lb)
+
+let run ~roots =
+  let files = List.sort compare (List.fold_left collect_ml [] roots) in
+  let out = ref [] in
+  let add ~file ~line ~rule msg = out := { file; line; rule; msg } :: !out in
+  let structures =
+    List.filter_map
+      (fun f ->
+        match parse_file f with
+        | s -> Some (f, s)
+        | exception e ->
+            add ~file:f ~line:1 ~rule:"parse" (Printexc.to_string e);
+            None)
+      files
+  in
+  List.iter (fun (f, s) -> check_structure add ~file:f s) structures;
+  check_counter_coverage add structures;
+  List.sort
+    (fun a b -> compare (a.file, a.line, a.rule, a.msg) (b.file, b.line, b.rule, b.msg))
+    !out

@@ -1,0 +1,33 @@
+(** [wfrc_lint]: a parse-tree protocol checker for the reclamation
+    API, run over the source tree in CI.
+
+    Rules:
+    - [unbalanced-deref] — an identifier bound from
+      [deref]/[alloc]/[copy_ref] must be discharged on every
+      non-exceptional path: released ([release]/[terminate]/
+      [make_immortal]), returned, stored, or handed to another
+      function (ownership transfer). The null-guard idiom
+      [if not (is_null w) then ... release w ...] is understood.
+    - [raw-primitives] — [Primitives] and [Freestore] may only be
+      named inside the memory managers and the shmem/atomics layers;
+      client code must go through [Mm_intf].
+    - [counter-coverage] — every constructor of [Counters.event] must
+      be constructed somewhere in the scanned tree: a counter nobody
+      can ever increment is dead telemetry.
+    - [parse] — a file that does not parse.
+
+    The checks are purely syntactic (no typing), so they
+    under-approximate: aliases and flow through data structures are
+    not tracked. They are designed to be quiet on correct idiomatic
+    code and loud on the protocol mistakes the paper's user model
+    (§3.2) forbids. *)
+
+type violation = { file : string; line : int; rule : string; msg : string }
+
+val run : roots:string list -> violation list
+(** Scan every [.ml] file under [roots] (files or directories,
+    recursively; [_build] and dot-directories are skipped) and return
+    all violations, sorted by file and line. *)
+
+val to_string : violation -> string
+(** ["file:line: [rule] message"] — one line per violation. *)

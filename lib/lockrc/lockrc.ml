@@ -110,6 +110,7 @@ let reclaim t ~tid node0 =
         if not (Value.is_null v) then held := Value.unmark v :: !held
       done;
       C.incr t.ctr ~tid Node_reclaimed;
+      Mm_intf.Events.emit ~tid node Mm_intf.Events.Free;
       C.incr t.ctr ~tid Free;
       (match t.store with
       | Some fs -> Freestore.free fs ~tid node
@@ -137,6 +138,7 @@ let alloc t ~tid =
           match Freestore.alloc fs ~tid with
           | Some node ->
               Arena.write t.arena (Arena.mm_ref_addr t.arena node) 2;
+              Mm_intf.Events.emit ~tid node Mm_intf.Events.Alloc;
               node
           | None -> raise Mm_intf.Out_of_memory
         end
@@ -145,6 +147,7 @@ let alloc t ~tid =
           if Value.is_null node then raise Mm_intf.Out_of_memory;
           B.write t.backend t.free_head (Arena.read_mm_next t.arena node);
           Arena.write t.arena (Arena.mm_ref_addr t.arena node) 2;
+          Mm_intf.Events.emit ~tid node Mm_intf.Events.Alloc;
           node)
 
 let deref t ~tid link =

@@ -36,6 +36,17 @@ type _ Effect.t += Yield : unit Effect.t
 exception Fiber_failed of int * exn
 exception Out_of_steps
 
+(* Without a printer the default formatter hides the nested exception
+   ("Fiber_failed(2, _)"), which is exactly the part a counterexample
+   report needs. *)
+let () =
+  Printexc.register_printer (function
+    | Fiber_failed (tid, e) ->
+        Some
+          (Printf.sprintf "Fiber_failed(tid %d: %s)" tid
+             (Printexc.to_string e))
+    | _ -> None)
+
 type state =
   | Not_started of (unit -> unit)
   | Suspended of (unit, unit) continuation

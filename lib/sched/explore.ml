@@ -12,7 +12,30 @@
    [random_sweep] runs many seeds of the uniform random policy, which
    scales to larger programs at the price of completeness. *)
 
-type failure = { schedule : int array; exn : exn }
+type failure = {
+  schedule : int array;
+  seed : int option; (* RNG seed of the failing run (random_sweep) *)
+  exn : exn;
+}
+
+(* Everything a human (or a regression test) needs to re-run the
+   counterexample: the exception, the policy seed when the run came
+   from a random sweep, and the full choice trace in a form that can
+   be pasted back into [replay ~schedule]. *)
+let failure_message f =
+  let trace =
+    String.concat ";" (List.map string_of_int (Array.to_list f.schedule))
+  in
+  Printf.sprintf
+    "%s%s\n  choice trace (%d decisions): [%s]\n  replay with \
+     Explore.replay ~schedule:[|%s|]"
+    (Printexc.to_string f.exn)
+    (match f.seed with
+    | Some s -> Printf.sprintf "\n  random policy seed: %d" s
+    | None -> "")
+    (Array.length f.schedule) trace trace
+
+let pp_failure ppf f = Format.pp_print_string ppf (failure_message f)
 
 type result = {
   schedules_run : int;
@@ -26,18 +49,16 @@ let record taken policy =
       taken := c :: !taken;
       c)
 
-let run_one ?(faults = []) ~max_steps ~threads ~policy mk =
+let run_one ?(faults = []) ?seed ~max_steps ~threads ~policy mk =
   let taken = ref [] in
   let body, check = mk () in
+  let fail e = Some { schedule = Array.of_list (List.rev !taken); seed; exn = e } in
   match
     Engine.run ~max_steps ~faults ~threads ~policy:(record taken policy) body
   with
   | _outcome -> (
-      match check () with
-      | () -> None
-      | exception e ->
-          Some { schedule = Array.of_list (List.rev !taken); exn = e })
-  | exception e -> Some { schedule = Array.of_list (List.rev !taken); exn = e }
+      match check () with () -> None | exception e -> fail e)
+  | exception e -> fail e
 
 let exhaustive ?(max_steps = 100_000) ?(max_schedules = 100_000)
     ?(faults = []) ~threads mk =
@@ -77,16 +98,15 @@ let exhaustive ?(max_steps = 100_000) ?(max_schedules = 100_000)
             choice)
       in
       let body, check = mk () in
+      let fail e =
+        failure :=
+          Some
+            { schedule = Array.of_list (List.rev !taken); seed = None; exn = e }
+      in
       match Engine.run ~max_steps ~faults ~threads ~policy body with
       | _outcome -> (
-          match check () with
-          | () -> ()
-          | exception e ->
-              failure :=
-                Some { schedule = Array.of_list (List.rev !taken); exn = e })
-      | exception e ->
-          failure :=
-            Some { schedule = Array.of_list (List.rev !taken); exn = e }
+          match check () with () -> () | exception e -> fail e)
+      | exception e -> fail e
     end
   done;
   {
@@ -101,7 +121,24 @@ let random_sweep ?(max_steps = 2_000_000) ?(faults = []) ~threads ~runs ~seed
   let i = ref 0 in
   while !i < runs && !failure = None do
     let policy = Policy.random ~seed:(seed + !i) in
-    failure := run_one ~faults ~max_steps ~threads ~policy mk;
+    failure := run_one ~faults ~seed:(seed + !i) ~max_steps ~threads ~policy mk;
+    incr i
+  done;
+  { schedules_run = !i; exhausted = false; failure = !failure }
+
+(* Like [random_sweep] but with a caller-supplied policy per run —
+   typically [Policy.biased] to starve one thread, which surfaces
+   races that need a long stall (a reader parked across a whole
+   reclamation scan, say) and are vanishingly rare under the uniform
+   policy. The recorded [seed] of a failure is the index of the
+   failing run, i.e. what [policy] was applied to. *)
+let policy_sweep ?(max_steps = 2_000_000) ?(faults = []) ~threads ~runs
+    ~policy mk =
+  let failure = ref None in
+  let i = ref 0 in
+  while !i < runs && !failure = None do
+    failure :=
+      run_one ~faults ~seed:!i ~max_steps ~threads ~policy:(policy !i) mk;
     incr i
   done;
   { schedules_run = !i; exhausted = false; failure = !failure }

@@ -11,7 +11,20 @@
     execution exactly (fault timing is keyed to the global step clock,
     which replays deterministically). *)
 
-type failure = { schedule : int array; exn : exn }
+type failure = {
+  schedule : int array;
+  seed : int option;
+      (** RNG seed of the failing run when it came from
+          {!random_sweep}; [None] for DFS/replay failures. *)
+  exn : exn;
+}
+
+val failure_message : failure -> string
+(** Human-readable counterexample report: the exception, the random
+    seed (when any), and the full choice trace, formatted so it can be
+    pasted back into {!replay} for deterministic reproduction. *)
+
+val pp_failure : Format.formatter -> failure -> unit
 
 type result = {
   schedules_run : int;
@@ -41,6 +54,19 @@ val random_sweep :
   result
 (** [runs] runs under the uniform random policy with seeds
     [seed, seed+1, ...]; stops at the first failure. *)
+
+val policy_sweep :
+  ?max_steps:int ->
+  ?faults:Fault.plan ->
+  threads:int ->
+  runs:int ->
+  policy:(int -> Policy.t) ->
+  (unit -> (int -> unit) * (unit -> unit)) ->
+  result
+(** [runs] runs, run [i] under [policy i] — e.g. [Policy.biased] to
+    starve one thread, surfacing long-stall races the uniform policy
+    essentially never hits; stops at the first failure. A failure's
+    [seed] field records the index of the failing run. *)
 
 val replay :
   ?max_steps:int ->

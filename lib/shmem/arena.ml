@@ -31,7 +31,18 @@ type t = {
   capacity : int;
   num_roots : int;
   cells : P.cell array;
+  base : int; (* global address of cell 0, see [next_base] *)
 }
+
+(* Global address space: every arena claims a contiguous window of
+   addresses, so [base + local addr] identifies one cell uniquely
+   across all arenas alive in the process. The access validator
+   ([Atomics.Schedpoint.hit_at]) receives these global addresses and
+   can tell its own arena's words from everything else without any
+   per-cell table. The counter is an [Atomic] only for safety if two
+   domains ever create arenas concurrently; allocation order does not
+   affect behaviour. *)
+let next_base = Atomic.make 0
 
 let create ?(backend = Backend.Sim) ~layout ~capacity ~num_roots () =
   if capacity < 1 then invalid_arg "Arena.create: capacity";
@@ -63,13 +74,15 @@ let create ?(backend = Backend.Sim) ~layout ~capacity ~num_roots () =
         done;
         cells
   in
-  { backend; layout; capacity; num_roots; cells }
+  let base = Atomic.fetch_and_add next_base size in
+  { backend; layout; capacity; num_roots; cells; base }
 
 let backend t = t.backend
 let layout t = t.layout
 let capacity t = t.capacity
 let num_roots t = t.num_roots
 let num_cells t = Array.length t.cells
+let addr_base t = t.base
 
 (* Addressing ------------------------------------------------------- *)
 
@@ -104,14 +117,41 @@ let owner_of t addr =
     let size = Layout.node_size t.layout in
     `Node (1 + (off / size), off mod size)
 
-(* Word operations: dispatched on the stored backend --------------- *)
+(* Word operations: dispatched on the stored backend ---------------
+
+   The [Sim] arm uses the instrumented primitives so the scheduling
+   crossing carries this cell's global address and access kind —
+   scheduling behaviour is identical to the plain primitives (one
+   crossing per operation), and with no validator installed the
+   metadata costs one no-op call. [Native] stays a direct [Atomic]
+   operation: no hook, no validator, no metadata. *)
 
 let cell t addr = t.cells.(addr)
-let read t addr = Backend.read t.backend t.cells.(addr)
-let write t addr v = Backend.write t.backend t.cells.(addr) v
-let cas t addr ~old ~nw = Backend.cas t.backend t.cells.(addr) ~old ~nw
-let faa t addr delta = Backend.faa t.backend t.cells.(addr) delta
-let swap t addr v = Backend.swap t.backend t.cells.(addr) v
+
+let read t addr =
+  match t.backend with
+  | Backend.Sim -> P.read_at ~addr:(t.base + addr) t.cells.(addr)
+  | Backend.Native -> Atomic.get t.cells.(addr)
+
+let write t addr v =
+  match t.backend with
+  | Backend.Sim -> P.write_at ~addr:(t.base + addr) t.cells.(addr) v
+  | Backend.Native -> Atomic.set t.cells.(addr) v
+
+let cas t addr ~old ~nw =
+  match t.backend with
+  | Backend.Sim -> P.cas_at ~addr:(t.base + addr) t.cells.(addr) ~old ~nw
+  | Backend.Native -> Atomic.compare_and_set t.cells.(addr) old nw
+
+let faa t addr delta =
+  match t.backend with
+  | Backend.Sim -> P.faa_at ~addr:(t.base + addr) t.cells.(addr) delta
+  | Backend.Native -> Atomic.fetch_and_add t.cells.(addr) delta
+
+let swap t addr v =
+  match t.backend with
+  | Backend.Sim -> P.swap_at ~addr:(t.base + addr) t.cells.(addr) v
+  | Backend.Native -> Atomic.exchange t.cells.(addr) v
 
 (* mm-field conveniences (all atomic word ops on the cells above). *)
 

@@ -31,6 +31,14 @@ val capacity : t -> int
 val num_roots : t -> int
 val num_cells : t -> int
 
+val addr_base : t -> int
+(** Global address of this arena's cell 0. Each arena claims a
+    contiguous window of a process-wide address space, so
+    [addr_base t + local] identifies one cell uniquely across arenas;
+    these are the addresses a {!Atomics.Schedpoint} validator
+    receives. Under [Sim] every word operation reports
+    [addr_base + local addr]; [Native] reports nothing. *)
+
 (** {1 Addressing} *)
 
 val root_addr : t -> int -> Value.addr

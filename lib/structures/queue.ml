@@ -116,10 +116,9 @@ let is_empty t ~tid =
   Fun.protect ~finally:(fun () -> Mm.exit_op t.mm ~tid) @@ fun () ->
   let first = Mm.deref t.mm ~tid t.head in
   let nextw = Mm.deref t.mm ~tid (next_addr t first) in
-  let e = Value.is_null nextw in
-  if not e then Mm.release t.mm ~tid nextw;
+  if not (Value.is_null nextw) then Mm.release t.mm ~tid nextw;
   Mm.release t.mm ~tid first;
-  e
+  Value.is_null nextw
 
 let drain t ~tid =
   let rec go acc = match dequeue t ~tid with

@@ -58,16 +58,13 @@ let sweep_ok ?(runs = 200) ?(seed = 9_000) ~threads mk =
   match (Sched.Explore.random_sweep ~threads ~runs ~seed mk).failure with
   | None -> ()
   | Some f ->
-      Alcotest.failf "schedule violation: %s at [%s]"
-        (Printexc.to_string f.exn)
-        (String.concat ";" (List.map string_of_int (Array.to_list f.schedule)))
+      Alcotest.failf "schedule violation: %s" (Sched.Explore.failure_message f)
 
 let exhaustive_ok ?(max_schedules = 20_000) ~threads mk =
   let r = Sched.Explore.exhaustive ~max_schedules ~threads mk in
   (match r.failure with
   | None -> ()
   | Some f ->
-      Alcotest.failf "exhaustive violation: %s at [%s]"
-        (Printexc.to_string f.exn)
-        (String.concat ";" (List.map string_of_int (Array.to_list f.schedule))));
+      Alcotest.failf "exhaustive violation: %s"
+        (Sched.Explore.failure_message f));
   r

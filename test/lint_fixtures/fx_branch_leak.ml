@@ -1,0 +1,11 @@
+(* Fixture: releases the acquired reference on only one branch of a
+   condition that is NOT the null-guard idiom, leaking it on the
+   other. Expected: one [unbalanced-deref] violation. *)
+
+let maybe_read mm arena ~tid root ~verbose =
+  let w = Mm.deref mm ~tid root in
+  if verbose then begin
+    ignore (Arena.read_data arena w 0);
+    Mm.release mm ~tid w
+  end
+  else ignore (Arena.read_data arena w 1)

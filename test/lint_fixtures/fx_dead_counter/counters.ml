@@ -1,0 +1,9 @@
+(* Fixture: an event vocabulary with a constructor nobody ever
+   constructs. Expected: one [counter-coverage] violation. *)
+
+type event = Hits | Misses | Never_incremented
+
+let to_string = function
+  | Hits -> "hits"
+  | Misses -> "misses"
+  | Never_incremented -> "never"

@@ -1,0 +1,3 @@
+(* Constructs Hits and Misses but never Never_incremented. *)
+
+let tally c hit = Counters.incr c (if hit then Counters.Hits else Counters.Misses)

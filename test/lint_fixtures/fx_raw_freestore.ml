@@ -1,0 +1,7 @@
+(* Fixture: client code allocating straight from the native free
+   store instead of going through a manager's [alloc].
+   Expected: [raw-primitives] violations. *)
+
+module F = Shmem.Freestore
+
+let grab store = F.alloc store

@@ -1,0 +1,7 @@
+(* Fixture: client code reaching around the manager to the raw
+   shared-memory primitives. Expected: [raw-primitives] violations. *)
+
+let sneak_read ~tid addr = Atomics.Primitives.read_at ~tid addr
+
+let sneak_cas ~tid addr ~expect ~repl =
+  Atomics.Primitives.cas_at ~tid addr ~expect ~repl

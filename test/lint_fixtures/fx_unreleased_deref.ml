@@ -1,0 +1,6 @@
+(* Fixture: acquires a reference and never discharges it.
+   Expected: one [unbalanced-deref] violation. *)
+
+let peek mm arena ~tid root =
+  let w = Mm.deref mm ~tid root in
+  Arena.read_data arena (Value.unmark w) 0

@@ -157,7 +157,7 @@ let suite =
         check_bool "e10 before e11" true (after_e10 Harness.Experiments.ids);
         check_bool "ablations last" true
           (match List.rev Harness.Experiments.ids with
-          | "a3" :: "a2" :: "a1" :: _ -> true
+          | "a4" :: "a3" :: "a2" :: "a1" :: _ -> true
           | _ -> false));
     tc "run stamps the quick flag into the metadata" (fun () ->
         let r = Harness.Experiments.run ~quick:true "e11" in

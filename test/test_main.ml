@@ -28,4 +28,6 @@ let () =
       ("lincheck", T_lincheck.suite);
       ("harness", T_harness.suite);
       ("experiments", T_experiments.suite);
+      ("analysis", T_analysis.suite);
+      ("lint", T_lint.suite);
     ]
