@@ -81,11 +81,62 @@ let run_cmd =
       const run_experiments $ ids_arg $ quick_arg $ csv_arg $ format_arg
       $ json_arg)
 
-let run_bench schemes quick out format json_dir =
+(* The CI scaling gate: compare the best Native ops/s at the lowest
+   and highest measured domain counts; an inversion (fewer ops/s with
+   more domains) fails the run. Any Native point counts — legacy or
+   sharded, boxed or unboxed — so the gate asks "does the best
+   configuration at 4 domains beat the best at 1?", which is the
+   question the scaling work answers on multi-core hardware. *)
+let check_scaling (points : Harness.Bench.point list) =
+  let native =
+    List.filter
+      (fun (p : Harness.Bench.point) -> p.backend = Atomics.Backend.Native)
+      points
+  in
+  match native with
+  | [] ->
+      Printf.eprintf "bench: --check-scaling: no native points measured\n";
+      1
+  | _ ->
+      let ts = List.map (fun (p : Harness.Bench.point) -> p.threads) native in
+      let lo = List.fold_left min max_int ts
+      and hi = List.fold_left max min_int ts in
+      let best t =
+        List.fold_left
+          (fun acc (p : Harness.Bench.point) ->
+            if p.threads = t then max acc p.ops_per_sec else acc)
+          0. native
+      in
+      let blo = best lo and bhi = best hi in
+      if hi <= lo then begin
+        Printf.eprintf
+          "bench: --check-scaling: only one domain count measured (%d)\n" lo;
+        0
+      end
+      else if bhi < blo then begin
+        Printf.eprintf
+          "bench: scaling inversion: best native throughput %.0f ops/s at \
+           %d domains < %.0f ops/s at %d domain%s\n"
+          bhi hi blo lo
+          (if lo = 1 then "" else "s");
+        1
+      end
+      else begin
+        Printf.printf
+          "scaling ok: best native %.0f ops/s at %d domains >= %.0f ops/s \
+           at %d\n"
+          bhi hi blo lo;
+        0
+      end
+
+let run_bench schemes quick out format json_dir scaling =
   let schemes =
     match schemes with [] -> [ "wfrc" ] | schemes -> schemes
   in
-  let ops = if quick then 10_000 else 50_000 in
+  (* Enough pairs that domain spawn/join and cache warm-up are noise:
+     at ~8M pairs/s a 200k-pair run is ~25ms of measured loop against
+     ~1ms of setup; 50k runs were dominated by it at 4 domains. *)
+  let ops = if quick then 10_000 else 200_000 in
   let threads_list = if quick then [ 1; 2 ] else [ 1; 2; 4 ] in
   try
     let spine = Harness.Exp_support.Spine.create () in
@@ -105,7 +156,7 @@ let run_bench schemes quick out format json_dir =
     | Some dir ->
         let path = Harness.Sink.write_json ~dir report in
         Printf.printf "wrote %s\n" path);
-    0
+    if scaling then check_scaling points else 0
   with
   | Invalid_argument msg | Sys_error msg ->
       Printf.eprintf "error: %s\n" msg;
@@ -127,11 +178,19 @@ let bench_cmd =
       & opt string "BENCH_wfrc.json"
       & info [ "o"; "output" ] ~docv:"PATH" ~doc)
   in
+  let scaling_arg =
+    let doc =
+      "Fail (exit 1) if the best native throughput at the highest domain \
+       count is below the best at the lowest — the multi-core scaling \
+       gate CI runs."
+    in
+    Arg.(value & flag & info [ "check-scaling" ] ~doc)
+  in
   Cmd.v
     (Cmd.info "bench" ~doc)
     Term.(
       const run_bench $ schemes_arg $ quick_arg $ out_arg $ format_arg
-      $ json_arg)
+      $ json_arg $ scaling_arg)
 
 let list_cmd =
   let doc = "List the experiment index" in

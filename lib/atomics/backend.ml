@@ -43,6 +43,25 @@ let of_string = function
 
 let pp ppf b = Fmt.string ppf (name b)
 
+(* Cell representation, orthogonal to the backend but constrained by
+   it: [Sim] must stay [Boxed] (the instrumented primitives are what
+   give the deterministic scheduler its per-access crossings), while
+   [Native] defaults to [Unboxed] — one out-of-heap word block driven
+   by C stubs ({!Words}) instead of an [int Atomic.t] box per cell.
+   [Native]+[Boxed] is kept as a representation-ablation arm. *)
+type rep = Boxed | Unboxed
+
+let rep_name = function Boxed -> "boxed" | Unboxed -> "unboxed"
+
+let rep_of_string = function
+  | "boxed" -> Boxed
+  | "unboxed" -> Unboxed
+  | s -> invalid_arg (Printf.sprintf "Backend.rep_of_string: %S" s)
+
+let pp_rep ppf r = Fmt.string ppf (rep_name r)
+
+let default_rep = function Sim -> Boxed | Native -> Unboxed
+
 (* 16 words = 128 bytes: a 64-byte line plus its prefetch partner,
    matching what [Atomic.make_contended] pads to on OCaml 5.2+. *)
 let cache_line_words = 16

@@ -22,6 +22,21 @@ val of_string : string -> t
 
 val pp : Format.formatter -> t -> unit
 
+type rep = Boxed | Unboxed
+(** Cell representation. [Boxed]: one [int Atomic.t] per word (the
+    only representation [Sim] admits — instrumentation needs it).
+    [Unboxed]: an out-of-heap word block driven by {!Words} stubs,
+    [Native]-only; the default there. *)
+
+val rep_name : rep -> string
+(** ["boxed"] / ["unboxed"]. *)
+
+val rep_of_string : string -> rep
+val pp_rep : Format.formatter -> rep -> unit
+
+val default_rep : t -> rep
+(** [Boxed] for [Sim], [Unboxed] for [Native]. *)
+
 val cache_line_words : int
 (** Padding granularity of {!make_contended} cells, in words (16 =
     128 bytes: one cache line plus its prefetch partner, matching

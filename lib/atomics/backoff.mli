@@ -1,12 +1,23 @@
 (** Bounded exponential backoff for the lock-free baselines' retry
-    loops. The wait-free algorithms never use it. *)
+    loops, with an optional park/unpark tail under [Native]. The
+    wait-free algorithms never use it. *)
 
 type t
 
-val create : ?backend:Backend.t -> ?min:int -> ?max:int -> unit -> t
+val create :
+  ?backend:Backend.t ->
+  ?min:int ->
+  ?max:int ->
+  ?park:Park.t ->
+  ?on_park:(unit -> unit) ->
+  unit ->
+  t
 (** [create ~min ~max ()] starts at [min] spin iterations, doubling up
     to [max]. Defaults: [backend = Sim], [min = 1], [max = 256]. Under
-    the [Native] backend, {!once} never consults {!Schedpoint}. *)
+    the [Native] backend, {!once} never consults {!Schedpoint}.
+
+    [park] arms {!once_waiting}'s blocking tail; [on_park] runs just
+    before each actual sleep (callers count [Park_wait] there). *)
 
 val reset : t -> unit
 (** Reset the spin budget to its minimum (call after a success). *)
@@ -14,6 +25,14 @@ val reset : t -> unit
 val once : t -> unit
 (** Spin for the current budget and double it. Under the deterministic
     scheduler this collapses to a single scheduling point. *)
+
+val once_waiting : t -> ready:(unit -> bool) -> unit
+(** Like {!once} while the budget grows; once it saturates — [Native]
+    with a [park] spot only — register as a waiter, re-check [ready],
+    and sleep until the waker's {!Park.wake}. The waker must call
+    {!Park.wake} after every publish of the awaited condition (e.g. on
+    every unlock), or the sleep is unbounded. Under [Sim] this is
+    exactly {!once}: one scheduling point, [ready] never called. *)
 
 val current : t -> int
 (** Current spin budget (for tests). *)

@@ -35,13 +35,16 @@ type event =
   | Cache_spill
   | Free_remote
   | Steal
+  | Park_wait
+  | Park_wake
 
 let all_events =
   [ Cas_attempt; Cas_failure; Faa; Swap; Read; Write; Deref; Deref_retry;
     Deref_helped; Help_scan; Help_answered; Help_refused; Alloc;
     Alloc_retry; Alloc_helped; Alloc_gave_help; Free; Free_retry;
     Free_gave_help; Release; Node_reclaimed; Hp_scan; Epoch_advance;
-    Lock_acquire; Cache_refill; Cache_spill; Free_remote; Steal ]
+    Lock_acquire; Cache_refill; Cache_spill; Free_remote; Steal;
+    Park_wait; Park_wake ]
 
 let event_index = function
   | Cas_attempt -> 0
@@ -72,6 +75,8 @@ let event_index = function
   | Cache_spill -> 25
   | Free_remote -> 26
   | Steal -> 27
+  | Park_wait -> 28
+  | Park_wake -> 29
 
 let num_events = List.length all_events
 
@@ -104,6 +109,8 @@ let event_name = function
   | Cache_spill -> "cache_spill"
   | Free_remote -> "free_remote"
   | Steal -> "steal"
+  | Park_wait -> "park_wait"
+  | Park_wake -> "park_wake"
 
 (* Row stride, per backend: events rounded up to a multiple of 16
    words under [Sim] (the historical padding — keeps rows line-pair
@@ -127,10 +134,13 @@ let create ?(backend = Backend.Sim) ~threads () =
 let check_tid t tid =
   if tid < 0 || tid >= t.threads then invalid_arg "Counters: bad tid"
 
+(* [check_tid] bounds the row and [event_index ev < stride] bounds the
+   column, so the flat index needs no further checks — this is the
+   hottest non-atomic store in every manager. *)
 let add t ~tid ev n =
   check_tid t tid;
   let i = (tid * t.stride) + event_index ev in
-  t.slots.(i) <- t.slots.(i) + n
+  Array.unsafe_set t.slots i (Array.unsafe_get t.slots i + n)
 
 let incr t ~tid ev = add t ~tid ev 1
 

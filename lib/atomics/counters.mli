@@ -33,6 +33,8 @@ type event =
   | Cache_spill      (** cache overflow spills back to a stripe *)
   | Free_remote      (** frees routed through a remote stripe's buffer *)
   | Steal            (** refill probes of a non-home stripe *)
+  | Park_wait        (** threads that parked (futex/condvar wait) *)
+  | Park_wake        (** wakes delivered to at least one parked thread *)
 
 val all_events : event list
 val event_name : event -> string

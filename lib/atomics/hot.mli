@@ -1,0 +1,44 @@
+(** A vector of contention-padded global hot words, dispatched on the
+    backend's cell representation.
+
+    [Boxed] slots are padded [int Atomic.t] cells (plain {!Primitives}
+    cells under [Sim], preserving one scheduling point per access);
+    [Unboxed] slots live in one {!Words} block, one cache-line pair
+    per slot. The managers put their cross-thread globals — free-list
+    heads, [currentFreeList], [helpCurrent], [annAlloc] — on one of
+    these. Same trust tier as {!Primitives}/{!Words}: client layers go
+    through the managers, not this module. *)
+
+type t
+
+val create : backend:Backend.t -> rep:Backend.rep -> int -> init:(int -> int) -> t
+(** [create ~backend ~rep n ~init] builds [n] slots, slot [i] holding
+    [init i]. [Sim] + [Unboxed] is rejected. *)
+
+val length : t -> int
+val read : t -> int -> int
+val write : t -> int -> int -> unit
+val cas : t -> int -> old:int -> nw:int -> bool
+val faa : t -> int -> int -> int
+val swap : t -> int -> int -> int
+
+(** {1 Fused fragments}
+
+    One stub crossing under [Unboxed]; identical per-word op sequence
+    issued individually under [Boxed] (and one scheduling point per op
+    under [Sim], as ever). *)
+
+val take : t -> int -> int
+(** [take t i]: read slot [i]; if non-zero, exchange it with 0 and
+    return the taken value, else 0. *)
+
+val bump_mod : t -> int -> int -> int
+(** [bump_mod t i n]: read slot [i], try once to CAS it to
+    [(v + 1) mod n], return the value read. *)
+
+val raw : t -> Words.t option
+(** The backing {!Words} block ([Unboxed] only) — for fusions spanning
+    two stores (see {!Words.donate}). *)
+
+val word_of_slot : int -> int
+(** Physical word offset of slot [i] inside {!raw}'s block. *)

@@ -1,0 +1,131 @@
+/* Futex-backed parking for the Native backend (Linux).
+ *
+ * One 32-bit generation word per parking spot, allocated outside the
+ * OCaml heap (the custom block stores a pointer, so GC moves never
+ * invalidate the address the kernel watches). The OCaml side runs an
+ * eventcount protocol on top: parkers register in an OCaml-side
+ * waiter count, re-check their condition, then FUTEX_WAIT on the
+ * generation they read; wakers bump the generation and FUTEX_WAKE.
+ *
+ * wait enters a blocking section (it can sleep), so it must NOT be
+ * [@@noalloc]; get/bump/wake are straight-line and are. On non-Linux
+ * hosts the futex syscalls degrade to no-ops and
+ * caml_wfrc_futex_available reports false — the OCaml side then uses
+ * its Mutex/Condition fallback and never calls wait/wake. */
+
+#include <stdlib.h>
+#include <stdint.h>
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/custom.h>
+#include <caml/fail.h>
+#include <caml/memory.h>
+#include <caml/signals.h>
+
+#ifdef __linux__
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#include <time.h>
+#include <limits.h>
+#define WFRC_HAVE_FUTEX 1
+#else
+#define WFRC_HAVE_FUTEX 0
+#endif
+
+typedef struct {
+  uint32_t *word;
+} wfrc_futex;
+
+#define Futex_val(v) ((wfrc_futex *)Data_custom_val(v))
+
+static void wfrc_futex_finalize(value v)
+{
+  wfrc_futex *f = Futex_val(v);
+  if (f->word != NULL) {
+    free(f->word);
+    f->word = NULL;
+  }
+}
+
+static struct custom_operations wfrc_futex_ops = {
+  "wfrc.futex",
+  wfrc_futex_finalize,
+  custom_compare_default,
+  custom_hash_default,
+  custom_serialize_default,
+  custom_deserialize_default,
+  custom_compare_ext_default,
+  custom_fixed_length_default
+};
+
+CAMLprim value caml_wfrc_futex_available(value unit)
+{
+  (void)unit;
+  return Val_bool(WFRC_HAVE_FUTEX);
+}
+
+CAMLprim value caml_wfrc_futex_make(value unit)
+{
+  CAMLparam1(unit);
+  CAMLlocal1(res);
+  /* Own cache line: the generation word is hammered by wakers. */
+  void *p = NULL;
+  if (posix_memalign(&p, 64, 64) != 0) caml_raise_out_of_memory();
+  *(uint32_t *)p = 0;
+  res = caml_alloc_custom(&wfrc_futex_ops, sizeof(wfrc_futex), 0, 1);
+  Futex_val(res)->word = (uint32_t *)p;
+  CAMLreturn(res);
+}
+
+CAMLprim value caml_wfrc_futex_get(value vf)
+{
+  return Val_long(
+      (intnat)__atomic_load_n(Futex_val(vf)->word, __ATOMIC_SEQ_CST));
+}
+
+CAMLprim value caml_wfrc_futex_bump(value vf)
+{
+  __atomic_add_fetch(Futex_val(vf)->word, 1, __ATOMIC_SEQ_CST);
+  return Val_unit;
+}
+
+/* Wait until the generation word differs from [expected] or the
+ * timeout elapses. timeout_ns < 0 means no timeout. The kernel
+ * re-checks word == expected atomically, so a generation bump between
+ * our read and the syscall is never a lost wakeup. */
+CAMLprim value caml_wfrc_futex_wait(value vf, value vexpected, value vtmo)
+{
+#if WFRC_HAVE_FUTEX
+  uint32_t *word = Futex_val(vf)->word;
+  uint32_t expected = (uint32_t)Long_val(vexpected);
+  intnat tmo = Long_val(vtmo);
+  struct timespec ts;
+  struct timespec *tsp = NULL;
+  if (tmo >= 0) {
+    ts.tv_sec = tmo / 1000000000;
+    ts.tv_nsec = tmo % 1000000000;
+    tsp = &ts;
+  }
+  caml_enter_blocking_section();
+  syscall(SYS_futex, word, FUTEX_WAIT_PRIVATE, expected, tsp, NULL, 0);
+  caml_leave_blocking_section();
+#else
+  (void)vf;
+  (void)vexpected;
+  (void)vtmo;
+#endif
+  return Val_unit;
+}
+
+CAMLprim value caml_wfrc_futex_wake(value vf)
+{
+#if WFRC_HAVE_FUTEX
+  syscall(SYS_futex, Futex_val(vf)->word, FUTEX_WAKE_PRIVATE, INT_MAX, NULL,
+          NULL, 0);
+#else
+  (void)vf;
+#endif
+  return Val_unit;
+}

@@ -1,0 +1,90 @@
+(** Unboxed atomic word store for the [Native] backend.
+
+    A page-aligned out-of-heap block of machine words accessed through
+    C stubs compiling to single [__atomic] SEQ_CST operations. Values
+    are OCaml immediates (untagged in the buffer); the block never
+    moves, so word addresses are stable for the store's lifetime. The
+    buffer is freed by a GC finalizer.
+
+    This is a raw-memory primitive on the same trust tier as
+    {!Primitives}: only the [atomics]/[shmem]/[core] layers may touch
+    it directly (enforced by [wfrc_lint]); everything else goes
+    through {!Shmem.Arena} or {!Hot}. *)
+
+type t
+
+val make : int -> t
+(** [make len] allocates [len] zeroed words. Raises on [len < 1] or
+    allocation failure. *)
+
+val length : t -> int
+
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+val cas : t -> int -> old:int -> nw:int -> bool
+
+val faa : t -> int -> int -> int
+(** Fetch-and-add, returning the previous value. *)
+
+val swap : t -> int -> int -> int
+(** Atomic exchange, returning the previous value. *)
+
+(** {1 Fused protocol fragments}
+
+    Each call performs a short fixed sequence of atomic operations in
+    one stub crossing — per-word behaviour identical to issuing the
+    ops individually, which is what the Sim/boxed representations do.
+    These exist because call overhead, not the atomics, dominates the
+    native hot path. *)
+
+val release_ref : t -> int -> bool
+(** [release_ref t i]: FAA the word at [i] by [-2], then, if it then
+    reads 0, claim it with CAS(0 → 1). True iff claimed (the paper's
+    R1–R2 on an [mm_ref] word). *)
+
+val take : t -> int -> int
+(** [take t i]: load the word; if non-zero, atomically exchange it
+    with 0 and return the taken value, else return 0 (the paper's A4
+    collect on an annAlloc word). *)
+
+val bump_mod : t -> int -> int -> int
+(** [bump_mod t i n]: load the word, try once to CAS it to
+    [(v + 1) mod n], return the loaded value regardless (the paper's
+    helpCurrent advance, F1–F2/A16). *)
+
+val read_clear : t -> int -> int
+(** [read_clear t i]: load the word, store 0, return the loaded value
+    (R3's per-link collect; the caller must own the enclosing node). *)
+
+val release_collect : t -> ref_addr:int -> links:int -> nl:int ->
+  out:int array -> int
+(** [release_collect t ~ref_addr ~links ~nl ~out]: R1–R3 whole.
+    As {!release_ref} on [ref_addr]; if claimed, read-and-clear the
+    [nl] contiguous link words at [links], depositing the non-null
+    values in order into [out] (length ≥ [nl]) and returning how many;
+    [-1] when not claimed. *)
+
+val take_fix : t -> int -> arena:t -> geom:int array -> int
+(** [take_fix t slot ~arena ~geom]: A4 whole. As {!take} on [slot];
+    if a node was taken, FixRef(node, -1) on its [mm_ref] word in
+    [arena]. [geom] is [| nodes_base; node_stride |] — the arena's
+    physical node geometry ([mm_ref] at word 0 of a block). *)
+
+val free_donate : t -> arena:t -> ref_addr:int -> node:int ->
+  geom:int array -> bool
+(** [free_donate t ~arena ~ref_addr ~node ~geom]: F1–F3 whole on hot
+    block [t]. Advance [helpCurrent] ({!bump_mod} semantics), then FAA
+    the node's [mm_ref] at [ref_addr] (in [arena]) by [+2], CAS [node]
+    into [annAlloc[cur]], undoing the FAA on failure — the
+    donation-count correction. True iff donated. [geom] is
+    [| help_word; ann_base; slot_stride; n |] (word offsets into
+    [t]). *)
+
+val ann_scan : t -> geom:int array -> from:int -> int -> int
+(** [ann_scan t ~geom ~from target] is the batched announcement-row
+    scan: for each row [id] in [from..n-1] it loads the row's slot
+    index then the announced word at that slot, returning the first
+    [id] whose announced word equals [target], or [-1]. One stub call
+    replaces [2*(n-from)] boxed atomic reads. [geom] is
+    [| idx_base; idx_stride; ra_base; row_stride; slot_stride; n |]
+    (word offsets/strides into the store). *)

@@ -13,36 +13,69 @@
 
    The cells are algorithm globals, not user memory, so they live
    outside the arena — but they are the same atomic word cells and
-   cross the same scheduling points. *)
+   follow the same representation choice. [Boxed] is the historical
+   array-of-padded-cells pool (and under [Sim] they cross the same
+   scheduling points as arena words). [Unboxed] lays the pool out on
+   one raw {!Atomics.Words} block — index words first, then the
+   announcement matrix, then the busy matrix, every word on its own
+   cache-line pair — which is what lets {!scan_announced} sweep a
+   whole helping pass in one C stub call. *)
 
 module P = Atomics.Primitives
 module B = Atomics.Backend
+module W = Atomics.Words
 module Value = Shmem.Value
 
-type t = {
-  backend : B.t;
-  n : int;
-  read_addr : P.cell array array;  (* annReadAddr; 0 = ⊥ *)
-  index : P.cell array;            (* annIndex *)
-  busy : P.cell array array;       (* annBusy *)
-}
+type store =
+  | Cells of {
+      read_addr : P.cell array array; (* annReadAddr; 0 = ⊥ *)
+      index : P.cell array; (* annIndex *)
+      busy : P.cell array array; (* annBusy *)
+    }
+  | Raw of { w : W.t; geom : int array }
+
+type t = { backend : B.t; rep : B.rep; n : int; store : store }
+
+let line = B.cache_line_words
+
+(* Unboxed word map (all offsets in words, one line pair per cell):
+   index[i] at [i*line]; read_addr[i][s] at [ra_base + (i*n + s)*line];
+   busy[i][s] at [busy_base + (i*n + s)*line]. [geom] packages the
+   index/read_addr part for the scan stub. *)
+let idx_w i = i * line
+let ra_base t = t.n * line
+let ra_w t i s = ra_base t + (((i * t.n) + s) * line)
+let busy_w t i s = ((t.n * line) + (t.n * t.n * line)) + (((i * t.n) + s) * line)
 
 (* Every announcement cell is by definition a cross-thread hot word
    (the owner publishes, every helper scans and CASes), so under the
    [Native] backend all of them are contention-padded; the pool is
    O(N^2) cells for N threads, which stays tiny next to any arena. *)
-let create ?(backend = B.Sim) ~threads () =
+let create ?(backend = B.Sim) ?rep ~threads () =
   if threads < 1 then invalid_arg "Ann.create";
-  let mk _ = B.make_contended backend 0 in
-  {
-    backend;
-    n = threads;
-    read_addr = Array.init threads (fun _ -> Array.init threads mk);
-    index = Array.init threads mk;
-    busy = Array.init threads (fun _ -> Array.init threads mk);
-  }
+  let rep = match rep with Some r -> r | None -> B.default_rep backend in
+  if backend = B.Sim && rep = B.Unboxed then
+    invalid_arg "Ann.create: Sim is boxed-only";
+  let n = threads in
+  let store =
+    match rep with
+    | B.Boxed ->
+        let mk _ = B.make_contended backend 0 in
+        Cells
+          {
+            read_addr = Array.init n (fun _ -> Array.init n mk);
+            index = Array.init n mk;
+            busy = Array.init n (fun _ -> Array.init n mk);
+          }
+    | B.Unboxed ->
+        let w = W.make ((n + (2 * n * n)) * line) in
+        let geom = [| 0; line; n * line; n * line; line; n |] in
+        Raw { w; geom }
+  in
+  { backend; rep; n; store }
 
 let threads t = t.n
+let rep t = t.rep
 
 (* D1: find a slot with busy = 0. The scan is bounded: at most [n-1]
    helpers can hold a busy claim on this row at any time, and no new
@@ -50,39 +83,93 @@ let threads t = t.n
    least one slot reads 0 within one pass (see the Lemma 9/10-style
    argument in DESIGN.md). *)
 let choose_slot t ~tid =
+  let busy_at i =
+    match t.store with
+    | Cells c -> B.read t.backend c.busy.(tid).(i)
+    | Raw r -> W.get r.w (busy_w t tid i)
+  in
   let rec scan i =
     if i >= t.n then
       failwith "Ann.choose_slot: no free slot — busy-count invariant broken"
-    else if B.read t.backend t.busy.(tid).(i) = 0 then i
+    else if busy_at i = 0 then i
     else scan (i + 1)
   in
   scan 0
 
 (* D2 *)
-let set_index t ~tid slot = B.write t.backend t.index.(tid) slot
+let set_index t ~tid slot =
+  match t.store with
+  | Cells c -> B.write t.backend c.index.(tid) slot
+  | Raw r -> W.set r.w (idx_w tid) slot
 
 (* D3: publish the link. *)
 let announce t ~tid ~slot link =
-  B.write t.backend t.read_addr.(tid).(slot) (Value.enc_link link)
+  match t.store with
+  | Cells c -> B.write t.backend c.read_addr.(tid).(slot) (Value.enc_link link)
+  | Raw r -> W.set r.w (ra_w t tid slot) (Value.enc_link link)
 
 (* D6: atomically clear the announcement, returning what was there —
    either our own link encoding (not helped) or a helper's answer. *)
-let retract t ~tid ~slot = B.swap t.backend t.read_addr.(tid).(slot) 0
+let retract t ~tid ~slot =
+  match t.store with
+  | Cells c -> B.swap t.backend c.read_addr.(tid).(slot) 0
+  | Raw r -> W.swap r.w (ra_w t tid slot) 0
 
 (* H2 *)
-let read_index t ~id = B.read t.backend t.index.(id)
+let read_index t ~id =
+  match t.store with
+  | Cells c -> B.read t.backend c.index.(id)
+  | Raw r -> W.get r.w (idx_w id)
 
 (* H3 *)
-let read_slot t ~id ~slot = B.read t.backend t.read_addr.(id).(slot)
+let read_slot t ~id ~slot =
+  match t.store with
+  | Cells c -> B.read t.backend c.read_addr.(id).(slot)
+  | Raw r -> W.get r.w (ra_w t id slot)
 
 (* H4 / H8 *)
-let busy_incr t ~id ~slot = ignore (B.faa t.backend t.busy.(id).(slot) 1)
-let busy_decr t ~id ~slot = ignore (B.faa t.backend t.busy.(id).(slot) (-1))
+let busy_incr t ~id ~slot =
+  match t.store with
+  | Cells c -> ignore (B.faa t.backend c.busy.(id).(slot) 1)
+  | Raw r -> ignore (W.faa r.w (busy_w t id slot) 1)
+
+let busy_decr t ~id ~slot =
+  match t.store with
+  | Cells c -> ignore (B.faa t.backend c.busy.(id).(slot) (-1))
+  | Raw r -> ignore (W.faa r.w (busy_w t id slot) (-1))
 
 (* H6: answer the announcement — replace the link encoding with the
    freshly de-referenced node pointer. *)
 let answer_cas t ~id ~slot ~link node =
-  B.cas t.backend t.read_addr.(id).(slot) ~old:(Value.enc_link link) ~nw:node
+  match t.store with
+  | Cells c ->
+      B.cas t.backend c.read_addr.(id).(slot) ~old:(Value.enc_link link)
+        ~nw:node
+  | Raw r ->
+      W.cas r.w (ra_w t id slot) ~old:(Value.enc_link link) ~nw:node
+
+(* Batched H2+H3 sweep for a helping pass: the first row [id >= from]
+   whose currently-indexed slot announces exactly [target] (a
+   [Value.enc_link] encoding), or -1. Unboxed rows are scanned by one
+   C stub call over the raw block; boxed rows fall back to the
+   per-word loop with identical reads. The result is a hint — the
+   announcement can move between the scan and the caller's own H3
+   re-read, which the helping protocol already tolerates. *)
+let scan_announced t ~from target =
+  match t.store with
+  | Raw r -> W.ann_scan r.w ~geom:r.geom ~from target
+  | Cells c ->
+      let rec go id =
+        if id >= t.n then -1
+        else
+          let slot = B.read t.backend c.index.(id) in
+          if
+            slot >= 0 && slot < t.n
+            && B.read t.backend c.read_addr.(id).(slot) = target
+          then id
+          else go (id + 1)
+      in
+      go from
 
 (* Tolerant sweep for the post-run auditor: every slot still holding a
    helper's node-pointer answer. A crashed owner never retracts, so
@@ -90,11 +177,16 @@ let answer_cas t ~id ~slot ~link node =
    reference on the announcer's behalf) — the auditor attributes such
    nodes to the crashed thread. Announcement encodings (negative) and
    empty slots are skipped; never raises. *)
+let raw_slot t id s =
+  match t.store with
+  | Cells c -> Atomic.get c.read_addr.(id).(s)
+  | Raw r -> W.get r.w (ra_w t id s)
+
 let answers t =
   let acc = ref [] in
   for id = t.n - 1 downto 0 do
     for s = t.n - 1 downto 0 do
-      let v = Atomic.get t.read_addr.(id).(s) in
+      let v = raw_slot t id s in
       if v > 0 then acc := (id, Value.unmark v) :: !acc
     done
   done;
@@ -103,13 +195,18 @@ let answers t =
 (* Quiescent checks ------------------------------------------------- *)
 
 let validate t =
+  let raw_busy id s =
+    match t.store with
+    | Cells c -> Atomic.get c.busy.(id).(s)
+    | Raw r -> W.get r.w (busy_w t id s)
+  in
   for id = 0 to t.n - 1 do
     for s = 0 to t.n - 1 do
-      let b = Atomic.get t.busy.(id).(s) in
+      let b = raw_busy id s in
       if b <> 0 then
         failwith
           (Printf.sprintf "Ann: busy[%d][%d] = %d at quiescence" id s b);
-      let v = Atomic.get t.read_addr.(id).(s) in
+      let v = raw_slot t id s in
       if v <> 0 then
         failwith
           (Printf.sprintf "Ann: readAddr[%d][%d] = %d at quiescence" id s v)

@@ -8,12 +8,21 @@
 
 type t
 
-val create : ?backend:Atomics.Backend.t -> threads:int -> unit -> t
+val create :
+  ?backend:Atomics.Backend.t ->
+  ?rep:Atomics.Backend.rep ->
+  threads:int ->
+  unit ->
+  t
 (** [backend] (default [Sim]): under [Native], every announcement cell
     is contention-padded — they are cross-thread CAS targets by
-    definition. *)
+    definition. [rep] (default {!Atomics.Backend.default_rep}) picks
+    the pool's store: padded boxed cells, or one raw
+    {!Atomics.Words} block that {!scan_announced} can sweep with a
+    single stub call. *)
 
 val threads : t -> int
+val rep : t -> Atomics.Backend.rep
 
 val choose_slot : t -> tid:int -> int
 (** Line D1: index of a slot with busy count 0. Bounded single scan;
@@ -44,6 +53,15 @@ val busy_decr : t -> id:int -> slot:int -> unit
 
 val answer_cas : t -> id:int -> slot:int -> link:Shmem.Value.addr -> int -> bool
 (** Line H6: try to replace the announced link with the answer. *)
+
+val scan_announced : t -> from:int -> int -> int
+(** [scan_announced t ~from target]: the first row [id >= from] whose
+    currently-indexed slot holds exactly [target] (a
+    [Shmem.Value.enc_link] word), or [-1] — the H2+H3 read pass of a
+    helping sweep, batched. One C stub call under the unboxed rep; a
+    per-word loop with the same reads under boxed. The result is a
+    hint: callers must re-read the row (H2/H3) before acting, which
+    the helping protocol requires anyway. *)
 
 val answers : t -> (int * Shmem.Value.ptr) list
 (** Tolerant sweep for the auditor: [(owner_tid, node)] for every slot

@@ -20,11 +20,22 @@
    uniform — this matches the semantics (1) of Definition 1 and the
    reference-count reasoning in Lemma 4, which only considers the A12
    path. The node is exclusively owned at F3 (it was just claimed by
-   R2's CAS), so the transient inflation is unobservable. *)
+   R2's CAS), so the transient inflation is unobservable.
 
-module P = Atomics.Primitives
+   Hot-path discipline: the operations below allocate nothing on the
+   OCaml heap — the scheme's globals live on one {!Atomics.Hot}
+   vector, the R3 recursion runs on a reusable per-thread int-array
+   stack, and AllocNode's loop state travels as immediate arguments.
+   Per-op allocation is what used to drag multi-domain Native runs
+   into minor-GC stop-the-world barriers; the word-for-word order of
+   shared-memory operations is unchanged, so Sim schedules (and the
+   seeded experiment outputs) are bit-identical to the list-based
+   code. *)
+
 module B = Atomics.Backend
 module C = Atomics.Counters
+module Hot = Atomics.Hot
+module Words = Atomics.Words
 module Value = Shmem.Value
 module Layout = Shmem.Layout
 module Arena = Shmem.Arena
@@ -43,23 +54,47 @@ type placement = [ `Paper | `Own_index ]
    each thread touches exactly its own entry. *)
 type tcache = { cslots : int array; mutable clen : int }
 
+(* Cross-store fusion context ([Unboxed] only): the raw arena and
+   hot-vector blocks plus the geometry arrays the fused stubs need
+   ({!Atomics.Words.take_fix} / [free_donate]). *)
+type fused = {
+  aw : Words.t; (* the arena's raw block *)
+  hw : Words.t; (* the hot vector's raw block *)
+  node_geom : int array; (* [| nodes_base; node_stride |] *)
+  free_geom : int array; (* [| help_word; ann_base; slot_stride; n |] *)
+}
+
 type t = {
   cfg : Mm_intf.config;
   backend : B.t;
   arena : Arena.t;
   ann : Ann.t;
   ctr : C.t;
-  n : int;                          (* NR_THREADS *)
-  current_free_list : P.cell;       (* currentFreeList *)
-  free_list : P.cell array;         (* freeList[2N]: head pointers *)
-  help_current : P.cell;            (* helpCurrent *)
-  ann_alloc : P.cell array;         (* annAlloc[N]: 0 = ⊥ *)
+  n : int; (* NR_THREADS *)
+  hot : Hot.t;
+  (* one padded slot per scheme global — see the hw_* map below *)
+  fused : fused option;
+  (* cross-store fusion context when arena and hot vector are both
+     unboxed — see the [fused] type above *)
   oom_scan_limit : int;
   placement : placement;
   help_alloc : bool;
   caches : tcache array option; (* per-thread caches when sharded *)
   batch : int;
+  work : int array array;
+  (* per-thread R3 work stacks (reusable, grown on demand) *)
+  scratch : int array array;
+      (* per-thread link-collect buffers (num_links wide) for
+         [Arena.release_collect] *)
 }
+
+(* Hot-vector slot map: [currentFreeList] at 0, [helpCurrent] at 1,
+   [freeList[i]] at [2+i] (i in 0..2N-1), [annAlloc[id]] at
+   [2+2N+id]. *)
+let hw_current = 0
+let hw_help = 1
+let hw_free i = 2 + i
+let hw_ann t id = 2 + (2 * t.n) + id
 
 let arena t = t.arena
 let counters t = t.ctr
@@ -72,7 +107,7 @@ let create ?(placement = `Paper) ?(help_alloc = true) (cfg : Mm_intf.config) =
     Layout.create ~num_links:cfg.num_links ~num_data:cfg.num_data
   in
   let arena =
-    Arena.create ~backend ~layout ~capacity:cfg.capacity
+    Arena.create ~backend ~rep:cfg.rep ~layout ~capacity:cfg.capacity
       ~num_roots:cfg.num_roots ()
   in
   (* Initial free state: all nodes chained into freeList[0], each with
@@ -86,21 +121,39 @@ let create ?(placement = `Paper) ?(help_alloc = true) (cfg : Mm_intf.config) =
   done;
   let n = cfg.threads in
   (* The scheme's globals are all FAA/CAS rendezvous points for every
-     thread, so under [Native] each gets its own cache-line pair. *)
+     thread, so each gets its own cache-line pair on the hot vector. *)
+  let hot =
+    Hot.create ~backend ~rep:cfg.rep
+      (2 + (3 * n))
+      ~init:(fun i -> if i = hw_free 0 then Value.of_handle 1 else 0)
+  in
+  let fused =
+    match (Arena.raw arena, Hot.raw hot) with
+    | Some aw, Some hw ->
+        Some
+          {
+            aw;
+            hw;
+            node_geom = Arena.node_geom arena;
+            free_geom =
+              [|
+                Hot.word_of_slot hw_help;
+                Hot.word_of_slot (2 + (2 * n));
+                Hot.word_of_slot 1;
+                n;
+              |];
+          }
+    | _ -> None
+  in
   {
     cfg;
     backend;
     arena;
-    ann = Ann.create ~backend ~threads:n ();
+    ann = Ann.create ~backend ~rep:cfg.rep ~threads:n ();
     ctr = C.create ~backend ~threads:n ();
     n;
-    current_free_list = B.make_contended backend 0;
-    free_list =
-      Array.init (2 * n) (fun i ->
-          B.make_contended backend
-            (if i = 0 then Value.of_handle 1 else Value.null));
-    help_current = B.make_contended backend 0;
-    ann_alloc = Array.init n (fun _ -> B.make_contended backend 0);
+    hot;
+    fused;
     oom_scan_limit = (16 * n) + 16;
     placement;
     help_alloc;
@@ -111,39 +164,64 @@ let create ?(placement = `Paper) ?(help_alloc = true) (cfg : Mm_intf.config) =
                 { cslots = Array.make (2 * cfg.batch) Value.null; clen = 0 }))
        else None);
     batch = cfg.batch;
+    work =
+      Array.init n (fun _ ->
+          Array.make (max 64 (4 * (cfg.num_links + 1))) 0);
+    scratch = Array.init n (fun _ -> Array.make (max 1 cfg.num_links) 0);
   }
+
+(* Push onto thread [tid]'s work stack, growing it when a reclamation
+   cascade outruns the current capacity (rare; the stack is reused
+   across calls, so steady state never allocates). *)
+let work_push t ~tid sp v =
+  let stack = t.work.(tid) in
+  let stack =
+    if sp < Array.length stack then stack
+    else begin
+      let bigger = Array.make (2 * Array.length stack) 0 in
+      Array.blit stack 0 bigger 0 (Array.length stack);
+      t.work.(tid) <- bigger;
+      bigger
+    end
+  in
+  stack.(sp) <- v;
+  sp + 1
 
 (* ---------------- ReleaseRef (R1–R4) + FreeNode (F1–F10) ----------- *)
 
 (* The R3 recursion ("recursively call ReleaseRef for all held
-   references") runs as an explicit work list so cascaded reclamation
-   of long chains uses constant stack. *)
+   references") runs as an explicit work stack so cascaded reclamation
+   of long chains uses constant space and allocates nothing. The pop
+   order matches the historical list-based worklist exactly (links
+   high-to-low, then the remaining pending nodes), so the
+   shared-memory op sequence — and with it every Sim schedule — is
+   unchanged. *)
 let rec release t ~tid node =
   C.incr t.ctr ~tid Release;
-  release_loop t ~tid [ Value.unmark node ]
+  release_work t ~tid (work_push t ~tid 0 (Value.unmark node))
 
-and release_loop t ~tid = function
-  | [] -> ()
-  | node :: rest ->
-      Arena.faa_mm_ref t.arena node (-2);                           (* R1 *)
-      if
-        Arena.read_mm_ref t.arena node = 0
-        && Arena.cas_mm_ref t.arena node ~old:0 ~nw:1               (* R2 *)
-      then begin
-        (* R3: we own the node exclusively now; collect and clear the
-           references held by its link slots. *)
-        let held = ref rest in
-        let nl = Layout.num_links (Arena.layout t.arena) in
-        for i = 0 to nl - 1 do
-          let v = Arena.read_link t.arena node i in
-          Arena.write_link t.arena node i 0;
-          if not (Value.is_null v) then held := Value.unmark v :: !held
-        done;
-        C.incr t.ctr ~tid Node_reclaimed;
-        free_node t ~tid node;                                      (* R4 *)
-        release_loop t ~tid !held
-      end
-      else release_loop t ~tid rest
+and release_work t ~tid sp =
+  if sp > 0 then begin
+    let sp = sp - 1 in
+    let node = t.work.(tid).(sp) in
+    (* R1-R3: release and, when we claimed the node, collect-and-clear
+       the references its link slots held — one crossing under the
+       unboxed rep. *)
+    let collected = Arena.release_collect t.arena node ~out:t.scratch.(tid) in
+    if collected >= 0 then begin
+      let sp = push_collected t ~tid ~k:0 ~collected sp in
+      C.incr t.ctr ~tid Node_reclaimed;
+      free_node t ~tid node;                                        (* R4 *)
+      release_work t ~tid sp
+    end
+    else release_work t ~tid sp
+  end
+
+and push_collected t ~tid ~k ~collected sp =
+  if k >= collected then sp
+  else
+    push_collected t ~tid ~k:(k + 1) ~collected
+      (work_push t ~tid sp (Value.unmark t.scratch.(tid).(k)))
 
 and free_node t ~tid node =
   (* Pre-condition: mm_ref = 1 (claimed), as established by R2 or by
@@ -154,22 +232,28 @@ and free_node t ~tid node =
   Mm_intf.Events.emit ~tid node Mm_intf.Events.Free;
   C.incr t.ctr ~tid Free;
   let n = t.n in
-  let help_id = B.read t.backend t.help_current in                  (* F1 *)
-  ignore
-    (B.cas t.backend t.help_current ~old:help_id ~nw:((help_id + 1) mod n));
-                                                                    (* F2 *)
-  (* F3 with the donation-count correction (see module comment). *)
   let donated =
-    t.help_alloc
-    && begin
-         Arena.faa_mm_ref t.arena node 2;
-         if B.cas t.backend t.ann_alloc.(help_id) ~old:Value.null ~nw:node
-         then true
-         else begin
-           Arena.faa_mm_ref t.arena node (-2);
-           false
-         end
-       end
+    match t.fused with
+    | Some f when t.help_alloc ->
+        (* F1-F3 in one crossing, with the donation-count correction
+           (see module comment). *)
+        Words.free_donate f.hw ~arena:f.aw
+          ~ref_addr:(Arena.mm_ref_addr t.arena node)
+          ~node ~geom:f.free_geom
+    | _ ->
+        let help_id = Hot.bump_mod t.hot hw_help n in            (* F1–F2 *)
+        (* F3 with the donation-count correction (see module
+           comment). *)
+        t.help_alloc
+        && begin
+             Arena.faa_mm_ref t.arena node 2;
+             if Hot.cas t.hot (hw_ann t help_id) ~old:Value.null ~nw:node
+             then true
+             else begin
+               Arena.faa_mm_ref t.arena node (-2);
+               false
+             end
+           end
   in
   if donated then C.incr t.ctr ~tid Free_gave_help
   else
@@ -195,7 +279,7 @@ and free_node t ~tid node =
 (* F4–F10: push a claimed node onto one of the 2N free-lists. *)
 and free_push t ~tid node =
   let n = t.n in
-  let current = B.read t.backend t.current_free_list in             (* F4 *)
+  let current = Hot.read t.hot hw_current in                        (* F4 *)
   let index =                                                       (* F5 *)
     match t.placement with
     | `Own_index -> tid (* ablation E-A2 *)
@@ -204,10 +288,9 @@ and free_push t ~tid node =
         else tid
   in
   let rec push index =                                              (* F7 *)
-    let head = B.read t.backend t.free_list.(index) in
+    let head = Hot.read t.hot (hw_free index) in
     Arena.write_mm_next t.arena node head;                          (* F8 *)
-    if not (B.cas t.backend t.free_list.(index) ~old:head ~nw:node)
-    then begin
+    if not (Hot.cas t.hot (hw_free index) ~old:head ~nw:node) then begin
                                                                     (* F9 *)
       C.incr t.ctr ~tid Free_retry;
       push ((index + n) mod (2 * n))                                (* F10 *)
@@ -217,89 +300,109 @@ and free_push t ~tid node =
 
 (* ---------------- AllocNode (A1–A18) ------------------------------- *)
 
-let alloc t ~tid =
-  C.incr t.ctr ~tid Alloc;
-  let n = t.n in
-  let helped = ref false in                                         (* A1 *)
-  let help_id = B.read t.backend t.help_current in                  (* A2 *)
-  let empty_scans = ref 0 in
-  let result = ref Value.null in
-  let finished = ref false in
-  while not !finished do                                            (* A3 *)
-    if B.read t.backend t.ann_alloc.(tid) <> Value.null then begin  (* A4 *)
-      let node = B.swap t.backend t.ann_alloc.(tid) Value.null in
-      Arena.faa_mm_ref t.arena node (-1);         (* FixRef(node, -1) *)
-      C.incr t.ctr ~tid Alloc_helped;
-      Mm_intf.Events.emit ~tid node Mm_intf.Events.Alloc;
-      result := node;
-      finished := true
-    end
-    else begin
-      match t.caches with
-      | Some caches when caches.(tid).clen > 0 ->
-          (* Sharded config: serve from the domain-local cache with no
-             shared-word traffic at all. The cached node carries
-             mm_ref = 1; FAA (not a store) it to 2, because a stale D5
-             may still land a transient +2/-2 pair on it. Donations
-             (A4 above) keep priority so helped allocations are
-             collected promptly. *)
-          let c = caches.(tid) in
-          c.clen <- c.clen - 1;
-          let node = c.cslots.(c.clen) in
-          Arena.faa_mm_ref t.arena node 1;
-          Mm_intf.Events.emit ~tid node Mm_intf.Events.Alloc;
-          result := node;
-          finished := true
-      | _ ->
-      let current = B.read t.backend t.current_free_list in         (* A5 *)
-      let node = B.read t.backend t.free_list.(current) in          (* A6 *)
-      if Value.is_null node then begin                              (* A7 *)
-        ignore
-          (B.cas t.backend t.current_free_list ~old:current
-             ~nw:((current + 1) mod (2 * n)));
-        incr empty_scans;
-        if !empty_scans > t.oom_scan_limit then raise Mm_intf.Out_of_memory;
-        C.incr t.ctr ~tid Alloc_retry
-      end
-      else begin
-        empty_scans := 0;
-        Arena.faa_mm_ref t.arena node 2;                            (* A9 *)
-        let next = Arena.read_mm_next t.arena node in
-        if B.cas t.backend t.free_list.(current) ~old:node ~nw:next then begin
-                                                                   (* A10 *)
-          let gave =
-            t.help_alloc
-            && (not !helped)
-            && B.read t.backend t.ann_alloc.(help_id) = Value.null  (* A11 *)
-            && B.cas t.backend t.ann_alloc.(help_id) ~old:Value.null
-                 ~nw:node                                           (* A12 *)
-          in
-          if gave then begin
-            helped := true;                                         (* A13 *)
-            ignore
-              (B.cas t.backend t.help_current ~old:help_id
-                 ~nw:((help_id + 1) mod n));                        (* A14 *)
-            C.incr t.ctr ~tid Alloc_gave_help;
-            C.incr t.ctr ~tid Alloc_retry                           (* A15 *)
-          end
-          else begin
-            ignore
-              (B.cas t.backend t.help_current ~old:help_id
-                 ~nw:((help_id + 1) mod n));                        (* A16 *)
-            Arena.faa_mm_ref t.arena node (-1);   (* A17: FixRef(-1) *)
-            Mm_intf.Events.emit ~tid node Mm_intf.Events.Alloc;
-            result := node;
-            finished := true
-          end
+(* The A3 loop, with its state — [helped] (A1), the helpee read at A2,
+   and the consecutive-empty-scan count — as immediate arguments. The
+   shared-memory op order is exactly the historical while-loop's. *)
+let rec alloc_loop t ~tid ~help_id ~helped ~empty_scans =
+  let taken =                                                       (* A4 *)
+    match t.fused with
+    | Some f ->
+        (* A4 + FixRef(-1) in one crossing. *)
+        Words.take_fix f.hw (Hot.word_of_slot (hw_ann t tid)) ~arena:f.aw
+          ~geom:f.node_geom
+    | None ->
+        let v = Hot.take t.hot (hw_ann t tid) in
+        if not (Value.is_null v) then
+          Arena.faa_mm_ref t.arena v (-1);          (* FixRef(node, -1) *)
+        v
+  in
+  if not (Value.is_null taken) then begin
+    C.incr t.ctr ~tid Alloc_helped;
+    Mm_intf.Events.emit ~tid taken Mm_intf.Events.Alloc;
+    taken
+  end
+  else
+    match t.caches with
+    | Some caches when caches.(tid).clen > 0 ->
+        (* Sharded config: serve from the domain-local cache with no
+           shared-word traffic at all. The cached node carries
+           mm_ref = 1; FAA (not a store) it to 2, because a stale D5
+           may still land a transient +2/-2 pair on it. Donations
+           (A4 above) keep priority so helped allocations are
+           collected promptly. *)
+        let c = caches.(tid) in
+        c.clen <- c.clen - 1;
+        let node = c.cslots.(c.clen) in
+        Arena.faa_mm_ref t.arena node 1;
+        Mm_intf.Events.emit ~tid node Mm_intf.Events.Alloc;
+        node
+    | _ ->
+        (* Deferred A2 (unboxed native only; see [alloc]): the first
+           pass that can use the helpee reads it here, then the choice
+           stays fixed for the call, as the pseudocode prescribes. *)
+        let help_id =
+          if help_id >= 0 then help_id else Hot.read t.hot hw_help  (* A2 *)
+        in
+        let current = Hot.read t.hot hw_current in                  (* A5 *)
+        let node = Hot.read t.hot (hw_free current) in              (* A6 *)
+        if Value.is_null node then begin                            (* A7 *)
+          ignore
+            (Hot.cas t.hot hw_current ~old:current
+               ~nw:((current + 1) mod (2 * t.n)));
+          if empty_scans + 1 > t.oom_scan_limit then
+            raise Mm_intf.Out_of_memory;
+          C.incr t.ctr ~tid Alloc_retry;
+          alloc_loop t ~tid ~help_id ~helped ~empty_scans:(empty_scans + 1)
         end
         else begin
-          release t ~tid node;                                      (* A18 *)
-          C.incr t.ctr ~tid Alloc_retry
+          Arena.faa_mm_ref t.arena node 2;                          (* A9 *)
+          let next = Arena.read_mm_next t.arena node in
+          if Hot.cas t.hot (hw_free current) ~old:node ~nw:next then begin
+                                                                   (* A10 *)
+            let gave =
+              t.help_alloc
+              && (not helped)
+              && Hot.read t.hot (hw_ann t help_id) = Value.null     (* A11 *)
+              && Hot.cas t.hot (hw_ann t help_id) ~old:Value.null ~nw:node
+                                                                   (* A12 *)
+            in
+            if gave then begin
+                                                                   (* A13 *)
+              ignore
+                (Hot.cas t.hot hw_help ~old:help_id
+                   ~nw:((help_id + 1) mod t.n));                   (* A14 *)
+              C.incr t.ctr ~tid Alloc_gave_help;
+              C.incr t.ctr ~tid Alloc_retry;                       (* A15 *)
+              alloc_loop t ~tid ~help_id ~helped:true ~empty_scans:0
+            end
+            else begin
+              ignore
+                (Hot.cas t.hot hw_help ~old:help_id
+                   ~nw:((help_id + 1) mod t.n));                   (* A16 *)
+              Arena.faa_mm_ref t.arena node (-1);   (* A17: FixRef(-1) *)
+              Mm_intf.Events.emit ~tid node Mm_intf.Events.Alloc;
+              node
+            end
+          end
+          else begin
+            release t ~tid node;                                   (* A18 *)
+            C.incr t.ctr ~tid Alloc_retry;
+            alloc_loop t ~tid ~help_id ~helped ~empty_scans:0
+          end
         end
-      end
-    end
-  done;
-  !result
+
+let alloc t ~tid =
+  C.incr t.ctr ~tid Alloc;
+  match t.fused with
+  | None ->
+      let help_id = Hot.read t.hot hw_help in                       (* A2 *)
+      alloc_loop t ~tid ~help_id ~helped:false ~empty_scans:0  (* A1 / A3 *)
+  | Some _ ->
+      (* The A2 helpee read is deferred into the loop (sentinel -1):
+         an A4 hit never consults it, and under the unboxed rep that
+         read is a stub crossing on the hottest path. The choice is
+         still made at most once per call. *)
+      alloc_loop t ~tid ~help_id:(-1) ~helped:false ~empty_scans:0
 
 (* ---------------- DeRefLink (D1–D10) / HelpDeRef (H1–H8) ----------- *)
 
@@ -318,23 +421,49 @@ let rec deref t ~tid link =
   end
   else node                                                        (* D10 *)
 
+(* The H1 row loop. Under [Sim] it is the historical per-row walk —
+   one H2 read and one H3 read per row, each crossing its scheduling
+   point, byte-for-byte. Under [Native] the H2+H3 sweep is batched
+   through {!Ann.scan_announced} (one stub call per run of
+   non-matching rows under the unboxed rep); a hit is re-read (H2/H3
+   again) before helping, which the protocol requires anyway — the
+   announcement may have moved. [Help_scan] accounting is kept
+   row-exact: every call still adds exactly [n] regardless of
+   batching. *)
 and help_deref t ~tid link =
-  for id = 0 to t.n - 1 do                                          (* H1 *)
-    C.incr t.ctr ~tid Help_scan;
-    let slot = Ann.read_index t.ann ~id in                          (* H2 *)
-    if Ann.read_slot t.ann ~id ~slot = Value.enc_link link then begin
-                                                                    (* H3 *)
-      Ann.busy_incr t.ann ~id ~slot;                                (* H4 *)
-      let node = deref t ~tid link in                               (* H5 *)
-      if Ann.answer_cas t.ann ~id ~slot ~link node then             (* H6 *)
-        C.incr t.ctr ~tid Help_answered
-      else begin
-        C.incr t.ctr ~tid Help_refused;
-        if not (Value.is_null node) then release t ~tid node        (* H7 *)
-      end;
-      Ann.busy_decr t.ann ~id ~slot                                 (* H8 *)
+  match t.backend with
+  | B.Sim ->
+      for id = 0 to t.n - 1 do                                      (* H1 *)
+        C.incr t.ctr ~tid Help_scan;
+        let slot = Ann.read_index t.ann ~id in                      (* H2 *)
+        if Ann.read_slot t.ann ~id ~slot = Value.enc_link link then
+          help_one t ~tid link ~id ~slot                            (* H3 *)
+      done
+  | B.Native -> help_scan_from t ~tid link 0
+
+and help_scan_from t ~tid link from =
+  if from < t.n then begin
+    let id = Ann.scan_announced t.ann ~from (Value.enc_link link) in
+    if id < 0 then C.add t.ctr ~tid Help_scan (t.n - from)
+    else begin
+      C.add t.ctr ~tid Help_scan (id - from + 1);
+      let slot = Ann.read_index t.ann ~id in                        (* H2 *)
+      if Ann.read_slot t.ann ~id ~slot = Value.enc_link link then
+        help_one t ~tid link ~id ~slot;                             (* H3 *)
+      help_scan_from t ~tid link (id + 1)
     end
-  done
+  end
+
+and help_one t ~tid link ~id ~slot =
+  Ann.busy_incr t.ann ~id ~slot;                                    (* H4 *)
+  let node = deref t ~tid link in                                   (* H5 *)
+  if Ann.answer_cas t.ann ~id ~slot ~link node then                 (* H6 *)
+    C.incr t.ctr ~tid Help_answered
+  else begin
+    C.incr t.ctr ~tid Help_refused;
+    if not (Value.is_null node) then release t ~tid node            (* H7 *)
+  end;
+  Ann.busy_decr t.ann ~id ~slot                                     (* H8 *)
 
 (* FixRef of Figure 5, exposed for reference copying (§3.2 prescribes
    FixRef(node, 2) when duplicating a shared pointer). *)
@@ -361,24 +490,22 @@ let free_set t =
         (Printf.sprintf "Gc: free node #%d has mm_ref=%d, expected %d (%s)" h
            r expect_ref where)
   in
-  Array.iteri
-    (fun i head ->
-      let where = Printf.sprintf "freeList[%d]" i in
-      let rec walk p steps =
-        if steps > cap then failwith ("Gc: cycle in " ^ where)
-        else if not (Value.is_null p) then begin
-          record ~where p ~expect_ref:1;
-          walk (Arena.read_mm_next t.arena p) (steps + 1)
-        end
-      in
-      walk (B.read t.backend head) 0)
-    t.free_list;
-  Array.iteri
-    (fun i cell ->
-      let p = B.read t.backend cell in
-      if not (Value.is_null p) then
-        record ~where:(Printf.sprintf "annAlloc[%d]" i) p ~expect_ref:3)
-    t.ann_alloc;
+  for i = 0 to (2 * t.n) - 1 do
+    let where = Printf.sprintf "freeList[%d]" i in
+    let rec walk p steps =
+      if steps > cap then failwith ("Gc: cycle in " ^ where)
+      else if not (Value.is_null p) then begin
+        record ~where p ~expect_ref:1;
+        walk (Arena.read_mm_next t.arena p) (steps + 1)
+      end
+    in
+    walk (Hot.read t.hot (hw_free i)) 0
+  done;
+  for i = 0 to t.n - 1 do
+    let p = Hot.read t.hot (hw_ann t i) in
+    if not (Value.is_null p) then
+      record ~where:(Printf.sprintf "annAlloc[%d]" i) p ~expect_ref:3
+  done;
   (match t.caches with
   | Some caches ->
       Array.iteri
@@ -408,32 +535,33 @@ let custody t =
   let cap = t.cfg.capacity in
   let free = Array.make (cap + 1) false in
   let violations = ref [] in
-  let violation fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
-  Array.iteri
-    (fun i head ->
-      let rec walk p steps =
-        if steps > cap then violation "cycle in freeList[%d]" i
-        else if not (Value.is_null p) then begin
-          let h = Value.handle p in
-          if free.(h) then violation "node #%d on two free chains" h
-          else begin
-            free.(h) <- true;
-            walk (Arena.read_mm_next t.arena p) (steps + 1)
-          end
-        end
-      in
-      walk (B.read t.backend head) 0)
-    t.free_list;
-  let pending = ref [] in
-  Array.iteri
-    (fun i cell ->
-      let p = B.read t.backend cell in
-      if not (Value.is_null p) then begin
+  let violation fmt =
+    Printf.ksprintf (fun s -> violations := s :: !violations) fmt
+  in
+  for i = 0 to (2 * t.n) - 1 do
+    let rec walk p steps =
+      if steps > cap then violation "cycle in freeList[%d]" i
+      else if not (Value.is_null p) then begin
         let h = Value.handle p in
-        if free.(h) then violation "annAlloc[%d] node #%d also on a free chain" i h
-        else pending := (i, h) :: !pending
-      end)
-    t.ann_alloc;
+        if free.(h) then violation "node #%d on two free chains" h
+        else begin
+          free.(h) <- true;
+          walk (Arena.read_mm_next t.arena p) (steps + 1)
+        end
+      end
+    in
+    walk (Hot.read t.hot (hw_free i)) 0
+  done;
+  let pending = ref [] in
+  for i = 0 to t.n - 1 do
+    let p = Hot.read t.hot (hw_ann t i) in
+    if not (Value.is_null p) then begin
+      let h = Value.handle p in
+      if free.(h) then
+        violation "annAlloc[%d] node #%d also on a free chain" i h
+      else pending := (i, h) :: !pending
+    end
+  done;
   (* Domain-local caches count as [free] custody, like the free
      chains: the auditor's node partition must stay conservative when
      the run quiesced with populated caches. *)
@@ -467,9 +595,9 @@ let validate t =
             (Printf.sprintf "Gc: allocated node #%d has bad mm_ref=%d"
                (Value.handle p) r)
       end);
-  let cur = B.read t.backend t.current_free_list in
+  let cur = Hot.read t.hot hw_current in
   if cur < 0 || cur >= 2 * t.n then
     failwith (Printf.sprintf "Gc: currentFreeList=%d out of range" cur);
-  let hc = B.read t.backend t.help_current in
+  let hc = Hot.read t.hot hw_help in
   if hc < 0 || hc >= t.n then
     failwith (Printf.sprintf "Gc: helpCurrent=%d out of range" hc)

@@ -14,8 +14,10 @@ module B = Atomics.Backend
 module Mm = Mm_intf
 
 type point = {
+  rev : string;         (* git revision the point was measured at *)
   scheme : string;
   backend : B.t;
+  rep : B.rep;          (* cell representation (boxed / unboxed) *)
   threads : int;
   shards : int;         (* free-store stripes (1 = legacy list) *)
   batch : int;          (* allocation-cache batch size *)
@@ -32,7 +34,54 @@ type point = {
 
 let batch_pairs = 64
 
-let run_point ?spine ?(shards = 1) ?(batch = 1) ?(oracle = false) ~scheme
+(* The current git revision (7-hex short form), so BENCH points from
+   different commits can coexist in one file. Reads .git directly —
+   no subprocess — and degrades to "unknown" outside a checkout. *)
+let git_rev () =
+  let read_line path =
+    try
+      let ic = open_in path in
+      let line = try input_line ic with End_of_file -> "" in
+      close_in ic;
+      Some (String.trim line)
+    with Sys_error _ -> None
+  in
+  let resolve_ref r =
+    match read_line (".git/" ^ r) with
+    | Some sha when String.length sha >= 7 -> Some sha
+    | _ -> (
+        (* packed refs: lines of the form "<sha> <refname>" *)
+        try
+          let ic = open_in ".git/packed-refs" in
+          let rec scan () =
+            match input_line ic with
+            | line ->
+                if
+                  String.length line > 41
+                  && line.[0] <> '#'
+                  && String.sub line 41 (String.length line - 41) = r
+                then Some (String.sub line 0 40)
+                else scan ()
+            | exception End_of_file -> None
+          in
+          let res = scan () in
+          close_in ic;
+          res
+        with Sys_error _ -> None)
+  in
+  let sha =
+    match read_line ".git/HEAD" with
+    | Some head when String.length head > 5 && String.sub head 0 5 = "ref: "
+      ->
+        resolve_ref (String.sub head 5 (String.length head - 5))
+    | Some sha when String.length sha >= 7 -> Some sha
+    | _ -> None
+  in
+  match sha with
+  | Some sha when String.length sha >= 7 -> String.sub sha 0 7
+  | _ -> "unknown"
+
+let run_point ?spine ?rep ?(shards = 1) ?(batch = 1) ?(oracle = false) ~scheme
     ~backend ~threads ~ops ~capacity () =
   if oracle && (backend <> B.Sim || threads <> 1) then
     invalid_arg
@@ -40,7 +89,7 @@ let run_point ?spine ?(shards = 1) ?(batch = 1) ?(oracle = false) ~scheme
        (the detector is not domain-safe, and Native has no Schedpoint \
        dispatch to measure)";
   let cfg =
-    Mm.config ~backend ~shards ~batch ~threads ~capacity ~num_links:1
+    Mm.config ~backend ?rep ~shards ~batch ~threads ~capacity ~num_links:1
       ~num_data:1 ~num_roots:0 ()
   in
   let mm = Registry.instantiate scheme cfg in
@@ -103,8 +152,10 @@ let run_point ?spine ?(shards = 1) ?(batch = 1) ?(oracle = false) ~scheme
   let hist = Metrics.Hist.create () in
   Array.iter (fun h -> Metrics.Hist.merge_into hist h) hists;
   {
+    rev = git_rev ();
     scheme = (if oracle then scheme ^ "+oracle" else scheme);
     backend;
+    rep = cfg.Mm.rep;
     threads;
     shards;
     batch;
@@ -126,9 +177,21 @@ let run_suite ?spine ?(schemes = [ "wfrc" ]) ?(backends = [ B.Sim; B.Native ])
       (fun scheme ->
         List.concat_map
           (fun threads ->
-            List.map
+            List.concat_map
               (fun backend ->
-                run_point ?spine ~scheme ~backend ~threads ~ops ~capacity ())
+                (* Native runs under both cell representations so the
+                   boxed/unboxed delta is always on record; Sim is
+                   boxed by construction. *)
+                let reps =
+                  match backend with
+                  | B.Sim -> [ B.Boxed ]
+                  | B.Native -> [ B.Boxed; B.Unboxed ]
+                in
+                List.map
+                  (fun rep ->
+                    run_point ?spine ~scheme ~backend ~rep ~threads ~ops
+                      ~capacity ())
+                  reps)
               backends)
           threads_list)
       schemes
@@ -167,23 +230,86 @@ let run_suite ?spine ?(schemes = [ "wfrc" ]) ?(backends = [ B.Sim; B.Native ])
 
 let json_of_point p =
   Printf.sprintf
-    "    {\"scheme\": %S, \"backend\": %S, \"threads\": %d, \"shards\": %d, \
-     \"batch\": %d, \"ops\": %d, \"wall_ns\": %d, \"ops_per_sec\": %.1f, \
-     \"mean_ns\": %.1f, \"p50_ns\": %d, \"p90_ns\": %d, \"p99_ns\": %d, \
-     \"max_ns\": %d, \"neg_samples\": %d}"
-    p.scheme (B.name p.backend) p.threads p.shards p.batch p.ops p.wall_ns
-    p.ops_per_sec p.mean_ns p.p50_ns p.p90_ns p.p99_ns p.max_ns p.neg_samples
+    "    {\"rev\": %S, \"scheme\": %S, \"backend\": %S, \"rep\": %S, \
+     \"threads\": %d, \"shards\": %d, \"batch\": %d, \"ops\": %d, \
+     \"wall_ns\": %d, \"ops_per_sec\": %.1f, \"mean_ns\": %.1f, \
+     \"p50_ns\": %d, \"p90_ns\": %d, \"p99_ns\": %d, \"max_ns\": %d, \
+     \"neg_samples\": %d}"
+    p.rev p.scheme (B.name p.backend) (B.rep_name p.rep) p.threads p.shards
+    p.batch p.ops p.wall_ns p.ops_per_sec p.mean_ns p.p50_ns p.p90_ns
+    p.p99_ns p.max_ns p.neg_samples
 
-let to_json points =
+(* Identity of a point within the file: same (rev, scheme, backend,
+   rep, threads, shards, batch) = same measurement, latest run wins.
+   Works on the serialised line so foreign points (older formats,
+   other writers) can be carried through untouched. *)
+let line_field line name =
+  match
+    let pat = Printf.sprintf "\"%s\": " name in
+    let plen = String.length pat in
+    let rec find i =
+      if i + plen > String.length line then None
+      else if String.sub line i plen = pat then Some (i + plen)
+      else find (i + 1)
+    in
+    find 0
+  with
+  | None -> ""
+  | Some start ->
+      let stop = ref start in
+      while
+        !stop < String.length line
+        && (match line.[!stop] with ',' | '}' -> false | _ -> true)
+      do
+        incr stop
+      done;
+      String.trim (String.sub line start (!stop - start))
+
+let point_key_of_line line =
+  List.map (line_field line)
+    [ "rev"; "scheme"; "backend"; "rep"; "threads"; "shards"; "batch" ]
+
+let to_json point_lines =
   String.concat "\n"
     ([ "{"; "  \"bench\": \"alloc_release_churn\","
      ; "  \"latency_unit\": \"ns_per_op\","; "  \"points\": [" ]
-    @ [ String.concat ",\n" (List.map json_of_point points) ]
+    @ [ String.concat ",\n" point_lines ]
     @ [ "  ]"; "}"; "" ])
 
+(* Merge-write: BENCH_wfrc.json accumulates points across runs and
+   revisions instead of being clobbered. Points already in the file
+   survive unless the new run re-measured the same key. *)
 let write_json ~path points =
+  let fresh = List.map json_of_point points in
+  let fresh_keys = List.map point_key_of_line fresh in
+  let kept =
+    if not (Sys.file_exists path) then []
+    else begin
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      close_in ic;
+      List.rev !lines
+      |> List.filter_map (fun line ->
+             let t = String.trim line in
+             if String.length t > 1 && t.[0] = '{' && line_field line "scheme" <> ""
+             then
+               let line =
+                 if t.[String.length t - 1] = ',' then
+                   String.sub line 0 (String.rindex line ',')
+                 else line
+               in
+               if List.mem (point_key_of_line line) fresh_keys then None
+               else Some line
+             else None)
+    end
+  in
   let oc = open_out path in
-  output_string oc (to_json points);
+  output_string oc (to_json (kept @ fresh));
   close_out oc
 
 let report ?(counters = []) points =
@@ -194,6 +320,7 @@ let report ?(counters = []) points =
       [
         Report.dim "scheme";
         Report.dim "backend";
+        Report.dim "rep";
         Report.dim "threads";
         Report.dim "shards";
         Report.dim "batch";
@@ -228,6 +355,7 @@ let report ?(counters = []) points =
          [
            Report.Str p.scheme;
            Report.Str (B.name p.backend);
+           Report.Str (B.rep_name p.rep);
            Report.Int p.threads;
            Report.Int p.shards;
            Report.Int p.batch;

@@ -7,8 +7,13 @@
     {!report} and {!Sink}, as a typed report document. *)
 
 type point = {
+  rev : string;
+      (** the 7-hex git revision the point was measured at ("unknown"
+          outside a checkout) — part of the point's identity in the
+          accumulated JSON *)
   scheme : string;
   backend : Atomics.Backend.t;
+  rep : Atomics.Backend.rep;  (** cell representation (boxed/unboxed) *)
   threads : int;
   shards : int;  (** free-store stripes (1 = legacy global free list) *)
   batch : int;  (** allocation-cache batch size (1 = cache disabled) *)
@@ -28,8 +33,14 @@ type point = {
           always 0 unless the clock is broken *)
 }
 
+val git_rev : unit -> string
+(** The current checkout's short (7-hex) revision, read straight from
+    [.git] (HEAD, loose refs, packed-refs); ["unknown"] when not in a
+    git checkout. *)
+
 val run_point :
   ?spine:Exp_support.Spine.t ->
+  ?rep:Atomics.Backend.rep ->
   ?shards:int ->
   ?batch:int ->
   ?oracle:bool ->
@@ -42,12 +53,14 @@ val run_point :
   point
 (** One cell of the suite. [spine] accumulates the instance's
     {!Atomics.Counters} deltas (see {!Exp_support.Spine}).
-    [shards]/[batch] (default 1/1) select the sharded free store —
-    Native backend only. [oracle] (Sim, single-threaded only) arms the
-    full {!Analysis.Reclaim} detector for the measured loop and labels
-    the point's scheme ["<scheme>+oracle"] — the delta against the
-    plain Sim point is the analysis layer's whole cost; Native points
-    cannot carry it because the hook there stays [ignore]. *)
+    [rep] (default {!Atomics.Backend.default_rep}) picks the cell
+    representation. [shards]/[batch] (default 1/1) select the sharded
+    free store — Native backend only. [oracle] (Sim, single-threaded
+    only) arms the full {!Analysis.Reclaim} detector for the measured
+    loop and labels the point's scheme ["<scheme>+oracle"] — the delta
+    against the plain Sim point is the analysis layer's whole cost;
+    Native points cannot carry it because the hook there stays
+    [ignore]. *)
 
 val run_suite :
   ?spine:Exp_support.Spine.t ->
@@ -65,8 +78,20 @@ val run_suite :
     single-threaded oracle-armed point per scheme tracks the analysis
     layer's Sim cost. *)
 
-val to_json : point list -> string
+val json_of_point : point -> string
+(** One point as its flat-JSON line (the unit {!write_json} merges
+    by). *)
+
+val to_json : string list -> string
+(** Assemble serialised point lines (see {!write_json}) into the flat
+    JSON document. *)
+
 val write_json : path:string -> point list -> unit
+(** Merge-write: points already in the file at [path] are preserved
+    unless this run re-measured the same
+    (rev, scheme, backend, rep, threads, shards, batch) key — the
+    file accumulates measurements across runs and revisions instead
+    of being overwritten. *)
 
 val report : ?counters:(string * int) list -> point list -> Report.t
 (** The suite as a typed report (id ["BENCH"]); render or export it

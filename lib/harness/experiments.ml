@@ -9,7 +9,7 @@ let all : Exp.spec list =
   Exp.sort
     (Exp_throughput.specs @ Exp_contention.specs @ Exp_steps.specs
    @ Exp_lincheck.specs @ Exp_ratio.specs @ Exp_fault.specs
-   @ Exp_shard.specs @ Exp_analysis.specs)
+   @ Exp_shard.specs @ Exp_native.specs @ Exp_analysis.specs)
 
 let ids = Exp.ids all
 let specs = all
@@ -29,6 +29,7 @@ let e11 = Exp_throughput.e11
 let e12 = Exp_fault.e12
 let e13 = Exp_fault.e13
 let e14 = Exp_shard.e14
+let e15 = Exp_native.e15
 let a1 = Exp_ratio.a1
 let a2 = Exp_ratio.a2
 let a3 = Exp_ratio.a3

@@ -150,6 +150,22 @@ val e14 :
     subject (its single Treiber list is what the striping replaces);
     wfrc rides along as a flat control. *)
 
+val e15 :
+  ?schemes:string list ->
+  ?reps:Atomics.Backend.rep list ->
+  ?threads_list:int list ->
+  ?ops:int ->
+  ?capacity:int ->
+  ?shards:int ->
+  ?batch:int ->
+  unit ->
+  Report.t
+(** Native scaling sweep: alloc/release churn throughput across cell
+    representation × domain count × free-store configuration
+    (legacy vs sharded). The boxed→unboxed delta per row is the
+    portable signal; multi-domain rows need multi-core hardware to
+    rise. *)
+
 val a1 : ?threads_list:int list -> ?seeds:int -> ?seed:int -> unit -> Report.t
 (** Ablation: deref step bound vs thread count (O(N) scans). *)
 

@@ -64,7 +64,7 @@ let create (cfg : Mm_intf.config) =
     Layout.create ~num_links:cfg.num_links ~num_data:cfg.num_data
   in
   let arena =
-    Arena.create ~backend ~layout ~capacity:cfg.capacity
+    Arena.create ~backend ~rep:cfg.rep ~layout ~capacity:cfg.capacity
       ~num_roots:cfg.num_roots ()
   in
   for h = 1 to cfg.capacity do
@@ -85,8 +85,8 @@ let create (cfg : Mm_intf.config) =
   let store =
     if Mm_intf.sharded cfg then
       Some
-        (Freestore.create ~backend ~arena ~counters:ctr ~shards:cfg.shards
-           ~batch:cfg.batch ~threads:cfg.threads ())
+        (Freestore.create ~backend ~rep:cfg.rep ~arena ~counters:ctr
+           ~shards:cfg.shards ~batch:cfg.batch ~threads:cfg.threads ())
     else None
   in
   {
@@ -197,7 +197,10 @@ let alloc t ~tid =
             else if rounds >= limit then raise Mm_intf.Out_of_memory
             else begin
               C.incr t.ctr ~tid Alloc_retry;
-              Domain.cpu_relax ();
+              (* Park until a remote free publishes nodes; bounded
+                 timeout because other domains' caches are invisible
+                 to the store and produce no wake. *)
+              Freestore.wait_free fs ~tid ~timeout_ns:200_000;
               claim (rounds + 1)
             end
       in

@@ -14,9 +14,9 @@
    Reference-count conventions are identical to [Wfrc]: two units per
    reference, odd value = claimed by the allocator. *)
 
-module P = Atomics.Primitives
 module B = Atomics.Backend
 module C = Atomics.Counters
+module Hot = Atomics.Hot
 module Value = Shmem.Value
 module Layout = Shmem.Layout
 module Arena = Shmem.Arena
@@ -27,9 +27,13 @@ type t = {
   backend : B.t;
   arena : Arena.t;
   ctr : C.t;
-  head : P.cell; (* stamped pointer to the free-list *)
+  hot : Hot.t; (* one slot: the stamped free-list head *)
   store : Freestore.t option; (* sharded Native free store (else legacy) *)
+  work : int array array; (* per-thread release work stacks *)
+  scratch : int array array; (* per-thread link-collect buffers *)
 }
+
+let hw_head = 0
 
 let name = "lfrc"
 let refcounted = true
@@ -43,7 +47,7 @@ let create (cfg : Mm_intf.config) =
     Layout.create ~num_links:cfg.num_links ~num_data:cfg.num_data
   in
   let arena =
-    Arena.create ~backend ~layout ~capacity:cfg.capacity
+    Arena.create ~backend ~rep:cfg.rep ~layout ~capacity:cfg.capacity
       ~num_roots:cfg.num_roots ()
   in
   for h = 1 to cfg.capacity do
@@ -56,8 +60,8 @@ let create (cfg : Mm_intf.config) =
   let store =
     if Mm_intf.sharded cfg then
       Some
-        (Freestore.create ~backend ~arena ~counters:ctr ~shards:cfg.shards
-           ~batch:cfg.batch ~threads:cfg.threads ())
+        (Freestore.create ~backend ~rep:cfg.rep ~arena ~counters:ctr
+           ~shards:cfg.shards ~batch:cfg.batch ~threads:cfg.threads ())
     else None
   in
   {
@@ -67,11 +71,16 @@ let create (cfg : Mm_intf.config) =
     ctr;
     (* the single Treiber head is the scheme's one global hot word;
        under the sharded store it is unused and stays null *)
-    head =
-      B.make_contended backend
-        (Value.pack_stamped ~stamp:0
-           ~ptr:(if store = None then Value.of_handle 1 else Value.null));
+    hot =
+      Hot.create ~backend ~rep:cfg.rep 1 ~init:(fun _ ->
+          Value.pack_stamped ~stamp:0
+            ~ptr:(if Mm_intf.sharded cfg then Value.null else Value.of_handle 1));
     store;
+    work =
+      Array.init cfg.threads (fun _ ->
+          Array.make (max 64 (4 * (cfg.num_links + 1))) 0);
+    scratch =
+      Array.init cfg.threads (fun _ -> Array.make (max 1 cfg.num_links) 0);
   }
 
 let enter_op _t ~tid:_ = ()
@@ -79,31 +88,47 @@ let exit_op _t ~tid:_ = ()
 
 (* Release / reclaim: same R1–R2 agreement as the wait-free scheme
    (this part of Valois' scheme is already wait-free; the lock-freedom
-   gap is in deref and alloc). *)
+   gap is in deref and alloc). As in [Core.Gc], the link recursion runs
+   on a reusable per-thread int-array stack so the hot path allocates
+   nothing; the pop order — and so the shared-memory op sequence —
+   matches the historical list worklist exactly. *)
+let work_push t ~tid sp v =
+  let stack = t.work.(tid) in
+  let stack =
+    if sp < Array.length stack then stack
+    else begin
+      let bigger = Array.make (2 * Array.length stack) 0 in
+      Array.blit stack 0 bigger 0 (Array.length stack);
+      t.work.(tid) <- bigger;
+      bigger
+    end
+  in
+  stack.(sp) <- v;
+  sp + 1
+
 let rec release t ~tid p =
   C.incr t.ctr ~tid Release;
-  release_loop t ~tid [ Value.unmark p ]
+  release_work t ~tid (work_push t ~tid 0 (Value.unmark p))
 
-and release_loop t ~tid = function
-  | [] -> ()
-  | node :: rest ->
-      Arena.faa_mm_ref t.arena node (-2);
-      if
-        Arena.read_mm_ref t.arena node = 0
-        && Arena.cas_mm_ref t.arena node ~old:0 ~nw:1
-      then begin
-        let held = ref rest in
-        let nl = Layout.num_links (Arena.layout t.arena) in
-        for i = 0 to nl - 1 do
-          let v = Arena.read_link t.arena node i in
-          Arena.write_link t.arena node i 0;
-          if not (Value.is_null v) then held := Value.unmark v :: !held
-        done;
-        C.incr t.ctr ~tid Node_reclaimed;
-        free_node t ~tid node;
-        release_loop t ~tid !held
-      end
-      else release_loop t ~tid rest
+and release_work t ~tid sp =
+  if sp > 0 then begin
+    let sp = sp - 1 in
+    let node = t.work.(tid).(sp) in
+    let collected = Arena.release_collect t.arena node ~out:t.scratch.(tid) in
+    if collected >= 0 then begin
+      let sp = push_collected t ~tid ~k:0 ~collected sp in
+      C.incr t.ctr ~tid Node_reclaimed;
+      free_node t ~tid node;
+      release_work t ~tid sp
+    end
+    else release_work t ~tid sp
+  end
+
+and push_collected t ~tid ~k ~collected sp =
+  if k >= collected then sp
+  else
+    push_collected t ~tid ~k:(k + 1) ~collected
+      (work_push t ~tid sp (Value.unmark t.scratch.(tid).(k)))
 
 and free_node t ~tid node =
   Mm_intf.Events.emit ~tid node Mm_intf.Events.Free;
@@ -115,12 +140,12 @@ and free_node t ~tid node =
       Freestore.free fs ~tid node
   | None ->
       let rec push () =
-        let hv = B.read t.backend t.head in
+        let hv = Hot.read t.hot hw_head in
         Arena.write_mm_next t.arena node (Value.stamped_ptr hv);
         let nw =
           Value.pack_stamped ~stamp:(Value.stamped_stamp hv + 1) ~ptr:node
         in
-        if not (B.cas t.backend t.head ~old:hv ~nw) then begin
+        if not (Hot.cas t.hot hw_head ~old:hv ~nw) then begin
           C.incr t.ctr ~tid Free_retry;
           push ()
         end
@@ -147,13 +172,17 @@ let alloc t ~tid =
         | None ->
             if rounds >= limit then raise Mm_intf.Out_of_memory;
             C.incr t.ctr ~tid Alloc_retry;
-            Domain.cpu_relax ();
+            (* Park instead of spinning: a remote free's stripe push or
+               return-slot install wakes us. Bounded, because nodes
+               parked in other domains' caches are invisible to the
+               store and produce no wake. *)
+            Freestore.wait_free fs ~tid ~timeout_ns:200_000;
             claim (rounds + 1)
       in
       claim 0
   | None ->
       let rec pop () =
-        let hv = B.read t.backend t.head in
+        let hv = Hot.read t.hot hw_head in
         let node = Value.stamped_ptr hv in
         if Value.is_null node then raise Mm_intf.Out_of_memory;
         (* §3.1: raise the count before reading mm_next so the node
@@ -164,7 +193,7 @@ let alloc t ~tid =
         let nw =
           Value.pack_stamped ~stamp:(Value.stamped_stamp hv + 1) ~ptr:next
         in
-        if B.cas t.backend t.head ~old:hv ~nw then begin
+        if Hot.cas t.hot hw_head ~old:hv ~nw then begin
           Arena.faa_mm_ref t.arena node (-1);
           Mm_intf.Events.emit ~tid node Mm_intf.Events.Alloc;
           node
@@ -244,7 +273,7 @@ let free_set t =
           walk (Arena.read_mm_next t.arena p) (steps + 1)
         end
       in
-      walk (Value.stamped_ptr (B.read t.backend t.head)) 0);
+      walk (Value.stamped_ptr (Hot.read t.hot hw_head)) 0);
   seen
 
 let free_count t =
@@ -286,7 +315,7 @@ let custody t =
           end
         end
       in
-      walk (Value.stamped_ptr (B.read t.backend t.head)) 0);
+      walk (Value.stamped_ptr (Hot.read t.hot hw_head)) 0);
   Mm_intf.{ free; pending = []; pinned = []; violations = List.rev !violations }
 
 let validate t =

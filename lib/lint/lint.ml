@@ -171,9 +171,16 @@ let dir_of file = Filename.basename (Filename.dirname file)
 let primitives_ok = [ "atomics"; "shmem"; "core"; "lfrc"; "hazard"; "epoch"; "lockrc" ]
 let freestore_ok = [ "shmem"; "core"; "lfrc"; "hazard"; "epoch"; "lockrc" ]
 
+(* The raw unboxed word store is one tier below even the managers:
+   only the atomics layer itself, the arena/freestore facades and the
+   core scheme (whose cross-store fusions need the raw blocks) may
+   name it. The baseline managers address through Arena/Hot. *)
+let words_ok = [ "atomics"; "shmem"; "core" ]
+
 let restricted_module file comp =
   (comp = "Primitives" && not (List.mem (dir_of file) primitives_ok))
   || (comp = "Freestore" && not (List.mem (dir_of file) freestore_ok))
+  || (comp = "Words" && not (List.mem (dir_of file) words_ok))
 
 let check_lid add ~file lid (loc : Location.t) =
   List.iter

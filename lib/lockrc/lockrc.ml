@@ -15,6 +15,7 @@
 module P = Atomics.Primitives
 module B = Atomics.Backend
 module C = Atomics.Counters
+module Park = Atomics.Park
 module Value = Shmem.Value
 module Layout = Shmem.Layout
 module Arena = Shmem.Arena
@@ -26,6 +27,7 @@ type t = {
   arena : Arena.t;
   ctr : C.t;
   lock : P.cell;
+  park : Park.t; (* parking spot for lock waiters (Native only) *)
   free_head : P.cell;
   store : Freestore.t option; (* sharded Native free store (else legacy) *)
 }
@@ -42,7 +44,7 @@ let create (cfg : Mm_intf.config) =
     Layout.create ~num_links:cfg.num_links ~num_data:cfg.num_data
   in
   let arena =
-    Arena.create ~backend ~layout ~capacity:cfg.capacity
+    Arena.create ~backend ~rep:cfg.rep ~layout ~capacity:cfg.capacity
       ~num_roots:cfg.num_roots ()
   in
   for h = 1 to cfg.capacity do
@@ -55,8 +57,8 @@ let create (cfg : Mm_intf.config) =
   let store =
     if Mm_intf.sharded cfg then
       Some
-        (Freestore.create ~backend ~arena ~counters:ctr ~shards:cfg.shards
-           ~batch:cfg.batch ~threads:cfg.threads ())
+        (Freestore.create ~backend ~rep:cfg.rep ~arena ~counters:ctr
+           ~shards:cfg.shards ~batch:cfg.batch ~threads:cfg.threads ())
     else None
   in
   {
@@ -67,17 +69,33 @@ let create (cfg : Mm_intf.config) =
     (* every thread spins on the lock word; keep it and the free head
        on separate padded lines so the spin does not slow the holder *)
     lock = B.make_contended backend 0;
+    park = Park.create ();
     free_head =
       B.make_contended backend
         (if store = None then Value.of_handle 1 else Value.null);
     store;
   }
 
+(* Release the lock and deliver a wake to any parked waiter. Under
+   [Sim] nobody ever parks (the backoff arm is a scheduling point), so
+   the wake is a few process-local atomic ops and no counter moves. *)
+let unlock t ~tid =
+  B.write t.backend t.lock 0;
+  if Park.wake t.park then C.incr t.ctr ~tid Park_wake
+
 let with_lock t ~tid f =
-  let b = Atomics.Backoff.create ~backend:t.backend () in
+  (* Spin-then-park: once the exponential backoff saturates, the
+     waiter parks on the scheme's one parking spot; every [unlock]
+     wakes, which keeps the sleep sound (see Backoff.once_waiting). *)
+  let b =
+    Atomics.Backoff.create ~backend:t.backend ~park:t.park
+      ~on_park:(fun () -> C.incr t.ctr ~tid Park_wait)
+      ()
+  in
   let rec acquire () =
     if not (B.cas t.backend t.lock ~old:0 ~nw:1) then begin
-      Atomics.Backoff.once b;
+      Atomics.Backoff.once_waiting b ~ready:(fun () ->
+          B.read t.backend t.lock = 0);
       acquire ()
     end
   in
@@ -85,10 +103,10 @@ let with_lock t ~tid f =
   C.incr t.ctr ~tid Lock_acquire;
   match f () with
   | v ->
-      B.write t.backend t.lock 0;
+      unlock t ~tid;
       v
   | exception e ->
-      B.write t.backend t.lock 0;
+      unlock t ~tid;
       raise e
 
 let enter_op _t ~tid:_ = ()

@@ -1,36 +1,59 @@
 (* The simulated shared memory.
 
-   One flat array of atomic cells plays the role of the machine's
+   One flat store of atomic words plays the role of the machine's
    shared memory (paper §2). The first [num_roots] cells are "root
    links" — the global link variables a data structure needs (queue
    head/tail, skiplist head links, ...). Nodes follow, each occupying
-   [Layout.node_size] consecutive cells. Node handle [h] (1-based) maps
-   to base cell [num_roots + (h-1) * node_size].
+   a fixed block of cells. Node handle [h] (1-based) maps to base cell
+   [nodes_base + (h-1) * node_stride].
 
    Cells are never deallocated, so the [mm_ref] word of a reclaimed
    node remains readable and FAA-able forever — precisely the
    "indefinitely present mm_ref field" assumption of paper §3.
 
-   The arena stores its [Atomics.Backend.t] and dispatches every word
-   operation through it: under [Sim] each primitive crosses one
-   scheduling point (the deterministic scheduler's granularity); under
-   [Native] it is a direct [Atomic] operation with zero hook dispatch.
-   A [Native] arena additionally pads the contention hot spots — the
-   root links and each node's [mm_ref]/[mm_next] header words — to a
-   cache-line pair each, and allocates every node's block of cells in
-   one batch so a node's words are heap-adjacent (allocation order is
-   address order on the minor heap), instead of interleaving all cells
-   through one [Array.init] closure. *)
+   The arena is a facade over two concrete representations:
+
+   - [Cells]: the historical dense [int Atomic.t] array. Under [Sim]
+     every word operation crosses one scheduling point through the
+     instrumented {!Atomics.Primitives} (the deterministic scheduler's
+     granularity) — byte-for-byte the original behaviour, oracle hooks
+     intact. Under [Native]+[Boxed] it is direct [Atomic] ops with the
+     contention hot spots (roots, [mm_ref]/[mm_next]) padded to a
+     cache-line pair each.
+
+   - [Raw]: a single page-aligned out-of-heap {!Atomics.Words} block
+     ([Native]+[Unboxed], the Native default). No box per cell, no GC
+     traffic, stable addresses; C stubs compile each access to one
+     [__atomic] SEQ_CST instruction. The padding discipline carries
+     over physically: every root and every node's [mm_ref]/[mm_next]
+     sit on their own cache-line pair, with the node's link and data
+     words packed contiguously after the header.
+
+   The two representations have different *physical* geometries, so
+   all addressing goes through the geometry fields below; [Value.addr]
+   values from one arena are meaningless in another (they always
+   were — each arena also claims its own global address window). *)
 
 module P = Atomics.Primitives
 module Backend = Atomics.Backend
+module Words = Atomics.Words
+
+type store = Cells of P.cell array | Raw of Words.t
 
 type t = {
   backend : Backend.t;
+  rep : Backend.rep;
   layout : Layout.t;
   capacity : int;
   num_roots : int;
-  cells : P.cell array;
+  store : store;
+  (* Physical geometry: where things live inside the store. *)
+  root_stride : int; (* words per root slot *)
+  nodes_base : int; (* physical address of node 1 *)
+  node_stride : int; (* words per node block *)
+  next_off : int; (* mm_next's offset inside a node block *)
+  body_off : int; (* link 0's offset inside a node block *)
+  size : int; (* total physical words *)
   base : int; (* global address of cell 0, see [next_base] *)
 }
 
@@ -44,18 +67,38 @@ type t = {
    affect behaviour. *)
 let next_base = Atomic.make 0
 
-let create ?(backend = Backend.Sim) ~layout ~capacity ~num_roots () =
+let line = Backend.cache_line_words
+let round_up_line n = (n + line - 1) / line * line
+
+let create ?(backend = Backend.Sim) ?rep ~layout ~capacity ~num_roots () =
   if capacity < 1 then invalid_arg "Arena.create: capacity";
   if num_roots < 0 then invalid_arg "Arena.create: num_roots";
+  let rep =
+    match rep with Some r -> r | None -> Backend.default_rep backend
+  in
+  if backend = Backend.Sim && rep = Backend.Unboxed then
+    invalid_arg "Arena.create: Sim is boxed-only";
   let node_size = Layout.node_size layout in
-  let size = num_roots + (capacity * node_size) in
-  let cells =
-    match backend with
-    | Backend.Sim ->
+  let root_stride, nodes_base, node_stride, next_off, body_off =
+    match rep with
+    | Backend.Boxed ->
+        (1, num_roots, node_size, Layout.mm_next_offset, Layout.header_size)
+    | Backend.Unboxed ->
+        (* Padded physical layout: each root and each node's two header
+           words get a cache-line pair; the body is packed after. *)
+        let body = node_size - Layout.header_size in
+        (line, num_roots * line, round_up_line ((2 * line) + body), line,
+         2 * line)
+  in
+  let size = nodes_base + (capacity * node_stride) in
+  let store =
+    match (backend, rep) with
+    | _, Backend.Unboxed -> Raw (Words.make size)
+    | Backend.Sim, Backend.Boxed ->
         (* Deterministic simulation: no cache to manage, keep cells
            dense. *)
-        Array.init size (fun _ -> P.make 0)
-    | Backend.Native ->
+        Cells (Array.init size (fun _ -> P.make 0))
+    | Backend.Native, Backend.Boxed ->
         let cells = Array.make size (Atomic.make 0) in
         for r = 0 to num_roots - 1 do
           cells.(r) <- Backend.make_contended backend 0
@@ -72,86 +115,133 @@ let create ?(backend = Backend.Sim) ~layout ~capacity ~num_roots () =
             cells.(base + off) <- Atomic.make 0
           done
         done;
-        cells
+        Cells cells
   in
   let base = Atomic.fetch_and_add next_base size in
-  { backend; layout; capacity; num_roots; cells; base }
+  {
+    backend;
+    rep;
+    layout;
+    capacity;
+    num_roots;
+    store;
+    root_stride;
+    nodes_base;
+    node_stride;
+    next_off;
+    body_off;
+    size;
+    base;
+  }
 
 let backend t = t.backend
+let rep t = t.rep
 let layout t = t.layout
 let capacity t = t.capacity
 let num_roots t = t.num_roots
-let num_cells t = Array.length t.cells
+
+(* Logical cell count (roots + capacity * node_size), independent of
+   the physical padding — what the Sim-side analyzers iterate over. *)
+let num_cells t = t.num_roots + (t.capacity * Layout.node_size t.layout)
 let addr_base t = t.base
 
 (* Addressing ------------------------------------------------------- *)
 
 let root_addr t r =
   if r < 0 || r >= t.num_roots then invalid_arg "Arena.root_addr";
-  r
+  r * t.root_stride
 
 let check_handle t h =
   if h < 1 || h > t.capacity then invalid_arg "Arena.check_handle"
 
 let node_base t h =
   check_handle t h;
-  t.num_roots + ((h - 1) * Layout.node_size t.layout)
+  t.nodes_base + ((h - 1) * t.node_stride)
 
-let mm_ref_addr t p = node_base t (Value.handle p) + Layout.mm_ref_offset
-let mm_next_addr t p = node_base t (Value.handle p) + Layout.mm_next_offset
+let mm_ref_addr t p = node_base t (Value.handle p)
+let mm_next_addr t p = node_base t (Value.handle p) + t.next_off
 
 let link_addr t p i =
-  node_base t (Value.handle p) + Layout.link_offset t.layout i
+  let logical = Layout.link_offset t.layout i in
+  node_base t (Value.handle p) + t.body_off + (logical - Layout.header_size)
 
 let data_addr t p j =
-  node_base t (Value.handle p) + Layout.data_offset t.layout j
+  let logical = Layout.data_offset t.layout j in
+  node_base t (Value.handle p) + t.body_off + (logical - Layout.header_size)
 
 (* [owner_of addr] inverts the mapping: which node (if any) contains
-   this cell, and at which offset. Used by invariant checkers. *)
+   this cell, and at which *logical* offset (0 = [mm_ref], 1 =
+   [mm_next], then links and data) — uniform across representations.
+   Padding words have no owner and are rejected. Used by invariant
+   checkers. *)
 let owner_of t addr =
-  if addr < 0 || addr >= Array.length t.cells then
-    invalid_arg "Arena.owner_of"
-  else if addr < t.num_roots then `Root addr
-  else
-    let off = addr - t.num_roots in
-    let size = Layout.node_size t.layout in
-    `Node (1 + (off / size), off mod size)
+  if addr < 0 || addr >= t.size then invalid_arg "Arena.owner_of"
+  else if addr < t.nodes_base then
+    if addr mod t.root_stride = 0 then `Root (addr / t.root_stride)
+    else invalid_arg "Arena.owner_of: padding word"
+  else begin
+    let off = addr - t.nodes_base in
+    let h = 1 + (off / t.node_stride) in
+    let w = off mod t.node_stride in
+    if w = 0 then `Node (h, Layout.mm_ref_offset)
+    else if w = t.next_off then `Node (h, Layout.mm_next_offset)
+    else if
+      w >= t.body_off
+      && w < t.body_off + Layout.node_size t.layout - Layout.header_size
+    then `Node (h, Layout.header_size + (w - t.body_off))
+    else invalid_arg "Arena.owner_of: padding word"
+  end
 
-(* Word operations: dispatched on the stored backend ---------------
+(* Word operations: dispatched on the stored representation ---------
 
    The [Sim] arm uses the instrumented primitives so the scheduling
    crossing carries this cell's global address and access kind —
    scheduling behaviour is identical to the plain primitives (one
    crossing per operation), and with no validator installed the
-   metadata costs one no-op call. [Native] stays a direct [Atomic]
-   operation: no hook, no validator, no metadata. *)
-
-let cell t addr = t.cells.(addr)
+   metadata costs one no-op call. [Native]+[Boxed] stays a direct
+   [Atomic] operation: no hook, no validator, no metadata. [Raw] is
+   one C stub call per access — a single [__atomic] instruction on the
+   out-of-heap block. *)
 
 let read t addr =
-  match t.backend with
-  | Backend.Sim -> P.read_at ~addr:(t.base + addr) t.cells.(addr)
-  | Backend.Native -> Atomic.get t.cells.(addr)
+  match t.store with
+  | Raw w -> Words.get w addr
+  | Cells cells -> (
+      match t.backend with
+      | Backend.Sim -> P.read_at ~addr:(t.base + addr) cells.(addr)
+      | Backend.Native -> Atomic.get cells.(addr))
 
 let write t addr v =
-  match t.backend with
-  | Backend.Sim -> P.write_at ~addr:(t.base + addr) t.cells.(addr) v
-  | Backend.Native -> Atomic.set t.cells.(addr) v
+  match t.store with
+  | Raw w -> Words.set w addr v
+  | Cells cells -> (
+      match t.backend with
+      | Backend.Sim -> P.write_at ~addr:(t.base + addr) cells.(addr) v
+      | Backend.Native -> Atomic.set cells.(addr) v)
 
 let cas t addr ~old ~nw =
-  match t.backend with
-  | Backend.Sim -> P.cas_at ~addr:(t.base + addr) t.cells.(addr) ~old ~nw
-  | Backend.Native -> Atomic.compare_and_set t.cells.(addr) old nw
+  match t.store with
+  | Raw w -> Words.cas w addr ~old ~nw
+  | Cells cells -> (
+      match t.backend with
+      | Backend.Sim -> P.cas_at ~addr:(t.base + addr) cells.(addr) ~old ~nw
+      | Backend.Native -> Atomic.compare_and_set cells.(addr) old nw)
 
 let faa t addr delta =
-  match t.backend with
-  | Backend.Sim -> P.faa_at ~addr:(t.base + addr) t.cells.(addr) delta
-  | Backend.Native -> Atomic.fetch_and_add t.cells.(addr) delta
+  match t.store with
+  | Raw w -> Words.faa w addr delta
+  | Cells cells -> (
+      match t.backend with
+      | Backend.Sim -> P.faa_at ~addr:(t.base + addr) cells.(addr) delta
+      | Backend.Native -> Atomic.fetch_and_add cells.(addr) delta)
 
 let swap t addr v =
-  match t.backend with
-  | Backend.Sim -> P.swap_at ~addr:(t.base + addr) t.cells.(addr) v
-  | Backend.Native -> Atomic.exchange t.cells.(addr) v
+  match t.store with
+  | Raw w -> Words.swap w addr v
+  | Cells cells -> (
+      match t.backend with
+      | Backend.Sim -> P.swap_at ~addr:(t.base + addr) cells.(addr) v
+      | Backend.Native -> Atomic.exchange cells.(addr) v)
 
 (* mm-field conveniences (all atomic word ops on the cells above). *)
 
@@ -166,6 +256,64 @@ let write_link t p i v = write t (link_addr t p i) v
 let read_data t p j = read t (data_addr t p j)
 let write_data t p j v = write t (data_addr t p j) v
 
+(* Fused reference-count fragments. The [Raw] arms collapse the
+   sequence into one stub crossing; the [Cells] arms execute the same
+   ops through the per-word entry points — under [Sim] that means the
+   same scheduling points in the same order as ever. *)
+
+(* ReleaseRef R1-R2: drop a reference; true iff the count hit zero and
+   this caller claimed the node with the CAS(0 -> 1). *)
+let release_mm_ref t p =
+  match t.store with
+  | Raw w -> Words.release_ref w (mm_ref_addr t p)
+  | Cells _ ->
+      faa_mm_ref t p (-2);
+      read_mm_ref t p = 0 && cas_mm_ref t p ~old:0 ~nw:1
+
+(* R3's per-link collect: read the link word and clear it. Only valid
+   while the caller owns the node exclusively (post-R2). *)
+let read_clear_link t p i =
+  match t.store with
+  | Raw w -> Words.read_clear w (link_addr t p i)
+  | Cells _ ->
+      let v = read_link t p i in
+      write_link t p i 0;
+      v
+
+(* R1-R3 whole: release, and when this caller claimed the node,
+   read-and-clear every link word, depositing the non-null values in
+   slot order into [out] (length >= num_links). Returns the deposit
+   count, or -1 when not claimed. One stub crossing under [Raw] — the
+   node's links are physically contiguous from [body_off]. *)
+let release_collect t p ~out =
+  let nl = Layout.num_links t.layout in
+  match t.store with
+  | Raw w ->
+      let nb = node_base t (Value.handle p) in
+      Words.release_collect w ~ref_addr:nb ~links:(nb + t.body_off) ~nl ~out
+  | Cells _ ->
+      if release_mm_ref t p then begin
+        let count = ref 0 in
+        for i = 0 to nl - 1 do
+          let v = read_link t p i in
+          write_link t p i 0;
+          if not (Value.is_null v) then begin
+            out.(!count) <- v;
+            incr count
+          end
+        done;
+        !count
+      end
+      else -1
+
+(* The raw word block (unboxed rep only) and the physical node
+   geometry, for fusions that span the arena and a manager's hot
+   vector (see {!Atomics.Words.take_fix}/[free_donate]). Addressing
+   uses the same physical [Value.addr] values as [read]/[write]
+   above. *)
+let raw t = match t.store with Raw w -> Some w | Cells _ -> None
+let node_geom t = [| t.nodes_base; t.node_stride |]
+
 (* Iteration and debug ---------------------------------------------- *)
 
 let iter_nodes t f =
@@ -175,11 +323,8 @@ let iter_nodes t f =
 
 let dump_node ppf t p =
   let h = Value.handle p in
-  let base = node_base t h in
-  Fmt.pf ppf "node #%d: ref=%d next=%a" h
-    (read t (base + Layout.mm_ref_offset))
-    Value.pp_ptr
-    (read t (base + Layout.mm_next_offset));
+  Fmt.pf ppf "node #%d: ref=%d next=%a" h (read_mm_ref t p) Value.pp_ptr
+    (read_mm_next t p);
   for i = 0 to Layout.num_links t.layout - 1 do
     Fmt.pf ppf " l%d=%a" i Value.pp_word (read_link t p i)
   done;

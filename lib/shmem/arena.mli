@@ -1,14 +1,17 @@
-(** The simulated shared memory: a flat array of atomic cells holding
-    root links followed by fixed-size node blocks.
+(** The simulated shared memory: root link cells followed by
+    fixed-size node blocks, behind a backend- and representation-
+    dispatched facade.
 
     Cells live for the lifetime of the arena, so the [mm_ref] word of
     a reclaimed node stays accessible — the paper's §3 assumption. All
-    word operations are atomic and cross one scheduling point each. *)
+    word operations are atomic; under [Sim] each crosses one
+    scheduling point. *)
 
 type t
 
 val create :
   ?backend:Atomics.Backend.t ->
+  ?rep:Atomics.Backend.rep ->
   layout:Layout.t ->
   capacity:int ->
   num_roots:int ->
@@ -20,16 +23,26 @@ val create :
 
     [backend] (default [Sim]) selects the word-operation cost model:
     [Sim] crosses one {!Atomics.Schedpoint} per primitive (the
-    deterministic scheduler's granularity); [Native] is hook-free
-    direct [Atomic] ops, with root links and each node's
-    [mm_ref]/[mm_next] padded to a cache-line pair and node blocks
-    allocated in one batch. *)
+    deterministic scheduler's granularity); [Native] is hook-free.
+
+    [rep] (default {!Atomics.Backend.default_rep}) selects the store:
+    [Boxed] is the dense [int Atomic.t] array (under [Native], roots
+    and each node's [mm_ref]/[mm_next] padded to a cache-line pair and
+    node blocks allocated in one batch); [Unboxed] ([Native] only) is
+    a single page-aligned out-of-heap {!Atomics.Words} block with the
+    same padding discipline laid out physically. The two reps have
+    different physical geometries — always address through the
+    functions below. *)
 
 val backend : t -> Atomics.Backend.t
+val rep : t -> Atomics.Backend.rep
 val layout : t -> Layout.t
 val capacity : t -> int
 val num_roots : t -> int
+
 val num_cells : t -> int
+(** Logical cell count, [num_roots + capacity * node_size] —
+    independent of physical padding. *)
 
 val addr_base : t -> int
 (** Global address of this arena's cell 0. Each arena claims a
@@ -39,7 +52,10 @@ val addr_base : t -> int
     receives. Under [Sim] every word operation reports
     [addr_base + local addr]; [Native] reports nothing. *)
 
-(** {1 Addressing} *)
+(** {1 Addressing}
+
+    All functions return {e physical} addresses valid only for this
+    arena's representation. *)
 
 val root_addr : t -> int -> Value.addr
 val node_base : t -> int -> Value.addr
@@ -49,11 +65,13 @@ val link_addr : t -> Value.ptr -> int -> Value.addr
 val data_addr : t -> Value.ptr -> int -> Value.addr
 
 val owner_of : t -> Value.addr -> [ `Root of int | `Node of int * int ]
-(** Inverse mapping: root index, or (node handle, cell offset). *)
+(** Inverse mapping: root index, or (node handle, {e logical} cell
+    offset: 0 = [mm_ref], 1 = [mm_next], then links and data) —
+    uniform across representations. Rejects out-of-range addresses and
+    ([Unboxed]) padding words. *)
 
 (** {1 Atomic word operations (paper Figure 2)} *)
 
-val cell : t -> Value.addr -> Atomics.Primitives.cell
 val read : t -> Value.addr -> int
 val write : t -> Value.addr -> int -> unit
 val cas : t -> Value.addr -> old:int -> nw:int -> bool
@@ -71,6 +89,38 @@ val read_link : t -> Value.ptr -> int -> int
 val write_link : t -> Value.ptr -> int -> int -> unit
 val read_data : t -> Value.ptr -> int -> int
 val write_data : t -> Value.ptr -> int -> int -> unit
+
+(** {1 Fused reference-count fragments}
+
+    One stub crossing under [Unboxed]; the boxed arms issue the same
+    per-word ops individually (one scheduling point each under
+    [Sim]). *)
+
+val release_mm_ref : t -> Value.ptr -> bool
+(** ReleaseRef R1–R2: FAA the node's [mm_ref] by [-2]; true iff it
+    then read 0 and this caller claimed it with CAS(0 → 1). *)
+
+val read_clear_link : t -> Value.ptr -> int -> int
+(** R3's per-link collect: read link [i] and store 0. Caller must own
+    the node exclusively (post-R2). *)
+
+val release_collect : t -> Value.ptr -> out:int array -> int
+(** R1–R3 whole: {!release_mm_ref}, and if the node was claimed,
+    read-and-clear every link word, depositing the non-null values in
+    slot order into [out] (length ≥ the layout's [num_links]).
+    Returns the deposit count, or [-1] when not claimed. *)
+
+val raw : t -> Atomics.Words.t option
+(** The backing {!Atomics.Words} block ([Unboxed] only) — for fusions
+    spanning the arena and a hot vector (see
+    {!Atomics.Words.take_fix} and {!Atomics.Words.free_donate}).
+    Address it with the {e physical} addresses from the addressing
+    section above. *)
+
+val node_geom : t -> int array
+(** [[| nodes_base; node_stride |]] — the physical node geometry the
+    cross-store fusion stubs need ([mm_ref] is word 0 of a node
+    block). *)
 
 (** {1 Iteration and debugging} *)
 

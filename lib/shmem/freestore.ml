@@ -17,6 +17,11 @@
      cross-domain frees do not CAS-hammer a remote head;
    - an empty home stripe steals round-robin from the other stripes.
 
+   The stripe heads, return-buffer slots and producer cursors all live
+   on one {!Atomics.Hot} vector, so under the [Unboxed] representation
+   they share the arena's raw-word regime: no boxes, no GC traffic,
+   each word on its own cache-line pair.
+
    ABA safety: every successful head CAS increments the stamp, so a
    successful batch pop (read head, walk [batch] nodes, CAS the head
    past the cut point) proves the list head was untouched for the
@@ -30,13 +35,21 @@
    still land on a cached node, so a plain store would be lost-update
    racy — the managers own that protocol, not the store).
 
+   Parking: a thread that finds the whole store empty can register on
+   the store's {!Atomics.Park} spot ({!wait_free}) instead of
+   spinning; every push that makes nodes *visible* (a chain push or a
+   return-buffer install — cache-local frees are invisible by design)
+   wakes the parkers. Parks are timed: nodes parked in other threads'
+   caches generate no wake, so the waiter re-polls.
+
    The [Sim] backend never constructs one of these: sharding is a
    Native-only path, keeping the deterministic scheduler's and
    lincheck's per-primitive schedules byte-for-byte unchanged. *)
 
-module P = Atomics.Primitives
 module B = Atomics.Backend
 module C = Atomics.Counters
+module Hot = Atomics.Hot
+module Park = Atomics.Park
 
 type cache = {
   slots : int array; (* Value.ptr; length 2*batch; thread-local *)
@@ -50,24 +63,32 @@ type t = {
   shards : int;
   batch : int;
   threads : int;
+  rbuf_size : int;
   ctr : C.t;
-  heads : P.cell array; (* stamped stripe heads, one padded cell each *)
-  rbuf : P.cell array array; (* [shards][rbuf_size] return slots; 0 = empty *)
-  rtail : P.cell array; (* producer cursors (FAA), one per stripe *)
+  hot : Hot.t; (* stamped stripe heads, return slots, producer cursors *)
   caches : cache array; (* [threads] *)
+  park : Park.t; (* woken by every visible push; see [wait_free] *)
 }
 
 let shards t = t.shards
 let batch t = t.batch
+
+(* Hot-vector slot map: stripe [s]'s head at [s], its producer cursor
+   at [shards + s], return slot [i] of stripe [s] at
+   [2*shards + s*rbuf_size + i]. *)
+let hw_head s = s
+let hw_rtail t s = t.shards + s
+let hw_rbuf t s i = (2 * t.shards) + (s * t.rbuf_size) + i
 
 (* Stripes partition the handle range contiguously, so a node's home
    stripe is a pure function of its handle. *)
 let stripe_of t p = (Value.handle p - 1) * t.shards / t.capacity
 let home_of t ~tid = tid mod t.shards
 
-let create ~backend ~arena ~counters ~shards ~batch ~threads () =
+let create ~backend ?rep ~arena ~counters ~shards ~batch ~threads () =
   if shards < 1 then invalid_arg "Freestore.create: shards";
   if batch < 1 then invalid_arg "Freestore.create: batch";
+  let rep = match rep with Some r -> r | None -> B.default_rep backend in
   let capacity = Arena.capacity arena in
   if shards > capacity then invalid_arg "Freestore.create: shards > capacity";
   (* Chain each stripe's handle range, low handle first. *)
@@ -79,6 +100,12 @@ let create ~backend ~arena ~counters ~shards ~batch ~threads () =
     firsts.(s) <- p
   done;
   let rbuf_size = max 4 (2 * batch) in
+  let hot =
+    Hot.create ~backend ~rep
+      ((2 * shards) + (shards * rbuf_size))
+      ~init:(fun i ->
+        if i < shards then Value.pack_stamped ~stamp:0 ~ptr:firsts.(i) else 0)
+  in
   {
     backend;
     arena;
@@ -86,34 +113,35 @@ let create ~backend ~arena ~counters ~shards ~batch ~threads () =
     shards;
     batch;
     threads;
+    rbuf_size;
     ctr = counters;
-    heads =
-      Array.init shards (fun s ->
-          B.make_contended backend
-            (Value.pack_stamped ~stamp:0 ~ptr:firsts.(s)));
-    rbuf =
-      Array.init shards (fun _ ->
-          Array.init rbuf_size (fun _ -> B.make_contended backend 0));
-    rtail = Array.init shards (fun _ -> B.make_contended backend 0);
+    hot;
     caches =
       Array.init threads (fun _ ->
           { slots = Array.make (2 * batch) Value.null; len = 0 });
+    park = Park.create ();
   }
+
+(* Every push that makes nodes visible to other threads wakes the
+   store's parkers. Cache-local frees never wake — they are invisible
+   until spilled, which routes through here. *)
+let wake t ~tid = if Park.wake t.park then C.incr t.ctr ~tid Park_wake
 
 (* Push a privately-owned chain [first .. last] onto stripe [s]. *)
 let push_chain t ~tid s ~first ~last =
   let rec go () =
-    let hv = B.read t.backend t.heads.(s) in
+    let hv = Hot.read t.hot (hw_head s) in
     Arena.write_mm_next t.arena last (Value.stamped_ptr hv);
     let nw =
       Value.pack_stamped ~stamp:(Value.stamped_stamp hv + 1) ~ptr:first
     in
-    if not (B.cas t.backend t.heads.(s) ~old:hv ~nw) then begin
+    if not (Hot.cas t.hot (hw_head s) ~old:hv ~nw) then begin
       C.incr t.ctr ~tid Free_retry;
       go ()
     end
   in
-  go ()
+  go ();
+  wake t ~tid
 
 (* Pop up to [max] nodes from stripe [s] as one chain cut. Returns the
    chain's first node and its length (null, 0 when the stripe is
@@ -121,7 +149,7 @@ let push_chain t ~tid s ~first ~last =
    under us, but it is bounded by [max] and the CAS then fails. *)
 let pop_chain t ~tid s ~max =
   let rec go () =
-    let hv = B.read t.backend t.heads.(s) in
+    let hv = Hot.read t.hot (hw_head s) in
     let first = Value.stamped_ptr hv in
     if Value.is_null first then (Value.null, 0)
     else begin
@@ -139,7 +167,7 @@ let pop_chain t ~tid s ~max =
       let nw =
         Value.pack_stamped ~stamp:(Value.stamped_stamp hv + 1) ~ptr:next_head
       in
-      if B.cas t.backend t.heads.(s) ~old:hv ~nw then (first, !n)
+      if Hot.cas t.hot (hw_head s) ~old:hv ~nw then (first, !n)
       else begin
         C.incr t.ctr ~tid Alloc_retry;
         go ()
@@ -154,10 +182,9 @@ let pop_chain t ~tid s ~max =
    nodes are never parked outside a stripe, a cache or a slot. *)
 let push_remote t ~tid s node =
   C.incr t.ctr ~tid Free_remote;
-  let buf = t.rbuf.(s) in
-  let i = B.faa t.backend t.rtail.(s) 1 mod Array.length buf in
-  if not (B.cas t.backend buf.(i) ~old:0 ~nw:node) then
-    push_chain t ~tid s ~first:node ~last:node
+  let i = Hot.faa t.hot (hw_rtail t s) 1 mod t.rbuf_size in
+  if Hot.cas t.hot (hw_rbuf t s i) ~old:0 ~nw:node then wake t ~tid
+  else push_chain t ~tid s ~first:node ~last:node
 
 (* Drain stripe [s]'s return buffer into this thread's cache; anything
    beyond the cache's space is re-chained onto the stripe head. Safe
@@ -165,20 +192,19 @@ let push_remote t ~tid s node =
 let drain_rbuf t ~tid s =
   let c = t.caches.(tid) in
   let over_first = ref Value.null and over_last = ref Value.null in
-  Array.iter
-    (fun cell ->
-      let v = B.swap t.backend cell 0 in
-      if v <> 0 then
-        if c.len < Array.length c.slots then begin
-          c.slots.(c.len) <- v;
-          c.len <- c.len + 1
-        end
-        else begin
-          Arena.write_mm_next t.arena v !over_first;
-          if Value.is_null !over_first then over_last := v;
-          over_first := v
-        end)
-    t.rbuf.(s);
+  for i = 0 to t.rbuf_size - 1 do
+    let v = Hot.swap t.hot (hw_rbuf t s i) 0 in
+    if v <> 0 then
+      if c.len < Array.length c.slots then begin
+        c.slots.(c.len) <- v;
+        c.len <- c.len + 1
+      end
+      else begin
+        Arena.write_mm_next t.arena v !over_first;
+        if Value.is_null !over_first then over_last := v;
+        over_first := v
+      end
+  done;
   if not (Value.is_null !over_first) then
     push_chain t ~tid s ~first:!over_first ~last:!over_last
 
@@ -245,16 +271,45 @@ let free t ~tid node =
       push_chain t ~tid home ~first:!hfirst ~last:!hlast
   end
 
+(* Parking --------------------------------------------------------- *)
+
+(* Any node visible outside a thread cache: a non-null stripe head or
+   an occupied return slot. *)
+let any_visible t =
+  let rec heads s =
+    s < t.shards
+    && ((not (Value.is_null (Value.stamped_ptr (Hot.read t.hot (hw_head s)))))
+       || heads (s + 1))
+  in
+  let rec bufs s i =
+    s < t.shards
+    && (if i < t.rbuf_size then
+          Hot.read t.hot (hw_rbuf t s i) <> 0 || bufs s (i + 1)
+        else bufs (s + 1) 0)
+  in
+  heads 0 || bufs 0 0
+
+let wait_free t ~tid ~timeout_ns =
+  let gen = Park.prepare t.park in
+  if any_visible t then Park.cancel t.park
+  else begin
+    C.incr t.ctr ~tid Park_wait;
+    Park.park t.park ~gen ~timeout_ns
+  end
+
+let waiters t = Park.waiters t.park
+
 (* Quiescent inspection. *)
 
 let cached t ~tid = t.caches.(tid).len
 
 let buffered t =
   let n = ref 0 in
-  Array.iter
-    (fun buf ->
-      Array.iter (fun cell -> if B.read t.backend cell <> 0 then incr n) buf)
-    t.rbuf;
+  for s = 0 to t.shards - 1 do
+    for i = 0 to t.rbuf_size - 1 do
+      if Hot.read t.hot (hw_rbuf t s i) <> 0 then incr n
+    done
+  done;
   !n
 
 let iter_free t ~violation ~f =
@@ -267,16 +322,14 @@ let iter_free t ~violation ~f =
         walk (Arena.read_mm_next t.arena p) (steps + 1)
       end
     in
-    walk (Value.stamped_ptr (B.read t.backend t.heads.(s))) 0
+    walk (Value.stamped_ptr (Hot.read t.hot (hw_head s))) 0
   done;
-  Array.iter
-    (fun buf ->
-      Array.iter
-        (fun cell ->
-          let v = B.read t.backend cell in
-          if v <> 0 then f v)
-        buf)
-    t.rbuf;
+  for s = 0 to t.shards - 1 do
+    for i = 0 to t.rbuf_size - 1 do
+      let v = Hot.read t.hot (hw_rbuf t s i) in
+      if v <> 0 then f v
+    done
+  done;
   Array.iter
     (fun c ->
       for i = 0 to c.len - 1 do

@@ -11,6 +11,7 @@ type t
 
 val create :
   backend:Atomics.Backend.t ->
+  ?rep:Atomics.Backend.rep ->
   arena:Arena.t ->
   counters:Atomics.Counters.t ->
   shards:int ->
@@ -21,9 +22,13 @@ val create :
 (** Builds the store over [arena] with every node free: the handle
     range is split into [shards] contiguous stripes and chained. The
     caller's prior free-list initialisation of [mm_next] is
-    overwritten; [mm_ref] words are untouched. Counter events
+    overwritten; [mm_ref] words are untouched. [rep] (default
+    {!Atomics.Backend.default_rep}) picks where the stripe heads,
+    return slots and cursors live: padded boxed cells, or one raw
+    {!Atomics.Hot} word block. Counter events
     ([Cache_refill]/[Cache_spill]/[Free_remote]/[Steal], plus
-    [Alloc_retry]/[Free_retry] on head-CAS failures) are recorded in
+    [Alloc_retry]/[Free_retry] on head-CAS failures and
+    [Park_wait]/[Park_wake] around {!wait_free}) are recorded in
     [counters]. *)
 
 val shards : t -> int
@@ -39,6 +44,20 @@ val free : t -> tid:int -> Value.ptr -> unit
 (** Return a privately-owned node (its [mm_next] is overwritten). On
     cache overflow, [batch] nodes are spilled: home nodes as one
     chain-push, others through their stripe's return buffer. *)
+
+(** {1 Parking} *)
+
+val wait_free : t -> tid:int -> timeout_ns:int -> unit
+(** Park until some thread publishes free nodes (a stripe-head push or
+    return-slot install — the wakes ride on those operations), the
+    timeout elapses, or nodes were already visible (returns at once).
+    Callers must re-poll {!alloc} on return: nodes parked in other
+    threads' caches are invisible and generate no wake, so use a
+    finite timeout. [alloc] itself never blocks. *)
+
+val waiters : t -> int
+(** Threads currently registered on the store's parking spot
+    (approximate under concurrency; for tests). *)
 
 (** {1 Quiescent inspection} *)
 

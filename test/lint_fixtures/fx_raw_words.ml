@@ -1,0 +1,8 @@
+(* Fixture: client code poking the raw unboxed word store directly
+   instead of addressing through Arena/Hot (or, above that, Mm_intf).
+   Expected: [raw-primitives] violations. *)
+
+module W = Atomics.Words
+
+let sneak w = W.set w 0 42
+let peek w = Atomics.Words.get w 0

@@ -149,4 +149,108 @@ let backoff_tests =
         check_int "one yield, no spin" 1 !hits);
   ]
 
-let suite = primitives_tests @ schedpoint_tests @ counters_tests @ backoff_tests
+(* Park/unpark eventcount: the prepare/re-check/park discipline, the
+   waiter accounting wake relies on for Park_wake counting, and an
+   actual cross-domain sleep/wake round trip. *)
+module Park = Atomics.Park
+
+let park_tests =
+  [
+    tc "wake with no waiters is cheap and false" (fun () ->
+        let p = Park.create () in
+        check_int "no waiters" 0 (Park.waiters p);
+        check_bool "nothing woken" false (Park.wake p));
+    tc "prepare registers, cancel deregisters" (fun () ->
+        let p = Park.create () in
+        let _gen = Park.prepare p in
+        check_int "registered" 1 (Park.waiters p);
+        Park.cancel p;
+        check_int "deregistered" 0 (Park.waiters p));
+    tc "wake reports a registered parker" (fun () ->
+        let p = Park.create () in
+        let gen = Park.prepare p in
+        check_bool "parker seen" true (Park.wake p);
+        (* generation already moved past [gen]: park returns at once *)
+        Park.park p ~gen ~timeout_ns:(-1);
+        check_int "deregistered on return" 0 (Park.waiters p));
+    tc "timed park returns on timeout" (fun () ->
+        let p = Park.create () in
+        let gen = Park.prepare p in
+        (* nobody will ever wake: only the timeout lets this return *)
+        Park.park p ~gen ~timeout_ns:5_000_000 (* 5ms *);
+        check_int "deregistered" 0 (Park.waiters p));
+    tc "cross-domain wake ends an untimed park" (fun () ->
+        let p = Park.create () in
+        let woken = Atomic.make false in
+        let d =
+          Domain.spawn (fun () ->
+              let gen = Park.prepare p in
+              Park.park p ~gen ~timeout_ns:(-1);
+              Atomic.set woken true)
+        in
+        (* wait until the parker is registered, then wake it *)
+        while Park.waiters p = 0 do
+          Domain.cpu_relax ()
+        done;
+        while not (Park.wake p) && not (Atomic.get woken) do
+          Domain.cpu_relax ()
+        done;
+        Domain.join d;
+        check_bool "parker resumed" true (Atomic.get woken));
+  ]
+
+let once_waiting_tests =
+  [
+    tc "sim: once_waiting is exactly once — ready never consulted" (fun () ->
+        let hits = ref 0 in
+        Atomics.Schedpoint.with_hook
+          (fun () -> incr hits)
+          (fun () ->
+            let b = Atomics.Backoff.create ~min:2 ~max:8 () in
+            Atomics.Backoff.once_waiting b ~ready:(fun () ->
+                Alcotest.fail "ready consulted under Sim"));
+        check_int "one scheduling point" 1 !hits);
+    tc "native without a park spot never blocks" (fun () ->
+        let b =
+          Atomics.Backoff.create ~backend:Atomics.Backend.Native ~min:1 ~max:2
+            ()
+        in
+        (* saturate the budget, then keep going: must stay a spin *)
+        for _ = 1 to 10 do
+          Atomics.Backoff.once_waiting b ~ready:(fun () -> false)
+        done);
+    tc "native with a park spot sleeps only when not ready" (fun () ->
+        let p = Park.create () in
+        let parks = ref 0 in
+        let b =
+          Atomics.Backoff.create ~backend:Atomics.Backend.Native ~min:1 ~max:2
+            ~park:p
+            ~on_park:(fun () -> incr parks)
+            ()
+        in
+        (* ready re-check true: registers, re-checks, cancels — no sleep *)
+        for _ = 1 to 10 do
+          Atomics.Backoff.once_waiting b ~ready:(fun () -> true)
+        done;
+        check_int "never slept" 0 !parks;
+        check_int "no waiter left behind" 0 (Park.waiters p);
+        (* not ready: a remote domain publishes and wakes *)
+        let stop = Atomic.make false in
+        let waker =
+          Domain.spawn (fun () ->
+              while not (Atomic.get stop) do
+                ignore (Park.wake p);
+                Domain.cpu_relax ()
+              done)
+        in
+        for _ = 1 to 10 do
+          Atomics.Backoff.once_waiting b ~ready:(fun () -> false)
+        done;
+        Atomic.set stop true;
+        Domain.join waker;
+        check_bool "budget saturation reached the park tail" true (!parks > 0));
+  ]
+
+let suite =
+  primitives_tests @ schedpoint_tests @ counters_tests @ backoff_tests
+  @ park_tests @ once_waiting_tests

@@ -47,9 +47,9 @@ let cell_tests =
    enter/exit bracket and [terminate] at unlink time; the RC schemes
    treat both as cheap bookkeeping). Returns a full behavioural trace
    plus the final counter totals — everything observable. *)
-let run_workload ~backend scheme =
+let run_workload ?rep ~backend scheme =
   let cfg =
-    Mm.config ~backend ~threads:2 ~capacity:64 ~num_links:1 ~num_data:1
+    Mm.config ~backend ?rep ~threads:2 ~capacity:64 ~num_links:1 ~num_data:1
       ~num_roots:2 ()
   in
   let mm = Harness.Registry.instantiate scheme cfg in
@@ -111,9 +111,9 @@ let run_workload ~backend scheme =
   in
   (List.rev !trace, counters)
 
-let stack_roundtrip ~backend =
+let stack_roundtrip ?rep ~backend () =
   let cfg =
-    Mm.config ~backend ~threads:2 ~capacity:32 ~num_links:1 ~num_data:1
+    Mm.config ~backend ?rep ~threads:2 ~capacity:32 ~num_links:1 ~num_data:1
       ~num_roots:1 ()
   in
   let mm = Harness.Registry.instantiate "wfrc" cfg in
@@ -123,22 +123,38 @@ let stack_roundtrip ~backend =
   done;
   Structures.Stack.drain stack ~tid:0
 
+(* Every scheme, against BOTH native cell representations: the boxed
+   atomic array and the unboxed word store must each reproduce the
+   Sim trace and counter totals exactly. *)
 let equivalence_tests =
-  List.map
+  List.concat_map
     (fun scheme ->
-      tc (scheme ^ " behaves identically on both backends") (fun ()
-      ->
-        let sim_trace, sim_ctr = run_workload ~backend:B.Sim scheme in
-        let nat_trace, nat_ctr = run_workload ~backend:B.Native scheme in
-        Alcotest.(check (list int)) "trace" sim_trace nat_trace;
-        check_string "counters" sim_ctr nat_ctr))
+      let sim = lazy (run_workload ~backend:B.Sim scheme) in
+      List.map
+        (fun rep ->
+          tc
+            (Printf.sprintf "%s on native %s matches sim" scheme
+               (B.rep_name rep))
+            (fun () ->
+              let sim_trace, sim_ctr = Lazy.force sim in
+              let nat_trace, nat_ctr =
+                run_workload ~backend:B.Native ~rep scheme
+              in
+              Alcotest.(check (list int)) "trace" sim_trace nat_trace;
+              check_string "counters" sim_ctr nat_ctr))
+        [ B.Boxed; B.Unboxed ])
     Harness.Registry.names
-  @ [
-      tc "stack round-trip is backend-independent" (fun () ->
-          Alcotest.(check (list int))
-            "drain" (stack_roundtrip ~backend:B.Sim)
-            (stack_roundtrip ~backend:B.Native));
-    ]
+  @ List.map
+      (fun rep ->
+        tc
+          (Printf.sprintf "stack round-trip is backend-independent (%s)"
+             (B.rep_name rep))
+          (fun () ->
+            Alcotest.(check (list int))
+              "drain"
+              (stack_roundtrip ~backend:B.Sim ())
+              (stack_roundtrip ~backend:B.Native ~rep ())))
+      [ B.Boxed; B.Unboxed ]
 
 (* The sharded native store must not change what any scheme computes.
    Raw handle traces are not comparable across allocators — a free
@@ -310,6 +326,64 @@ let freestore_custody_tests =
         check_int "nothing leaked" 0 r.Harness.Audit.leaked);
   ]
 
+(* A parked allocator is woken by a remote free: tid 1 drains the
+   store dry and parks on it; tid 0 then frees a node, whose stripe
+   push must wake the parker. *)
+let park_wake_tests =
+  [
+    tc "a parked thread is woken by a remote free" (fun () ->
+        let backend = B.Native in
+        let layout = Shmem.Layout.create ~num_links:1 ~num_data:1 in
+        let arena = Arena.create ~backend ~layout ~capacity:8 ~num_roots:0 () in
+        let ctr = Atomics.Counters.create ~backend ~threads:2 () in
+        let fs =
+          Shmem.Freestore.create ~backend ~arena ~counters:ctr ~shards:1
+            ~batch:1 ~threads:2 ()
+        in
+        (* tid 0 drains the store dry *)
+        let drained =
+          List.init 8 (fun _ ->
+              match Shmem.Freestore.alloc fs ~tid:0 with
+              | Some p -> p
+              | None -> Alcotest.fail "store ran dry early")
+        in
+        let got = Atomic.make Value.null in
+        let waiter =
+          Domain.spawn (fun () ->
+              let rec go () =
+                match Shmem.Freestore.alloc fs ~tid:1 with
+                | Some p -> Atomic.set got p
+                | None ->
+                    (* untimed is safe here: the main thread frees only
+                       after it has seen this waiter registered, and the
+                       eventcount generation closes the publish/park
+                       race — production callers use finite timeouts
+                       because cache-local frees generate no wake *)
+                    Shmem.Freestore.wait_free fs ~tid:1 ~timeout_ns:(-1);
+                    go ()
+              in
+              go ())
+        in
+        (* only free once the waiter is actually parked, so the wake
+           path (not just polling) is what resumes it *)
+        while Shmem.Freestore.waiters fs = 0 do
+          Domain.cpu_relax ()
+        done;
+        (* tid 0's cache holds 2*batch nodes before it spills, and
+           cache-local frees are invisible (no wake) — free enough to
+           force a spill, whose stripe push carries the wake *)
+        List.iteri
+          (fun i p -> if i < 3 then Shmem.Freestore.free fs ~tid:0 p)
+          drained;
+        Domain.join waiter;
+        check_bool "waiter obtained the freed node" false
+          (Value.is_null (Atomic.get got));
+        check_bool "waiter parked" true
+          (Atomics.Counters.total ctr Atomics.Counters.Park_wait > 0);
+        check_bool "freeing thread woke it" true
+          (Atomics.Counters.total ctr Atomics.Counters.Park_wake > 0));
+  ]
+
 (* The acceptance property of the native backend: a full manager
    workload crosses ZERO scheduling points, while the same workload on
    the sim backend crosses one per primitive. *)
@@ -359,4 +433,4 @@ let hook_tests =
 
 let suite =
   cell_tests @ equivalence_tests @ sharded_equivalence_tests
-  @ freestore_custody_tests @ hook_tests
+  @ freestore_custody_tests @ park_wake_tests @ hook_tests

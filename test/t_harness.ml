@@ -287,8 +287,10 @@ let bench_report_tests =
     tc "bench report surfaces negative timer samples" (fun () ->
         let point neg =
           {
-            Harness.Bench.scheme = "wfrc";
+            Harness.Bench.rev = "abcdef0";
+            scheme = "wfrc";
             backend = Atomics.Backend.Native;
+            rep = Atomics.Backend.Unboxed;
             threads = 1;
             shards = 1;
             batch = 1;
@@ -314,7 +316,8 @@ let bench_report_tests =
           (has_warning (Harness.Bench.report [ point 3 ]));
         check_bool "json carries the field" true
           (contains
-             (Harness.Bench.to_json [ point 3 ])
+             (Harness.Bench.to_json
+                [ Harness.Bench.json_of_point (point 3) ])
              "\"neg_samples\": 3"));
   ]
 

@@ -39,6 +39,11 @@ let test_raw_freestore () =
   let vs = Lint.run ~roots:[ fx "fx_raw_freestore.ml" ] in
   check_rules "raw Freestore flagged" [ "raw-primitives" ] vs
 
+let test_raw_words () =
+  let vs = Lint.run ~roots:[ fx "fx_raw_words.ml" ] in
+  check_rules "raw Words flagged" [ "raw-primitives" ] vs;
+  Alcotest.(check bool) "one per use site" true (List.length vs >= 2)
+
 let test_dead_counter () =
   let vs = Lint.run ~roots:[ fx "fx_dead_counter" ] in
   check_rules "dead counter flagged" [ "counter-coverage" ] vs;
@@ -90,6 +95,7 @@ let suite =
     Alcotest.test_case "fixture: branch leak" `Quick test_branch_leak;
     Alcotest.test_case "fixture: raw Primitives" `Quick test_raw_primitives;
     Alcotest.test_case "fixture: raw Freestore" `Quick test_raw_freestore;
+    Alcotest.test_case "fixture: raw Words" `Quick test_raw_words;
     Alcotest.test_case "fixture: dead counter" `Quick test_dead_counter;
     Alcotest.test_case "clean example is quiet" `Quick test_clean_example;
     Alcotest.test_case "library tree lints clean" `Quick test_lib_clean;

@@ -128,6 +128,92 @@ let arena_tests =
         fails_with (fun () -> Arena.create ~layout ~capacity:4 ~num_roots:(-1) ()));
   ]
 
+(* Representation-parametrized addressing: the same logical geometry
+   must hold on the dense boxed store and the padded unboxed store —
+   owner_of is the uniform inverse, and physical padding words (which
+   only the unboxed rep has between fields) have no owner. *)
+module B = Atomics.Backend
+
+let mk_native_arena rep =
+  let layout = Layout.create ~num_links:2 ~num_data:2 in
+  Arena.create ~backend:B.Native ~rep ~layout ~capacity:8 ~num_roots:3 ()
+
+let rep_arena_tests =
+  List.concat_map
+    (fun rep ->
+      let name s = Printf.sprintf "%s [native %s]" s (B.rep_name rep) in
+      [
+        tc (name "addressing round-trips through owner_of") (fun () ->
+            let a = mk_native_arena rep in
+            for r = 0 to Arena.num_roots a - 1 do
+              match Arena.owner_of a (Arena.root_addr a r) with
+              | `Root r' -> check_int "root index" r r'
+              | `Node _ -> Alcotest.failf "root %d mapped to a node" r
+            done;
+            for h = 1 to Arena.capacity a do
+              let p = Value.of_handle h in
+              let field what addr logical =
+                match Arena.owner_of a addr with
+                | `Node (h', off) ->
+                    check_int (what ^ " handle") h h';
+                    check_int (what ^ " offset") logical off
+                | `Root _ -> Alcotest.failf "%s of node %d mapped to a root" what h
+              in
+              field "mm_ref" (Arena.mm_ref_addr a p) 0;
+              field "mm_next" (Arena.mm_next_addr a p) 1;
+              for i = 0 to 1 do
+                field "link" (Arena.link_addr a p i) (2 + i)
+              done;
+              for j = 0 to 1 do
+                field "data" (Arena.data_addr a p j) (4 + j)
+              done
+            done);
+        tc (name "marked pointers address the same node") (fun () ->
+            let a = mk_native_arena rep in
+            let p = Value.of_handle 3 in
+            check_int "ref addr" (Arena.mm_ref_addr a p)
+              (Arena.mm_ref_addr a (Value.mark p));
+            check_int "link addr" (Arena.link_addr a p 1)
+              (Arena.link_addr a (Value.mark p) 1));
+        tc (name "word ops keep figure 2 semantics") (fun () ->
+            let a = mk_native_arena rep in
+            let addr = Arena.mm_ref_addr a (Value.of_handle 5) in
+            check_bool "cas hit" true (Arena.cas a addr ~old:0 ~nw:5);
+            check_bool "cas miss" false (Arena.cas a addr ~old:0 ~nw:9);
+            check_int "faa returns previous" 5 (Arena.faa a addr 3);
+            check_int "swap returns old" 8 (Arena.swap a addr 100);
+            check_int "final" 100 (Arena.read a addr);
+            (* neighbours untouched *)
+            check_int "prev node" 0 (Arena.read_mm_ref a (Value.of_handle 4));
+            check_int "next node" 0 (Arena.read_mm_ref a (Value.of_handle 6)));
+        tc (name "out-of-range addresses rejected") (fun () ->
+            let a = mk_native_arena rep in
+            fails_with (fun () -> Arena.owner_of a (-1));
+            fails_with (fun () -> Arena.node_base a 0);
+            fails_with (fun () -> Arena.node_base a 9);
+            fails_with (fun () -> Arena.root_addr a 3);
+            (* far past the physical end of the store *)
+            fails_with (fun () -> Arena.owner_of a 1_000_000);
+            fails_with (fun () -> Arena.read a 1_000_000));
+      ])
+    [ B.Boxed; B.Unboxed ]
+  @ [
+      tc "unboxed padding words have no owner" (fun () ->
+          let a = mk_native_arena B.Unboxed in
+          (* between root 0 and root 1: roots are line-strided *)
+          fails_with ~substring:"padding" (fun () ->
+              Arena.owner_of a (Arena.root_addr a 0 + 1));
+          (* between mm_ref and mm_next inside a node block *)
+          fails_with ~substring:"padding" (fun () ->
+              Arena.owner_of a (Arena.mm_ref_addr a (Value.of_handle 1) + 1)));
+      tc "boxed native store is dense (no padding words)" (fun () ->
+          let a = mk_native_arena B.Boxed in
+          (* every address below num_cells has an owner *)
+          for addr = 0 to Arena.num_cells a - 1 do
+            ignore (Arena.owner_of a addr)
+          done);
+    ]
+
 let prop_tests =
   [
     qc "owner_of is a true inverse"
@@ -145,4 +231,4 @@ let prop_tests =
         Arena.read a addr = (match List.rev vs with [] -> 0 | v :: _ -> v));
   ]
 
-let suite = layout_tests @ arena_tests @ prop_tests
+let suite = layout_tests @ arena_tests @ rep_arena_tests @ prop_tests
