@@ -37,6 +37,9 @@ type event =
   | Steal
   | Park_wait
   | Park_wake
+  | Recovery_adopt
+  | Recovery_release
+  | Oom_backpressure
 
 let all_events =
   [ Cas_attempt; Cas_failure; Faa; Swap; Read; Write; Deref; Deref_retry;
@@ -44,7 +47,8 @@ let all_events =
     Alloc_retry; Alloc_helped; Alloc_gave_help; Free; Free_retry;
     Free_gave_help; Release; Node_reclaimed; Hp_scan; Epoch_advance;
     Lock_acquire; Cache_refill; Cache_spill; Free_remote; Steal;
-    Park_wait; Park_wake ]
+    Park_wait; Park_wake; Recovery_adopt; Recovery_release;
+    Oom_backpressure ]
 
 let event_index = function
   | Cas_attempt -> 0
@@ -77,6 +81,9 @@ let event_index = function
   | Steal -> 27
   | Park_wait -> 28
   | Park_wake -> 29
+  | Recovery_adopt -> 30
+  | Recovery_release -> 31
+  | Oom_backpressure -> 32
 
 let num_events = List.length all_events
 
@@ -111,6 +118,9 @@ let event_name = function
   | Steal -> "steal"
   | Park_wait -> "park_wait"
   | Park_wake -> "park_wake"
+  | Recovery_adopt -> "recovery_adopt"
+  | Recovery_release -> "recovery_release"
+  | Oom_backpressure -> "oom_backpressure"
 
 (* Row stride, per backend: events rounded up to a multiple of 16
    words under [Sim] (the historical padding — keeps rows line-pair

@@ -35,6 +35,11 @@ type event =
   | Steal            (** refill probes of a non-home stripe *)
   | Park_wait        (** threads that parked (futex/condvar wait) *)
   | Park_wake        (** wakes delivered to at least one parked thread *)
+  | Recovery_adopt   (** nodes adopted from a dead thread's custody *)
+  | Recovery_release (** surplus references released on a dead thread's
+                         behalf during recovery *)
+  | Oom_backpressure (** allocations that gave up with [Out_of_nodes]
+                         after bounded waiting + a recovery attempt *)
 
 val all_events : event list
 val event_name : event -> string

@@ -192,6 +192,53 @@ let answers t =
   done;
   !acc
 
+(* Recovery (quiescent-survivors protocol) --------------------------- *)
+
+(* Wipe a declared-dead owner's whole row: swap every slot to 0 and
+   return [(slots_cleared, answers)], where [answers] are the
+   node-pointer answers found — each still holds the reference H6
+   acquired on the dead announcer's behalf, which the caller must
+   release. Clearing the row also stops future helpers from answering
+   into it (H3 re-reads the slot before the H6 CAS), so no new
+   references can be stranded against the dead thread. *)
+let clear_row t ~tid =
+  let cleared = ref 0 and answers = ref [] in
+  for s = t.n - 1 downto 0 do
+    let v =
+      match t.store with
+      | Cells c -> B.swap t.backend c.read_addr.(tid).(s) 0
+      | Raw r -> W.swap r.w (ra_w t tid s) 0
+    in
+    if v <> 0 then begin
+      incr cleared;
+      if v > 0 then answers := Value.unmark v :: !answers
+    end
+  done;
+  (!cleared, !answers)
+
+(* Reset stale busy claims. At quiescence with the survivors drained,
+   no live thread is between H4 and H8, so any non-zero busy count was
+   left by a helper that crashed mid-help; zeroing it makes the row's
+   slots reusable again. Returns the number of claims cleared. *)
+let clear_busy t =
+  let cleared = ref 0 in
+  for id = 0 to t.n - 1 do
+    for s = 0 to t.n - 1 do
+      let b =
+        match t.store with
+        | Cells c -> Atomic.get c.busy.(id).(s)
+        | Raw r -> W.get r.w (busy_w t id s)
+      in
+      if b <> 0 then begin
+        (match t.store with
+        | Cells c -> Atomic.set c.busy.(id).(s) 0
+        | Raw r -> W.set r.w (busy_w t id s) 0);
+        incr cleared
+      end
+    done
+  done;
+  !cleared
+
 (* Quiescent checks ------------------------------------------------- *)
 
 let validate t =

@@ -69,5 +69,18 @@ val answers : t -> (int * Shmem.Value.ptr) list
     crashed owner never retracts, leaving the answer's reference
     pinned. Never raises. *)
 
+val clear_row : t -> tid:int -> int * Shmem.Value.ptr list
+(** Recovery (quiescent-survivors protocol): wipe a declared-dead
+    owner's row. Swaps every slot to 0; returns
+    [(slots_cleared, answers)] where each answer node still holds the
+    reference H6 acquired on the dead announcer's behalf — the caller
+    must release it. Also prevents future helpers from answering into
+    the row. *)
+
+val clear_busy : t -> int
+(** Recovery: zero every stale busy claim, returning how many were
+    cleared. Sound only at quiescence with the survivors drained,
+    when a non-zero count can only belong to a crashed helper. *)
+
 val validate : t -> unit
 (** Quiescent check: all busy counts and announcements cleared. *)

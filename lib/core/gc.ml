@@ -81,6 +81,15 @@ type t = {
   help_alloc : bool;
   caches : tcache array option; (* per-thread caches when sharded *)
   batch : int;
+  dead : bool array;
+  (* tids declared permanently stopped (Mm_intf.declare_dead); set by
+     the harness/supervisor, consulted by [recover] and the A7
+     bounded-wait OOM path *)
+  mutable recovering : bool;
+  (* donation (F1-F3) suppressed while a recovery pass runs, so
+     reclaimed nodes land in allocator custody, not a live annAlloc *)
+  adopt_lock : int Atomic.t;
+  (* single-adopter guard for dead-cache draining under pressure *)
   work : int array array;
   (* per-thread R3 work stacks (reusable, grown on demand) *)
   scratch : int array array;
@@ -164,6 +173,9 @@ let create ?(placement = `Paper) ?(help_alloc = true) (cfg : Mm_intf.config) =
                 { cslots = Array.make (2 * cfg.batch) Value.null; clen = 0 }))
        else None);
     batch = cfg.batch;
+    dead = Array.make n false;
+    recovering = false;
+    adopt_lock = Atomic.make 0;
     work =
       Array.init n (fun _ ->
           Array.make (max 64 (4 * (cfg.num_links + 1))) 0);
@@ -234,7 +246,7 @@ and free_node t ~tid node =
   let n = t.n in
   let donated =
     match t.fused with
-    | Some f when t.help_alloc ->
+    | Some f when t.help_alloc && not t.recovering ->
         (* F1-F3 in one crossing, with the donation-count correction
            (see module comment). *)
         Words.free_donate f.hw ~arena:f.aw
@@ -245,6 +257,7 @@ and free_node t ~tid node =
         (* F3 with the donation-count correction (see module
            comment). *)
         t.help_alloc
+        && (not t.recovering)
         && begin
              Arena.faa_mm_ref t.arena node 2;
              if Hot.cas t.hot (hw_ann t help_id) ~old:Value.null ~nw:node
@@ -298,6 +311,33 @@ and free_push t ~tid node =
   in
   push index
 
+(* Bounded-wait OOM degradation (sharded config only): before giving
+   up, drain any declared-dead peers' domain-local caches back onto
+   the shared free-lists — those nodes are invisible to A5/A6 scans
+   and their owners will never return them. Serialised by a CAS guard;
+   the loser reports 0 and falls through to backpressure. *)
+let adopt_dead_caches t ~tid =
+  match t.caches with
+  | None -> 0
+  | Some caches ->
+      if not (Atomic.compare_and_set t.adopt_lock 0 1) then 0
+      else begin
+        let n = ref 0 in
+        for id = 0 to t.n - 1 do
+          if t.dead.(id) && id <> tid then begin
+            let c = caches.(id) in
+            while c.clen > 0 do
+              c.clen <- c.clen - 1;
+              C.incr t.ctr ~tid Recovery_adopt;
+              incr n;
+              free_push t ~tid c.cslots.(c.clen)
+            done
+          end
+        done;
+        Atomic.set t.adopt_lock 0;
+        !n
+      end
+
 (* ---------------- AllocNode (A1–A18) ------------------------------- *)
 
 (* The A3 loop, with its state — [helped] (A1), the helpee read at A2,
@@ -349,10 +389,26 @@ let rec alloc_loop t ~tid ~help_id ~helped ~empty_scans =
           ignore
             (Hot.cas t.hot hw_current ~old:current
                ~nw:((current + 1) mod (2 * t.n)));
-          if empty_scans + 1 > t.oom_scan_limit then
-            raise Mm_intf.Out_of_memory;
-          C.incr t.ctr ~tid Alloc_retry;
-          alloc_loop t ~tid ~help_id ~helped ~empty_scans:(empty_scans + 1)
+          if empty_scans + 1 > t.oom_scan_limit then begin
+            (* Exhausted every list [oom_scan_limit] times over. The
+               legacy/Sim config keeps the hard stop; the sharded
+               config first adopts dead peers' caches, then surfaces
+               typed backpressure instead of an unbounded spin. *)
+            match t.caches with
+            | Some _ when adopt_dead_caches t ~tid > 0 ->
+                C.incr t.ctr ~tid Alloc_retry;
+                alloc_loop t ~tid ~help_id ~helped ~empty_scans:0
+            | Some _ ->
+                C.incr t.ctr ~tid Oom_backpressure;
+                raise
+                  (Mm_intf.Out_of_nodes
+                     { retries = empty_scans + 1; waits = 0 })
+            | None -> raise Mm_intf.Out_of_memory
+          end
+          else begin
+            C.incr t.ctr ~tid Alloc_retry;
+            alloc_loop t ~tid ~help_id ~helped ~empty_scans:(empty_scans + 1)
+          end
         end
         else begin
           Arena.faa_mm_ref t.arena node 2;                          (* A9 *)
@@ -582,6 +638,91 @@ let custody t =
   in
   Mm_intf.
     { free; pending = !pending; pinned; violations = List.rev !violations }
+
+(* ---------------- Crash recovery (quiescent-survivors) ------------- *)
+
+let declare_dead t ~tid =
+  if tid < 0 || tid >= t.n then invalid_arg "Gc.declare_dead";
+  t.dead.(tid) <- true
+
+let dead t =
+  let acc = ref [] in
+  for id = t.n - 1 downto 0 do
+    if t.dead.(id) then acc := id :: !acc
+  done;
+  !acc
+
+(* Finish the free a crashed thread never ran: clear the links as R3
+   would (releasing their targets), restore the claimed count, and
+   hand the node back to allocator custody. Only called on nodes with
+   zero inbound links ([Rc_anomaly]'s gate), so no later cascade can
+   release the node a second time. *)
+let revive t ~tid node =
+  for i = 0 to t.cfg.num_links - 1 do
+    let v = Arena.read_clear_link t.arena node i in
+    if not (Value.is_null v) then release t ~tid (Value.unmark v)
+  done;
+  Arena.write t.arena (Arena.mm_ref_addr t.arena node) 1;
+  C.incr t.ctr ~tid Node_reclaimed;
+  free_node t ~tid node
+
+let recover t ~tid =
+  if not (Array.exists Fun.id t.dead) then Mm_intf.no_recovery
+  else begin
+    (* Donation (F1-F3/A11-A12 receipts) stays suppressed for the
+       whole pass: recovered nodes must land on the free-lists or
+       caches (allocator custody), not in a live thread's annAlloc
+       cell where they would sit pending until its next A4. *)
+    t.recovering <- true;
+    Fun.protect ~finally:(fun () -> t.recovering <- false) @@ fun () ->
+    let adopted = ref 0 and released = ref 0 and cleared = ref 0 in
+    (* 1. Dead announcement rows first: an un-retracted answer holds a
+       reference acquired on the dead announcer's behalf (H6), which
+       would read as surplus on a live node in step 2. *)
+    for id = 0 to t.n - 1 do
+      if t.dead.(id) then begin
+        let slots, answers = Ann.clear_row t.ann ~tid:id in
+        cleared := !cleared + slots;
+        List.iter
+          (fun p ->
+            C.incr t.ctr ~tid Recovery_release;
+            incr released;
+            release t ~tid p)
+          answers
+      end
+    done;
+    cleared := !cleared + Ann.clear_busy t.ann;
+    (* 2. Reference-count anomalies, to the fixpoint. *)
+    let revived, drops =
+      Mm_intf.Rc_anomaly.run ~arena:t.arena
+        ~custody:(fun () -> custody t)
+        ~release:(fun p ->
+          C.incr t.ctr ~tid Recovery_release;
+          release t ~tid p)
+        ~revive:(fun p ->
+          C.incr t.ctr ~tid Recovery_adopt;
+          revive t ~tid p)
+    in
+    adopted := !adopted + revived;
+    released := !released + drops;
+    (* 3. Dead threads' parked custody last — nothing above can have
+       donated into a dead annAlloc cell (suppressed), so one pass
+       drains each for good. Donations carry the F3 inflation
+       (mm_ref 3): restore the free-node claim of 1 before pushing. *)
+    for id = 0 to t.n - 1 do
+      if t.dead.(id) then begin
+        let v = Hot.take t.hot (hw_ann t id) in
+        if not (Value.is_null v) then begin
+          Arena.faa_mm_ref t.arena v (-2);
+          C.incr t.ctr ~tid Recovery_adopt;
+          incr adopted;
+          free_push t ~tid v
+        end
+      end
+    done;
+    adopted := !adopted + adopt_dead_caches t ~tid;
+    { Mm_intf.adopted = !adopted; released = !released; cleared = !cleared }
+  end
 
 let validate t =
   Ann.validate t.ann;

@@ -71,3 +71,24 @@ val validate : t -> unit
     chains acyclic with [mm_ref = 1], donated nodes with [mm_ref = 3],
     allocated nodes with even non-negative counts, global indices in
     range. *)
+
+(** {1 Crash recovery} *)
+
+val declare_dead : t -> tid:int -> unit
+(** Mark [tid] permanently stopped ({!Mm_intf.S.declare_dead}
+    contract). Idempotent; consulted by {!recover} and by the sharded
+    A7 exhaustion path, which adopts dead threads' caches before
+    surfacing {!Mm_intf.Out_of_nodes}. *)
+
+val dead : t -> int list
+(** Declared-dead tids, ascending. *)
+
+val recover : t -> tid:int -> Mm_intf.recovery
+(** Quiescent-survivors recovery pass run by survivor [tid]: wipe the
+    dead threads' announcement rows (releasing un-retracted helper
+    answers) and stale busy counts, resolve reference-count anomalies
+    to a fixpoint (excess drops released, stranded zero-inbound nodes
+    revived onto the free-lists), then drain dead [annAlloc] cells and
+    domain-local caches back into allocator custody. Donation is
+    suppressed for the duration so every reclaimed node lands as
+    [free], not [pending]. Idempotent; no-op when nothing is dead. *)

@@ -67,6 +67,11 @@ let validate = Gc.validate
 let free_count = Gc.free_count
 let custody = Gc.custody
 
+(* Crash recovery: dead-slot adoption (quiescent-survivors). *)
+let declare_dead = Gc.declare_dead
+let dead = Gc.dead
+let recover = Gc.recover
+
 (* Sentinels need no special handling under reference counting: the
    creator simply keeps the allocation reference forever. *)
 let make_immortal _t ~tid:_ _p = ()

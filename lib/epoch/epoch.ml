@@ -40,6 +40,7 @@ type t = {
   store : Freestore.t option; (* sharded Native free store (else legacy) *)
   threads : per_thread array;
   advance_every : int;
+  dead : bool array; (* tids declared permanently stopped *)
 }
 
 let name = "ebr"
@@ -93,7 +94,19 @@ let create (cfg : Mm_intf.config) =
             ops = 0;
           });
     advance_every = 4;
+    dead = Array.make cfg.threads false;
   }
+
+let declare_dead t ~tid =
+  if tid < 0 || tid >= t.cfg.threads then invalid_arg "Epoch.declare_dead";
+  t.dead.(tid) <- true
+
+let dead t =
+  let acc = ref [] in
+  for id = t.cfg.threads - 1 downto 0 do
+    if t.dead.(id) then acc := id :: !acc
+  done;
+  !acc
 
 let pool_push t ~tid node =
   Mm_intf.Events.emit ~tid node Mm_intf.Events.Free;
@@ -185,17 +198,32 @@ let alloc t ~tid =
   | Some fs ->
       (* Collected nodes land in our own cache, so the next pass sees
          them immediately. *)
-      let rec claim () =
+      let rec claim ~adopted =
         match Freestore.alloc fs ~tid with
         | Some node ->
             Mm_intf.Events.emit ~tid node Mm_intf.Events.Alloc;
             node
         | None ->
-            under_pressure ();
-            C.incr t.ctr ~tid Alloc_retry;
-            claim ()
+            if !pressure >= 6 then begin
+              (* Bounded degradation: adopt declared-dead peers'
+                 caches once, then surface typed backpressure — a
+                 crashed-in-bracket peer jams the epoch forever, so
+                 spinning further cannot make progress. *)
+              if (not adopted) && Freestore.adopt fs ~tid ~dead:(dead t) > 0
+              then claim ~adopted:true
+              else begin
+                C.incr t.ctr ~tid Oom_backpressure;
+                raise
+                  (Mm_intf.Out_of_nodes { retries = !pressure; waits = 0 })
+              end
+            end
+            else begin
+              under_pressure ();
+              C.incr t.ctr ~tid Alloc_retry;
+              claim ~adopted
+            end
       in
-      claim ()
+      claim ~adopted:false
   | None ->
       let rec pop () =
         let hv = B.read t.backend t.head in
@@ -334,6 +362,68 @@ let custody t =
     t.threads;
   Mm_intf.
     { free; pending = !pending; pinned = []; violations = List.rev !violations }
+
+(* Crash recovery: un-jam the epoch (a thread that crashed inside the
+   bracket blocks [try_advance] forever), adopt the dead threads' bag
+   generations into the survivor's bags, then advance+collect a few
+   rounds — each round frees one of the three slots, so all adopted
+   limbo drains back to the pool. Finally sweep orphans: a victim
+   that crashed between unlinking a node and bagging it strands the
+   node outside every bag, where only a root-marking pass can find
+   it. *)
+let recover t ~tid =
+  if not (Array.exists Fun.id t.dead) then Mm_intf.no_recovery
+  else begin
+    let adopted = ref 0 and cleared = ref 0 in
+    let me = t.threads.(tid) in
+    for id = 0 to t.cfg.threads - 1 do
+      if t.dead.(id) && id <> tid then begin
+        let pt = t.threads.(id) in
+        if B.read t.backend pt.active = 1 then begin
+          B.write t.backend pt.active 0;
+          incr cleared
+        end;
+        for slot = 0 to 2 do
+          List.iter
+            (fun p ->
+              C.incr t.ctr ~tid Recovery_adopt;
+              incr adopted;
+              me.bags.(slot) <- p :: me.bags.(slot);
+              me.bag_sizes.(slot) <- me.bag_sizes.(slot) + 1)
+            pt.bags.(slot);
+          pt.bags.(slot) <- [];
+          pt.bag_sizes.(slot) <- 0
+        done
+      end
+    done;
+    for _ = 1 to 4 do
+      try_advance t ~tid;
+      let e = B.read t.backend t.global in
+      me.last_seen <- e;
+      collect t ~tid e
+    done;
+    let cached =
+      match t.store with
+      | Some fs -> Freestore.adopt fs ~tid ~dead:(dead t)
+      | None -> 0
+    in
+    let c = custody t in
+    let kept = Array.make (t.cfg.capacity + 1) false in
+    List.iter (fun (_, h) -> kept.(h) <- true) c.Mm_intf.pending;
+    let swept =
+      Mm_intf.Orphan.sweep ~arena:t.arena ~free:c.Mm_intf.free
+        ~keep:(fun h -> kept.(h))
+        ~reclaim:(fun p ->
+          C.incr t.ctr ~tid Recovery_adopt;
+          C.incr t.ctr ~tid Node_reclaimed;
+          pool_push t ~tid p)
+    in
+    {
+      Mm_intf.adopted = !adopted + cached + swept;
+      released = 0;
+      cleared = !cleared;
+    }
+  end
 
 let validate t =
   ignore (free_set t);

@@ -53,6 +53,7 @@ type report = {
   leaked : int;
   lost : int;          (* capacity - free - reachable *)
   loss_bound : int;    (* 0 when no thread crashed *)
+  recovered : int;     (* nodes returned to free by a recovery pass *)
   violations : string list;
 }
 
@@ -62,11 +63,12 @@ let ok r =
 let to_string r =
   Printf.sprintf
     "audit[%s] cap=%d threads=%d crashed=[%s] free=%d reachable=%d \
-     pending=%d crash_held=%d leaked=%d lost=%d bound=%d violations=[%s] %s"
+     pending=%d crash_held=%d leaked=%d lost=%d bound=%d recovered=%d \
+     violations=[%s] %s"
     r.scheme r.capacity r.threads
     (String.concat "," (List.map string_of_int r.crashed))
     r.free r.reachable r.pending_live r.crash_held r.leaked r.lost
-    r.loss_bound
+    r.loss_bound r.recovered
     (String.concat "; " r.violations)
     (if ok r then "OK" else "FAIL")
 
@@ -284,8 +286,26 @@ let run ?(crashed = []) ?loss_bound (inst : Mm.instance) =
     leaked = !n_leaked;
     lost = cap - !n_free - !n_reach;
     loss_bound;
+    recovered = 0;
     violations = List.rev !violations;
   }
+
+(* Tighter, empirically-calibrated per-scheme crash-loss envelopes,
+   measured over the seeded E12 grid and pinned as regressions in
+   test/t_fault.ml. The default Theorem-1 reading
+   (|crashed| * N * (N+1)) stays [run]'s contract; these are opt-in
+   via [run ~loss_bound:...]. [None] for schemes whose loss is
+   unbounded by design (ebr: the crashed thread pins the epoch and
+   the stranding grows with survivor work). *)
+let envelope ~scheme ~threads ~crashes =
+  let per_crash =
+    match scheme with
+    | "wfrc" -> Some ((2 * threads) - 1)
+    | "lfrc" | "lockrc" -> Some (2 * threads)
+    | "hp" -> Some (threads * (threads + 1))
+    | _ -> None
+  in
+  Option.map (fun b -> crashes * b) per_crash
 
 (* ---- Empirical wait-freedom bound recorder -------------------------- *)
 

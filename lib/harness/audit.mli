@@ -29,6 +29,10 @@ type report = {
   lost : int;               (** [capacity - free - reachable] *)
   loss_bound : int;
       (** envelope [crash_held] is judged against; 0 with no crashes *)
+  recovered : int;
+      (** nodes a {!Recovery} pass returned to the free store; always
+          0 from {!run} itself — patched in by [Recovery.run] as the
+          free-count delta across the recovery pass *)
   violations : string list; (** conservation/UAF/custody violations *)
 }
 
@@ -41,6 +45,13 @@ val run :
 
 val ok : report -> bool
 (** No violations, nothing leaked, crash-held within the bound. *)
+
+val envelope : scheme:string -> threads:int -> crashes:int -> int option
+(** Tighter per-scheme crash-loss envelopes, calibrated on the seeded
+    E12 grid and pinned as regressions in test/t_fault.ml — e.g. wfrc
+    strands at most [2N-1] nodes per crash there, far under the
+    default Theorem-1 envelope. [None] when the scheme's loss is
+    unbounded by design (ebr). Opt-in: pass as [run]'s [loss_bound]. *)
 
 val check : report -> unit
 (** Raise [Failure] with the rendered report unless [ok]. *)

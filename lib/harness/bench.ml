@@ -118,7 +118,7 @@ let run_point ?spine ?rep ?(shards = 1) ?(batch = 1) ?(oracle = false) ~scheme
                let p = Mm.alloc mm ~tid in
                Mm.release mm ~tid p;
                Mm.terminate mm ~tid p
-             with Mm.Out_of_memory -> ());
+             with Mm.Out_of_memory | Mm.Out_of_nodes _ -> ());
             Mm.exit_op mm ~tid
           done;
           Metrics.Hist.add h ((Runner.now_ns () - t0) / batch_pairs)

@@ -1,0 +1,36 @@
+(** Native fault injection: interprets a {!Sched.Fault} plan on real
+    Domains, with the manager's lifecycle events
+    ({!Mm_intf.Events}) as the countdown clock — a fault fires at a
+    stub-crossing boundary mid-operation, not between operations.
+    Crash victims abandon the operation in place (stopped-process
+    model); stall victims sleep through a timed park nobody wakes,
+    then resume. *)
+
+type t
+
+exception Crashed of int
+(** Raised inside a victim at its crash point; absorbed by {!run} at
+    the worker-body boundary. Nothing between the two handles it, so
+    the victim's manager state is left exactly as the crash found
+    it. *)
+
+val of_plan : ?ns_per_step:int -> threads:int -> Sched.Fault.plan -> t
+(** Compile a plan. [at_step]/[from_step] count the victim's own
+    lifecycle events (0 = its first event); a Stall's [duration] is
+    scaled by [ns_per_step] (default 1000, i.e. steps are µs) into
+    the park timeout. Raises [Invalid_argument] on an ill-formed plan
+    (via {!Sched.Fault.validate}). *)
+
+val run : t -> (tid:int -> unit) -> Runner.result
+(** Run one body per thread with the plan armed (installs the
+    process-global {!Mm_intf.Events} listener for the duration).
+    One-shot: a [t] tracks fired faults, so build a fresh one per
+    run. *)
+
+val crashed : t -> int list
+(** Tids whose crash actually fired, ascending — a countdown larger
+    than the victim's event budget never fires, so this can be a
+    strict subset of the plan's victims. *)
+
+val survivors : t -> int list
+(** Complement of {!crashed}, ascending. *)

@@ -120,7 +120,7 @@ let e3 ?(schemes = [ "wfrc"; "lfrc"; "lockrc" ])
                              held.(i) <- Mm.alloc mm ~tid;
                              incr got
                            done
-                         with Mm.Out_of_memory -> ());
+                         with Mm.Out_of_memory | Mm.Out_of_nodes _ -> ());
                         for i = 0 to !got - 1 do
                           Mm.release mm ~tid held.(i)
                         done)

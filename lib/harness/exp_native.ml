@@ -30,7 +30,7 @@ let churn mm ~threads ~ops =
           let p = Mm.alloc mm ~tid in
           Mm.release mm ~tid p;
           Mm.terminate mm ~tid p
-        with Mm.Out_of_memory -> ()
+        with Mm.Out_of_memory | Mm.Out_of_nodes _ -> ()
       done)
 
 let e15 ?(schemes = [ "wfrc" ]) ?(reps = [ B.Boxed; B.Unboxed ])

@@ -49,7 +49,7 @@ let e10 ?(schemes = Registry.names) ?(runs = 40) ?(ops = 20) ?(seed = 41_000)
                   if ok then Mm.terminate mm ~tid old
                 end;
                 Mm.release mm ~tid b
-            | exception Mm.Out_of_memory -> oom_seen := true);
+            | exception Mm.Out_of_memory | exception Mm.Out_of_nodes _ -> oom_seen := true);
             Mm.exit_op mm ~tid
           in
           let body tid =

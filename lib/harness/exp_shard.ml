@@ -54,7 +54,7 @@ let churn mm ~threads ~ops ~max_burst ~seed =
                held.(i) <- Mm.alloc mm ~tid;
                incr got
              done
-           with Mm.Out_of_memory -> ());
+           with Mm.Out_of_memory | Mm.Out_of_nodes _ -> ());
           for i = 0 to !got - 1 do
             Mm.release mm ~tid held.(i)
           done)

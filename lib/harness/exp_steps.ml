@@ -56,7 +56,7 @@ let e4 ?(threads_list = [ 2; 4; 8 ]) ?(ops = 24) ?(runs = 80)
                     ignore (Mm.cas_link mm ~tid root ~old ~nw:b);
                     if not (Value.is_null old) then Mm.release mm ~tid old;
                     Mm.release mm ~tid b
-                | exception Mm.Out_of_memory -> ()
+                | exception Mm.Out_of_memory | exception Mm.Out_of_nodes _ -> ()
               end
             done
           in
@@ -132,7 +132,7 @@ let e5 ?(schemes = Registry.rc_names) ?(threads = 4) ?(ops = 40_000)
                        (match op with
                        | Workload.Produce k -> (
                            try Structures.Pqueue.insert pq ~tid (k + 1) tid
-                           with Mm.Out_of_memory -> ())
+                           with Mm.Out_of_memory | Mm.Out_of_nodes _ -> ())
                        | Workload.Consume ->
                            ignore (Structures.Pqueue.delete_min pq ~tid));
                        Metrics.Hist.add h (Runner.now_ns () - t0))

@@ -89,7 +89,7 @@ let pq_worker pq ~tid ops =
       match op with
       | Workload.Produce k -> (
           try Structures.Pqueue.insert pq ~tid (k + 1) tid
-          with Mm.Out_of_memory -> ())
+          with Mm.Out_of_memory | Mm.Out_of_nodes _ -> ())
       | Workload.Consume -> ignore (Structures.Pqueue.delete_min pq ~tid))
     ops
 
@@ -127,7 +127,7 @@ let churn_op mm ~root ~oom ~tid =
       end;
       if not ok then Mm.terminate mm ~tid b;
       Mm.release mm ~tid b
-  | exception Mm.Out_of_memory -> oom := true);
+  | exception Mm.Out_of_memory | exception Mm.Out_of_nodes _ -> oom := true);
   Mm.exit_op mm ~tid
 
 (* Post-run drain: give every survivor a few empty operation brackets
@@ -147,7 +147,7 @@ let drain_survivors mm ~survivors =
       (fun tid ->
         match Mm.alloc mm ~tid with
         | p -> Mm.release mm ~tid p
-        | exception Mm.Out_of_memory -> ())
+        | exception Mm.Out_of_memory | exception Mm.Out_of_nodes _ -> ())
       survivors
 
 (* Churn throughput/retry for a Gc variant — shared by the A2/A3
@@ -168,7 +168,7 @@ let churn_gc gc ~threads ~ops ~max_burst ~seed =
                  held.(i) <- Wfrc.Gc.alloc gc ~tid;
                  incr got
                done
-             with Mm.Out_of_memory -> ());
+             with Mm.Out_of_memory | Mm.Out_of_nodes _ -> ());
             for i = 0 to !got - 1 do
               Wfrc.Gc.release gc ~tid held.(i)
             done)

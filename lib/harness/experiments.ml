@@ -30,6 +30,7 @@ let e12 = Exp_fault.e12
 let e13 = Exp_fault.e13
 let e14 = Exp_shard.e14
 let e15 = Exp_native.e15
+let e16 = Exp_fault.e16
 let a1 = Exp_ratio.a1
 let a2 = Exp_ratio.a2
 let a3 = Exp_ratio.a3

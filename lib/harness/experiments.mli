@@ -166,6 +166,24 @@ val e15 :
     portable signal; multi-domain rows need multi-core hardware to
     rise. *)
 
+val e16 :
+  ?schemes:string list ->
+  ?ops:int ->
+  ?native_ops:int ->
+  ?seeds:int ->
+  ?native_seeds:int ->
+  ?seed:int ->
+  unit ->
+  Report.t
+(** Crash recovery: after E12-style crashes on both backends
+    (deterministic Sim faults; {!Chaos} mid-fragment injection on real
+    Domains), a survivor adopts the dead thread's state
+    ({!Recovery.run}) and the audit's [recovered] class measures what
+    came back — target >= 90% of [crash_held] with zero leaks. A third
+    leg exhausts the sharded store against a crashed holder:
+    allocation must surface typed [Mm_intf.Out_of_nodes] backpressure,
+    and dead-cache adoption alone must unblock it. *)
+
 val a1 : ?threads_list:int list -> ?seeds:int -> ?seed:int -> unit -> Report.t
 (** Ablation: deref step bound vs thread count (O(N) scans). *)
 

@@ -1,0 +1,28 @@
+(* Dead-slot adoption driver (the quiescent-survivors protocol of
+   DESIGN.md §7): audit the crash damage, declare the dead set to the
+   scheme, run its recovery pass from one survivor, re-audit. The
+   free-count delta across the pass is the [recovered] class E16
+   reports — measured externally, so a scheme cannot grade its own
+   homework by over-counting adoptions. *)
+
+module Mm = Mm_intf
+
+type outcome = {
+  pre : Audit.report;   (* damage before recovery *)
+  post : Audit.report;  (* after; [recovered] = free-count delta *)
+  stats : Mm.recovery;  (* the scheme's own accounting of the pass *)
+}
+
+let run ?loss_bound ~dead ~by (inst : Mm.instance) =
+  (match dead with
+  | [] -> invalid_arg "Recovery.run: empty dead set"
+  | _ -> ());
+  if List.mem by dead then invalid_arg "Recovery.run: adopter is dead";
+  let pre = Audit.run ~crashed:dead ?loss_bound inst in
+  List.iter (fun tid -> Mm.declare_dead inst ~tid) dead;
+  let stats = Mm.recover inst ~tid:by in
+  let post = Audit.run ~crashed:dead ?loss_bound inst in
+  let post =
+    { post with Audit.recovered = max 0 (post.Audit.free - pre.Audit.free) }
+  in
+  { pre; post; stats }

@@ -1,0 +1,23 @@
+(** Dead-slot adoption driver: pre-audit, declare the dead set, run
+    the scheme's {!Mm_intf.S.recover} pass from one survivor,
+    post-audit. See DESIGN.md §7 for the quiescent-survivors
+    protocol and its soundness argument. *)
+
+type outcome = {
+  pre : Audit.report;
+      (** crash damage before recovery (its [crash_held] is what the
+          pass is asked to reclaim) *)
+  post : Audit.report;
+      (** state after the pass, with [recovered] patched to the
+          free-count delta [post.free - pre.free] — an external
+          measurement, independent of the scheme's own accounting *)
+  stats : Mm_intf.recovery;  (** the scheme's accounting of the pass *)
+}
+
+val run :
+  ?loss_bound:int -> dead:int list -> by:int -> Mm_intf.instance -> outcome
+(** [run ~dead ~by inst] recovers [inst] from the crash of the [dead]
+    tids, adopting into survivor [by]. The instance must be quiescent
+    with every survivor drained ({!Exp_support.drain_survivors}).
+    Raises [Invalid_argument] on an empty dead set or a dead adopter;
+    [loss_bound] is forwarded to both audits. *)

@@ -44,6 +44,7 @@ type t = {
   threads : per_thread array;
   k : int;
   threshold : int;
+  dead : bool array; (* tids declared permanently stopped *)
   mutable validate_deref : bool;
   (* [true] in every real configuration. [unsafe_skip_validation]
      clears it to seed the classic hazard-pointer bug — publishing the
@@ -111,8 +112,20 @@ let create (cfg : Mm_intf.config) =
           });
     k;
     threshold;
+    dead = Array.make cfg.threads false;
     validate_deref = true;
   }
+
+let declare_dead t ~tid =
+  if tid < 0 || tid >= t.cfg.threads then invalid_arg "Hazard.declare_dead";
+  t.dead.(tid) <- true
+
+let dead t =
+  let acc = ref [] in
+  for id = t.cfg.threads - 1 downto 0 do
+    if t.dead.(id) then acc := id :: !acc
+  done;
+  !acc
 
 let unsafe_skip_validation t = t.validate_deref <- false
 
@@ -185,26 +198,36 @@ let alloc t ~tid =
          retry bounded full passes — an empty pass may just mean the
          free nodes are parked in other threads' caches. *)
       let limit = (16 * t.cfg.threads) + 16 in
-      let rec claim rounds =
+      let rec claim rounds ~waits ~adopted =
         match Freestore.alloc fs ~tid with
         | Some node -> register node
         | None ->
             if not !scanned then begin
               scanned := true;
               !scan_ref t ~tid;
-              claim rounds
+              claim rounds ~waits ~adopted
             end
-            else if rounds >= limit then raise Mm_intf.Out_of_memory
+            else if rounds >= limit then begin
+              (* Bounded wait: adopt declared-dead peers' caches once,
+                 then surface typed backpressure rather than parking
+                 forever on nodes nobody will ever return. *)
+              if (not adopted) && Freestore.adopt fs ~tid ~dead:(dead t) > 0
+              then claim 0 ~waits ~adopted:true
+              else begin
+                C.incr t.ctr ~tid Oom_backpressure;
+                raise (Mm_intf.Out_of_nodes { retries = rounds; waits })
+              end
+            end
             else begin
               C.incr t.ctr ~tid Alloc_retry;
               (* Park until a remote free publishes nodes; bounded
                  timeout because other domains' caches are invisible
                  to the store and produce no wake. *)
               Freestore.wait_free fs ~tid ~timeout_ns:200_000;
-              claim (rounds + 1)
+              claim (rounds + 1) ~waits:(waits + 1) ~adopted
             end
       in
-      claim 0
+      claim 0 ~waits:0 ~adopted:false
   | None ->
       let rec pop () =
         let hv = B.read t.backend t.head in
@@ -420,6 +443,64 @@ let custody t =
       pinned = !pinned;
       violations = List.rev !violations;
     }
+
+(* Crash recovery: clear the dead threads' published hazard slots (a
+   crashed reader pins its targets for every scanner, forever), adopt
+   their stranded retired backlogs, then run one scan — with the dead
+   pins gone it frees everything whose only blocker was the crash.
+   Finally sweep orphans: a victim that crashed between unlinking a
+   node and retiring it strands the node outside every custody
+   record, where only a root-marking pass can find it. *)
+let recover t ~tid =
+  if not (Array.exists Fun.id t.dead) then Mm_intf.no_recovery
+  else begin
+    let adopted = ref 0 and cleared = ref 0 in
+    let me = t.threads.(tid) in
+    for id = 0 to t.cfg.threads - 1 do
+      if t.dead.(id) && id <> tid then begin
+        let pt = t.threads.(id) in
+        for s = 0 to t.k - 1 do
+          if not (Value.is_null (B.read t.backend pt.slots.(s))) then begin
+            B.write t.backend pt.slots.(s) 0;
+            incr cleared
+          end;
+          pt.counts.(s) <- 0
+        done;
+        List.iter
+          (fun p ->
+            C.incr t.ctr ~tid Recovery_adopt;
+            incr adopted;
+            me.retired <- p :: me.retired;
+            me.retired_len <- me.retired_len + 1)
+          pt.retired;
+        pt.retired <- [];
+        pt.retired_len <- 0
+      end
+    done;
+    scan t ~tid;
+    let cached =
+      match t.store with
+      | Some fs -> Freestore.adopt fs ~tid ~dead:(dead t)
+      | None -> 0
+    in
+    let c = custody t in
+    let kept = Array.make (t.cfg.capacity + 1) false in
+    List.iter (fun (_, h) -> kept.(h) <- true) c.Mm_intf.pending;
+    List.iter (fun (_, h) -> kept.(h) <- true) c.Mm_intf.pinned;
+    let swept =
+      Mm_intf.Orphan.sweep ~arena:t.arena ~free:c.Mm_intf.free
+        ~keep:(fun h -> kept.(h))
+        ~reclaim:(fun p ->
+          C.incr t.ctr ~tid Recovery_adopt;
+          C.incr t.ctr ~tid Node_reclaimed;
+          pool_push t ~tid p)
+    in
+    {
+      Mm_intf.adopted = !adopted + cached + swept;
+      released = 0;
+      cleared = !cleared;
+    }
+  end
 
 let validate t =
   ignore (free_set t);

@@ -31,6 +31,7 @@ type t = {
   store : Freestore.t option; (* sharded Native free store (else legacy) *)
   work : int array array; (* per-thread release work stacks *)
   scratch : int array array; (* per-thread link-collect buffers *)
+  dead : bool array; (* tids declared permanently stopped *)
 }
 
 let hw_head = 0
@@ -81,7 +82,19 @@ let create (cfg : Mm_intf.config) =
           Array.make (max 64 (4 * (cfg.num_links + 1))) 0);
     scratch =
       Array.init cfg.threads (fun _ -> Array.make (max 1 cfg.num_links) 0);
+    dead = Array.make cfg.threads false;
   }
+
+let declare_dead t ~tid =
+  if tid < 0 || tid >= t.cfg.threads then invalid_arg "Lfrc.declare_dead";
+  t.dead.(tid) <- true
+
+let dead t =
+  let acc = ref [] in
+  for id = t.cfg.threads - 1 downto 0 do
+    if t.dead.(id) then acc := id :: !acc
+  done;
+  !acc
 
 let enter_op _t ~tid:_ = ()
 let exit_op _t ~tid:_ = ()
@@ -163,23 +176,37 @@ let alloc t ~tid =
          stale Valois deref may still land a transient +2/-2 pair on
          it concurrently. *)
       let limit = (16 * t.cfg.threads) + 16 in
-      let rec claim rounds =
+      let rec claim rounds ~waits ~adopted =
         match Freestore.alloc fs ~tid with
         | Some node ->
             Arena.faa_mm_ref t.arena node 1;
             Mm_intf.Events.emit ~tid node Mm_intf.Events.Alloc;
             node
         | None ->
-            if rounds >= limit then raise Mm_intf.Out_of_memory;
-            C.incr t.ctr ~tid Alloc_retry;
-            (* Park instead of spinning: a remote free's stripe push or
-               return-slot install wakes us. Bounded, because nodes
-               parked in other domains' caches are invisible to the
-               store and produce no wake. *)
-            Freestore.wait_free fs ~tid ~timeout_ns:200_000;
-            claim (rounds + 1)
+            if rounds >= limit then begin
+              (* Bounded wait: before surfacing backpressure, adopt
+                 declared-dead peers' caches once — those nodes are
+                 invisible to the store and generate no wake. Failing
+                 that, a typed [Out_of_nodes] (never an unbounded
+                 park): the caller owns the back-off policy. *)
+              if (not adopted) && Freestore.adopt fs ~tid ~dead:(dead t) > 0
+              then claim 0 ~waits ~adopted:true
+              else begin
+                C.incr t.ctr ~tid Oom_backpressure;
+                raise (Mm_intf.Out_of_nodes { retries = rounds; waits })
+              end
+            end
+            else begin
+              C.incr t.ctr ~tid Alloc_retry;
+              (* Park instead of spinning: a remote free's stripe push
+                 or return-slot install wakes us. Bounded, because
+                 nodes parked in other domains' caches are invisible
+                 to the store and produce no wake. *)
+              Freestore.wait_free fs ~tid ~timeout_ns:200_000;
+              claim (rounds + 1) ~waits:(waits + 1) ~adopted
+            end
       in
-      claim 0
+      claim 0 ~waits:0 ~adopted:false
   | None ->
       let rec pop () =
         let hv = Hot.read t.hot hw_head in
@@ -317,6 +344,40 @@ let custody t =
       in
       walk (Value.stamped_ptr (Hot.read t.hot hw_head)) 0);
   Mm_intf.{ free; pending = []; pinned = []; violations = List.rev !violations }
+
+(* Crash recovery: the scheme has no announcement/retired custody, so
+   recovery is the reference-count anomaly fixpoint (crashed derefs
+   and cas_links strand +2 surpluses; crashed reclamations strand
+   zero-inbound nodes) plus adoption of dead threads' store caches. *)
+let revive t ~tid node =
+  for i = 0 to t.cfg.num_links - 1 do
+    let v = Arena.read_clear_link t.arena node i in
+    if not (Value.is_null v) then release t ~tid (Value.unmark v)
+  done;
+  Arena.write t.arena (Arena.mm_ref_addr t.arena node) 1;
+  C.incr t.ctr ~tid Node_reclaimed;
+  free_node t ~tid node
+
+let recover t ~tid =
+  if not (Array.exists Fun.id t.dead) then Mm_intf.no_recovery
+  else begin
+    let revived, drops =
+      Mm_intf.Rc_anomaly.run ~arena:t.arena
+        ~custody:(fun () -> custody t)
+        ~release:(fun p ->
+          C.incr t.ctr ~tid Recovery_release;
+          release t ~tid p)
+        ~revive:(fun p ->
+          C.incr t.ctr ~tid Recovery_adopt;
+          revive t ~tid p)
+    in
+    let cached =
+      match t.store with
+      | Some fs -> Freestore.adopt fs ~tid ~dead:(dead t)
+      | None -> 0
+    in
+    { Mm_intf.adopted = revived + cached; released = drops; cleared = 0 }
+  end
 
 let validate t =
   let seen = free_set t in

@@ -30,6 +30,7 @@ type t = {
   park : Park.t; (* parking spot for lock waiters (Native only) *)
   free_head : P.cell;
   store : Freestore.t option; (* sharded Native free store (else legacy) *)
+  dead : bool array; (* tids declared permanently stopped *)
 }
 
 let name = "lockrc"
@@ -74,7 +75,19 @@ let create (cfg : Mm_intf.config) =
       B.make_contended backend
         (if store = None then Value.of_handle 1 else Value.null);
     store;
+    dead = Array.make cfg.threads false;
   }
+
+let declare_dead t ~tid =
+  if tid < 0 || tid >= t.cfg.threads then invalid_arg "Lockrc.declare_dead";
+  t.dead.(tid) <- true
+
+let dead t =
+  let acc = ref [] in
+  for id = t.cfg.threads - 1 downto 0 do
+    if t.dead.(id) then acc := id :: !acc
+  done;
+  !acc
 
 (* Release the lock and deliver a wake to any parked waiter. Under
    [Sim] nobody ever parks (the backoff arm is a scheduling point), so
@@ -152,13 +165,30 @@ let alloc t ~tid =
       match t.store with
       | Some fs -> begin
           (* Every store operation runs under the one lock, so one
-             full pass is conclusive: nobody can free concurrently. *)
-          match Freestore.alloc fs ~tid with
-          | Some node ->
-              Arena.write t.arena (Arena.mm_ref_addr t.arena node) 2;
-              Mm_intf.Events.emit ~tid node Mm_intf.Events.Alloc;
-              node
-          | None -> raise Mm_intf.Out_of_memory
+             full pass is conclusive: nobody can free concurrently.
+             One more pass is owed after adopting declared-dead peers'
+             caches; failing that, typed backpressure. *)
+          let claim () =
+            match Freestore.alloc fs ~tid with
+            | Some node ->
+                Arena.write t.arena (Arena.mm_ref_addr t.arena node) 2;
+                Mm_intf.Events.emit ~tid node Mm_intf.Events.Alloc;
+                Some node
+            | None -> None
+          in
+          match claim () with
+          | Some node -> node
+          | None ->
+              if Freestore.adopt fs ~tid ~dead:(dead t) > 0 then
+                match claim () with
+                | Some node -> node
+                | None ->
+                    C.incr t.ctr ~tid Oom_backpressure;
+                    raise (Mm_intf.Out_of_nodes { retries = 2; waits = 0 })
+              else begin
+                C.incr t.ctr ~tid Oom_backpressure;
+                raise (Mm_intf.Out_of_nodes { retries = 1; waits = 0 })
+              end
         end
       | None ->
           let node = B.read t.backend t.free_head in
@@ -271,6 +301,58 @@ let custody t =
       in
       walk (B.read t.backend t.free_head) 0);
   Mm_intf.{ free; pending = []; pinned = []; violations = List.rev !violations }
+
+(* Crash recovery. Finish the free a crashed holder never completed:
+   clear the links (dropping their targets' shares through [reclaim]),
+   restore the free-node claim and push the node back to the pool. *)
+let revive t ~tid node =
+  with_lock t ~tid (fun () ->
+      let nl = Layout.num_links (Arena.layout t.arena) in
+      for i = 0 to nl - 1 do
+        let v = Arena.read_link t.arena node i in
+        Arena.write_link t.arena node i 0;
+        if not (Value.is_null v) then reclaim t ~tid (Value.unmark v)
+      done;
+      Arena.write t.arena (Arena.mm_ref_addr t.arena node) 1;
+      C.incr t.ctr ~tid Node_reclaimed;
+      Mm_intf.Events.emit ~tid node Mm_intf.Events.Free;
+      C.incr t.ctr ~tid Free;
+      match t.store with
+      | Some fs -> Freestore.free fs ~tid node
+      | None ->
+          Arena.write_mm_next t.arena node (B.read t.backend t.free_head);
+          B.write t.backend t.free_head node)
+
+let recover t ~tid =
+  if not (Array.exists Fun.id t.dead) then Mm_intf.no_recovery
+  else begin
+    let cleared = ref 0 in
+    (* At quiescence, with the survivors drained, a non-zero lock word
+       can only be a dead holder's. Break it and wake any parked
+       waiter — this is the step that turns the scheme's liveness
+       disaster back into mere lost work. *)
+    if B.read t.backend t.lock <> 0 then begin
+      B.write t.backend t.lock 0;
+      if Park.wake t.park then C.incr t.ctr ~tid Park_wake;
+      incr cleared
+    end;
+    let revived, drops =
+      Mm_intf.Rc_anomaly.run ~arena:t.arena
+        ~custody:(fun () -> custody t)
+        ~release:(fun p ->
+          C.incr t.ctr ~tid Recovery_release;
+          release t ~tid p)
+        ~revive:(fun p ->
+          C.incr t.ctr ~tid Recovery_adopt;
+          revive t ~tid p)
+    in
+    let cached =
+      match t.store with
+      | Some fs -> Freestore.adopt fs ~tid ~dead:(dead t)
+      | None -> 0
+    in
+    { Mm_intf.adopted = revived + cached; released = drops; cleared = !cleared }
+  end
 
 let validate t =
   if B.read t.backend t.lock <> 0 then

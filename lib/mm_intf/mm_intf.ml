@@ -19,6 +19,14 @@
 exception Out_of_memory
 (* Raised by [alloc] when the free-list is exhausted (paper fn. 4). *)
 
+exception Out_of_nodes of { retries : int; waits : int }
+(* Typed backpressure from the bounded-wait allocation path: the free
+   store stayed empty through [retries] scan rounds and [waits]
+   timed-out parks, a recovery attempt for declared-dead holders was
+   made, and the caller should back off / shed load rather than block.
+   Distinct from {!Out_of_memory}, which is the Sim/legacy hard
+   exhaustion signal with unchanged semantics. *)
+
 type config = {
   threads : int;      (* fixed number of participating threads (N) *)
   capacity : int;     (* number of nodes in the arena *)
@@ -146,6 +154,188 @@ type custody = {
          custody); empty on a healthy snapshot *)
 }
 
+(* What one recovery pass over the declared-dead set accomplished.
+   [adopted] counts nodes moved from dead-thread custody (annAlloc
+   donations, retired lists, limbo bags, allocation caches) back into
+   allocator circulation; [released] counts surplus references dropped
+   on dead threads' behalf (each may cascade and reclaim several
+   nodes); [cleared] counts per-thread metadata slots wiped
+   (announcement-pool rows, hazard slots, epoch pins, a held lock). *)
+type recovery = { adopted : int; released : int; cleared : int }
+
+let no_recovery = { adopted = 0; released = 0; cleared = 0 }
+
+(* Shared recovery analysis for the reference-counting schemes
+   (wfrc/lfrc/lockrc). At quiescence, with the survivors drained and
+   the dead threads' published metadata already cleared, every
+   remaining reference anomaly is attributable to a crashed thread
+   (the same attribution argument as Harness.Audit):
+
+     even count above the 2-per-link inbound share
+                      — the dead thread still holds references it
+                        acquired; drop them one release at a time, so
+                        the scheme's own reclamation cascade runs;
+     odd count, unreachable, no inbound
+                      — crashed inside ReleaseRef/FreeNode after the
+                        R2 claim (possibly with the F3 donation
+                        inflation); finish the free it never completed;
+     zero count, unreachable, no inbound
+                      — crashed between the R1 decrement and the R2
+                        claim; same revival.
+
+   [next] re-analyses from scratch and returns one action, or [None]
+   at the fixpoint; [run] drives actions to the fixpoint with a
+   budget. One action per analysis round keeps the walk sound while
+   release cascades rewrite the free set underneath it — recovery is
+   rare and quiescent, so the O(anomalies * capacity) cost is fine.
+   Revival is gated on zero inbound links: forcing the claimed count
+   while another (crash-held) node still links to the victim would
+   corrupt the count when that linker is later reclaimed, so such
+   nodes wait for their linkers' cascades to resolve first. *)
+module Rc_anomaly = struct
+  module Value = Shmem.Value
+  module Arena = Shmem.Arena
+
+  type action =
+    | Drop_excess of Value.ptr (* release one surplus reference *)
+    | Revive of Value.ptr      (* finish a crashed thread's free *)
+
+  let next ~arena ~free ~is_pending =
+    let cap = Arena.capacity arena in
+    let num_links = Shmem.Layout.num_links (Arena.layout arena) in
+    let is_free h = h >= 1 && h <= cap && free.(h) in
+    let skip h = is_free h || is_pending h in
+    let reach = Array.make (cap + 1) false in
+    let rec visit h =
+      if h >= 1 && h <= cap && (not (is_free h)) && not reach.(h) then begin
+        reach.(h) <- true;
+        let p = Value.of_handle h in
+        for i = 0 to num_links - 1 do
+          let v = Arena.read_link arena p i in
+          if not (Value.is_null v) then visit (Value.handle (Value.unmark v))
+        done
+      end
+    in
+    let inbound = Array.make (cap + 1) 0 in
+    let count v =
+      if not (Value.is_null v) then begin
+        let h = Value.handle (Value.unmark v) in
+        if h >= 1 && h <= cap then inbound.(h) <- inbound.(h) + 2
+      end
+    in
+    for r = 0 to Arena.num_roots arena - 1 do
+      let v = Arena.read arena (Arena.root_addr arena r) in
+      if not (Value.is_null v) then visit (Value.handle (Value.unmark v));
+      count v
+    done;
+    for h = 1 to cap do
+      if not (skip h) then
+        let p = Value.of_handle h in
+        for i = 0 to num_links - 1 do
+          count (Arena.read_link arena p i)
+        done
+    done;
+    let found = ref None in
+    (try
+       for h = 1 to cap do
+         if not (skip h) then begin
+           let r = Arena.read_mm_ref arena (Value.of_handle h) in
+           if r land 1 = 0 && r > inbound.(h) then begin
+             found := Some (Drop_excess (Value.of_handle h));
+             raise Exit
+           end
+         end
+       done;
+       for h = 1 to cap do
+         if (not (skip h)) && (not reach.(h)) && inbound.(h) = 0 then begin
+           let r = Arena.read_mm_ref arena (Value.of_handle h) in
+           if r land 1 = 1 || r = 0 then begin
+             found := Some (Revive (Value.of_handle h));
+             raise Exit
+           end
+         end
+       done
+     with Exit -> ());
+    !found
+
+  (* Drive to the fixpoint. [custody] must re-snapshot (the free set
+     moves under the cascades); [release]/[revive] are the scheme's
+     callbacks. Returns [(revived, releases)]. *)
+  let run ~arena ~custody ~release ~revive =
+    let cap = Arena.capacity arena in
+    let budget = ref ((4 * cap) + 16) in
+    let revived = ref 0 and releases = ref 0 in
+    let continue_ = ref true in
+    while !continue_ && !budget > 0 do
+      decr budget;
+      let (c : custody) = custody () in
+      let pend = Array.make (cap + 1) false in
+      List.iter
+        (fun ((_ : int), h) -> if h >= 1 && h <= cap then pend.(h) <- true)
+        c.pending;
+      match next ~arena ~free:c.free ~is_pending:(fun h -> pend.(h)) with
+      | None -> continue_ := false
+      | Some (Drop_excess p) ->
+          incr releases;
+          release p
+      | Some (Revive p) ->
+          incr revived;
+          revive p
+    done;
+    (!revived, !releases)
+end
+
+(* Orphan sweep for the non-refcounted schemes (hp/ebr). A thread
+   that crashes between unlinking a node and retiring it leaves the
+   node unreachable, in no custody record, and — with no reference
+   count — carrying no anomaly that could flag it: normal operation
+   can never reclaim it. At recovery time the premises are exactly
+   the auditor's (quiescent instance, survivors drained, dead
+   declared), so any node that is neither free, nor reachable from
+   the roots, nor claimed by [keep] (retired lists, limbo bags,
+   published pins) is unreclaimable garbage the adopter may free.
+   [sweep] marks from the roots and hands each such node to
+   [reclaim]; returns how many it freed. *)
+module Orphan = struct
+  module Value = Shmem.Value
+  module Arena = Shmem.Arena
+
+  let sweep ~arena ~free ~keep ~reclaim =
+    let cap = Arena.capacity arena in
+    let num_links = Shmem.Layout.num_links (Arena.layout arena) in
+    let is_free h = h >= 1 && h <= cap && free.(h) in
+    let reach = Array.make (cap + 1) false in
+    let rec visit h =
+      if h >= 1 && h <= cap && (not (is_free h)) && not reach.(h) then begin
+        reach.(h) <- true;
+        let p = Value.of_handle h in
+        for i = 0 to num_links - 1 do
+          let v = Arena.read_link arena p i in
+          if not (Value.is_null v) then visit (Value.handle (Value.unmark v))
+        done
+      end
+    in
+    for r = 0 to Arena.num_roots arena - 1 do
+      let v = Arena.read arena (Arena.root_addr arena r) in
+      if not (Value.is_null v) then visit (Value.handle (Value.unmark v))
+    done;
+    let n = ref 0 in
+    for h = 1 to cap do
+      if (not (is_free h)) && (not reach.(h)) && not (keep h) then begin
+        incr n;
+        reclaim (Value.of_handle h)
+      end
+    done;
+    !n
+end
+
+let recovery_add a b =
+  {
+    adopted = a.adopted + b.adopted;
+    released = a.released + b.released;
+    cleared = a.cleared + b.cleared;
+  }
+
 module type S = sig
   type t
 
@@ -232,6 +422,29 @@ module type S = sig
   (** Quiescent custody snapshot for the auditor. Never raises, even
       when crashed threads left the scheme's metadata non-quiescent
       (live announcements, published hazards, a held lock). *)
+
+  val declare_dead : t -> tid:int -> unit
+  (** Declare thread [tid] permanently dead: it will never run another
+      operation. Idempotent. The declaration is consulted by
+      {!recover} and by the bounded-wait allocation path (which may
+      adopt dead threads' allocation caches under pressure). Like the
+      auditor protocol, the caller guarantees the tid really has
+      stopped — this is a harness/supervisor-level declaration, not
+      something the scheme can detect on its own. *)
+
+  val dead : t -> int list
+  (** Sorted tids declared dead so far. *)
+
+  val recover : t -> tid:int -> recovery
+  (** Adopt the declared-dead threads' state from surviving thread
+      [tid]: clear their published metadata (announcement-pool rows,
+      hazard slots, epoch pins, a held lock), re-run the scheme's
+      release protocol on references they still held, and drain their
+      parked nodes (annAlloc donations, retired lists, limbo bags,
+      per-thread caches) back into circulation. Quiescent-survivors
+      protocol, same as {!custody}/{!validate}: call it after the
+      surviving threads have drained, from a single thread. Idempotent
+      — a second pass finds nothing left to adopt. *)
 end
 
 (* First-class packaging so the harness can treat schemes uniformly. *)
@@ -269,6 +482,9 @@ let store_link (module I : INSTANCE) ~tid addr p =
   I.M.store_link I.it ~tid addr p
 
 let terminate (module I : INSTANCE) ~tid p = I.M.terminate I.it ~tid p
+let declare_dead (module I : INSTANCE) ~tid = I.M.declare_dead I.it ~tid
+let dead (module I : INSTANCE) = I.M.dead I.it
+let recover (module I : INSTANCE) ~tid = I.M.recover I.it ~tid
 let make_immortal (module I : INSTANCE) ~tid p = I.M.make_immortal I.it ~tid p
 let validate (module I : INSTANCE) = I.M.validate I.it
 let free_count (module I : INSTANCE) = I.M.free_count I.it

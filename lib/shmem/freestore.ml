@@ -68,6 +68,7 @@ type t = {
   hot : Hot.t; (* stamped stripe heads, return slots, producer cursors *)
   caches : cache array; (* [threads] *)
   park : Park.t; (* woken by every visible push; see [wait_free] *)
+  adopt_lock : int Atomic.t; (* single-adopter guard for [adopt] *)
 }
 
 let shards t = t.shards
@@ -120,6 +121,7 @@ let create ~backend ?rep ~arena ~counters ~shards ~batch ~threads () =
       Array.init threads (fun _ ->
           { slots = Array.make (2 * batch) Value.null; len = 0 });
     park = Park.create ();
+    adopt_lock = Atomic.make 0;
   }
 
 (* Every push that makes nodes visible to other threads wakes the
@@ -269,6 +271,37 @@ let free t ~tid node =
     done;
     if not (Value.is_null !hfirst) then
       push_chain t ~tid home ~first:!hfirst ~last:!hlast
+  end
+
+(* Recovery --------------------------------------------------------- *)
+
+(* Drain declared-dead threads' private caches back onto the shared
+   stripes. The caches are unsynchronised single-owner state, so this
+   is only sound once the owners are permanently stopped (the
+   quiescent-survivors declaration contract of [Mm_intf.declare_dead]);
+   the CAS guard serialises concurrent adopters — the loser returns 0
+   and simply retries its allocation, since the winner's pushes wake
+   the store's parkers anyway. Returns the number of nodes returned to
+   circulation. *)
+let adopt t ~tid ~dead =
+  if not (Atomic.compare_and_set t.adopt_lock 0 1) then 0
+  else begin
+    let n = ref 0 in
+    List.iter
+      (fun id ->
+        if id >= 0 && id < t.threads && id <> tid then begin
+          let c = t.caches.(id) in
+          while c.len > 0 do
+            c.len <- c.len - 1;
+            let p = c.slots.(c.len) in
+            C.incr t.ctr ~tid Recovery_adopt;
+            incr n;
+            push_chain t ~tid (stripe_of t p) ~first:p ~last:p
+          done
+        end)
+      dead;
+    Atomic.set t.adopt_lock 0;
+    !n
   end
 
 (* Parking --------------------------------------------------------- *)

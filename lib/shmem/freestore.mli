@@ -45,6 +45,15 @@ val free : t -> tid:int -> Value.ptr -> unit
     cache overflow, [batch] nodes are spilled: home nodes as one
     chain-push, others through their stripe's return buffer. *)
 
+val adopt : t -> tid:int -> dead:int list -> int
+(** Recovery: drain the [dead] threads' private caches back onto the
+    shared stripes, returning the number of nodes recirculated (each
+    also counts a [Recovery_adopt] event). Only sound once the owners
+    are permanently stopped ({!Mm_intf.declare_dead} contract): the
+    caches are unsynchronised. Concurrent adopters are serialised by a
+    CAS guard — the loser returns 0 immediately. The winner's stripe
+    pushes wake any {!wait_free} parkers. *)
+
 (** {1 Parking} *)
 
 val wait_free : t -> tid:int -> timeout_ns:int -> unit

@@ -199,6 +199,59 @@ let park_tests =
         check_bool "parker resumed" true (Atomic.get woken));
   ]
 
+(* Timed-park liveness: the OOM degradation path (Freestore.wait_free,
+   Chaos stalls) leans on [park ~timeout_ns] returning without any
+   waker, including under wake storms that race the prepare/park
+   window. A hang here is an unbounded alloc wait. *)
+let park_timeout_tests =
+  [
+    tc "park with a zero timeout returns at once" (fun () ->
+        let p = Park.create () in
+        let gen = Park.prepare p in
+        Park.park p ~gen ~timeout_ns:0;
+        check_int "deregistered" 0 (Park.waiters p));
+    qc ~count:25 "timed park with no waker returns for any timeout"
+      QCheck.(int_range 0 1_000_000)
+      (fun timeout_ns ->
+        let p = Park.create () in
+        let gen = Park.prepare p in
+        Park.park p ~gen ~timeout_ns;
+        Park.waiters p = 0);
+    tc "timed park never hangs under a spurious-wake storm" (fun () ->
+        let p = Park.create () in
+        let stop = Atomic.make false in
+        let storm =
+          Domain.spawn (fun () ->
+              while not (Atomic.get stop) do
+                ignore (Park.wake p);
+                Domain.cpu_relax ()
+              done)
+        in
+        (* every park either times out or is woken spuriously; either
+           way it must return and leave no waiter registered *)
+        for _ = 1 to 100 do
+          let gen = Park.prepare p in
+          Park.park p ~gen ~timeout_ns:1_000_000
+        done;
+        Atomic.set stop true;
+        Domain.join storm;
+        check_int "no waiter left behind" 0 (Park.waiters p));
+    tc "wake racing the prepare/park window still lets park return"
+      (fun () ->
+        let p = Park.create () in
+        for _ = 1 to 50 do
+          let gen = Park.prepare p in
+          (* the generation moves before we sleep: park must notice
+             and return immediately, not wait out the timeout *)
+          ignore (Park.wake p);
+          let t0 = Unix.gettimeofday () in
+          Park.park p ~gen ~timeout_ns:2_000_000_000;
+          let dt = Unix.gettimeofday () -. t0 in
+          check_bool "returned well before the 2s timeout" true (dt < 1.0)
+        done;
+        check_int "no waiter left behind" 0 (Park.waiters p));
+  ]
+
 let once_waiting_tests =
   [
     tc "sim: once_waiting is exactly once — ready never consulted" (fun () ->
@@ -253,4 +306,4 @@ let once_waiting_tests =
 
 let suite =
   primitives_tests @ schedpoint_tests @ counters_tests @ backoff_tests
-  @ park_tests @ once_waiting_tests
+  @ park_tests @ park_timeout_tests @ once_waiting_tests

@@ -175,17 +175,18 @@ let churn mm ~root ~tid =
       end;
       if not ok then Mm.terminate mm ~tid b;
       Mm.release mm ~tid b
-  | exception Mm.Out_of_memory -> ());
+  | exception (Mm.Out_of_memory | Mm.Out_of_nodes _) -> ());
   Mm.exit_op mm ~tid
 
 (* One E12-shaped scenario: [threads-1] crashes mid-churn while the
    survivors keep working. Returns the instance, the crash victim and
    a cell recording a node handle the victim held when it died. *)
-let crash_scenario ~threads ~capacity ~ops ~at_step ~policy () =
+let crash_scenario ?(scheme = "wfrc") ~threads ~capacity ~ops ~at_step ~policy
+    () =
   let cfg =
     Mm.config ~threads ~capacity ~num_links:1 ~num_data:1 ~num_roots:1 ()
   in
-  let mm = mm_of "wfrc" cfg in
+  let mm = mm_of scheme cfg in
   let root = Arena.root_addr (Mm.arena mm) 0 in
   let victim = threads - 1 in
   let held = ref 0 in
@@ -336,4 +337,191 @@ let audit_tests =
                  (List.map string_of_int (Array.to_list f.Explore.schedule))));
   ]
 
-let suite = plan_tests @ engine_tests @ [ replay_trace_test ] @ audit_tests
+(* ---------------- Per-scheme loss envelopes -------------------------- *)
+
+(* [Audit.envelope] pins the empirically-calibrated per-crash loss for
+   each bounded scheme — much tighter than the default Theorem-1
+   reading of |crashed| * N * (N+1). These regressions hold the
+   observed crash_held under the calibrated envelope across a seeded
+   grid; a scheme change that strands more per crash fails here before
+   it moves E12. *)
+let envelope_tests =
+  let check_scheme scheme =
+    tc (scheme ^ ": crash loss stays within the calibrated envelope")
+      (fun () ->
+        let threads = 3 in
+        let bound =
+          match Audit.envelope ~scheme ~threads ~crashes:1 with
+          | Some b -> b
+          | None -> Alcotest.failf "%s: expected a calibrated envelope" scheme
+        in
+        let audited = ref 0 in
+        for seed = 0 to 9 do
+          match
+            crash_scenario ~scheme ~threads ~capacity:24 ~ops:30
+              ~at_step:(60 + (35 * seed))
+              ~policy:(Policy.random ~seed:(100 + seed))
+              ()
+          with
+          | mm, victim, _, _ ->
+              incr audited;
+              let r = Audit.run ~crashed:[ victim ] ~loss_bound:bound mm in
+              check_bool
+                (Printf.sprintf "seed %d within envelope %d: %s" seed bound
+                   (Audit.to_string r))
+                true
+                (r.Audit.crash_held <= bound && r.Audit.violations = [])
+          | exception Engine.Out_of_steps -> ()
+          (* lockrc: the victim died holding the lock and the run never
+             quiesced; recovery_tests covers that shape *)
+        done;
+        check_bool "grid produced audited runs" true (!audited > 0))
+  in
+  List.map check_scheme [ "wfrc"; "lfrc"; "lockrc"; "hp" ]
+  @ [
+      tc "ebr has no bounded envelope (unbounded by design)" (fun () ->
+          check_bool "no envelope for ebr" true
+            (Audit.envelope ~scheme:"ebr" ~threads:4 ~crashes:1 = None));
+    ]
+
+(* ---------------- Crash recovery: dead-slot adoption ------------------ *)
+
+module Recovery = Harness.Recovery
+module Chaos = Harness.Chaos
+
+let drain = Harness.Exp_support.drain_survivors
+
+let recovery_tests =
+  [
+    tc "recovery returns >=90% of crash_held, every scheme, audit clean"
+      (fun () ->
+        List.iter
+          (fun scheme ->
+            let audited = ref 0 in
+            for seed = 0 to 4 do
+              match
+                crash_scenario ~scheme ~threads:3 ~capacity:24 ~ops:24
+                  ~at_step:(50 + (45 * seed))
+                  ~policy:(Policy.random ~seed:(200 + seed))
+                  ()
+              with
+              | mm, victim, _, _ ->
+                  incr audited;
+                  drain mm ~survivors:[ 0; 1 ];
+                  let o = Recovery.run ~dead:[ victim ] ~by:0 mm in
+                  let label what =
+                    Printf.sprintf "%s seed %d %s: %s" scheme seed what
+                      (Audit.to_string o.Recovery.post)
+                  in
+                  check_bool (label "post-audit ok") true
+                    (Audit.ok o.Recovery.post);
+                  check_int (label "crash_held collapsed") 0
+                    o.Recovery.post.Audit.crash_held;
+                  check_int (label "nothing leaked") 0
+                    o.Recovery.post.Audit.leaked;
+                  check_bool (label "recovered >= 90% of crash_held") true
+                    (10 * o.Recovery.post.Audit.recovered
+                    >= 9 * o.Recovery.pre.Audit.crash_held)
+              | exception Engine.Out_of_steps -> ()
+            done;
+            check_bool (scheme ^ ": grid produced audited runs") true
+              (!audited > 0))
+          all_schemes);
+    tc "Recovery.run rejects an empty dead set and a dead adopter"
+      (fun () ->
+        let mm = mm_of "wfrc" (small_cfg ()) in
+        fails_with ~substring:"empty dead set" (fun () ->
+            Recovery.run ~dead:[] ~by:0 mm);
+        fails_with ~substring:"adopter is dead" (fun () ->
+            Recovery.run ~dead:[ 0; 1 ] ~by:1 mm));
+    tc "lockrc: a victim that died holding the lock is recoverable"
+      (fun () ->
+        (* Survivors spin on the dead thread's lock forever, so the
+           E12 bed never quiesces (those runs are skipped there). With
+           an idle peer the run does quiesce, and recovery must break
+           the lock so the survivor can operate again. *)
+        let any_cleared = ref false in
+        for seed = 0 to 9 do
+          let cfg =
+            Mm.config ~threads:2 ~capacity:16 ~num_links:1 ~num_data:1
+              ~num_roots:1 ()
+          in
+          let mm = mm_of "lockrc" cfg in
+          let root = Arena.root_addr (Mm.arena mm) 0 in
+          let faults = [ Fault.crash ~tid:1 ~at_step:(20 + (9 * seed)) ] in
+          ignore
+            (Engine.run ~max_steps:100_000 ~threads:2 ~faults
+               ~policy:(Policy.random ~seed:(300 + seed))
+               (fun tid ->
+                 if tid = 1 then
+                   while true do
+                     churn mm ~root ~tid
+                   done));
+          let o = Recovery.run ~dead:[ 1 ] ~by:0 mm in
+          if o.Recovery.stats.Mm.cleared > 0 then any_cleared := true;
+          check_bool
+            (Printf.sprintf "seed %d post-audit ok: %s" seed
+               (Audit.to_string o.Recovery.post))
+            true
+            (Audit.ok o.Recovery.post);
+          (* the lock is free again: the survivor can operate *)
+          churn mm ~root ~tid:0;
+          drain mm ~survivors:[ 0 ]
+        done;
+        check_bool "at least one victim died holding the lock" true
+          !any_cleared);
+    tc "native chaos: mid-fragment crash on Domains, then adoption"
+      (fun () ->
+        let cfg =
+          Mm.config ~backend:Atomics.Backend.Native ~shards:2 ~batch:2
+            ~threads:2 ~capacity:32 ~num_links:1 ~num_data:1 ~num_roots:1 ()
+        in
+        let mm = mm_of "wfrc" cfg in
+        let root = Arena.root_addr (Mm.arena mm) 0 in
+        let chaos = Chaos.of_plan ~threads:2 [ Fault.crash ~tid:1 ~at_step:9 ] in
+        ignore
+          (Chaos.run chaos (fun ~tid ->
+               for _ = 1 to 200 do
+                 churn mm ~root ~tid
+               done));
+        check_bool "the crash fired" true (Chaos.crashed chaos = [ 1 ]);
+        check_bool "tid 0 survived" true (Chaos.survivors chaos = [ 0 ]);
+        drain mm ~survivors:[ 0 ];
+        let o = Recovery.run ~dead:[ 1 ] ~by:0 mm in
+        check_bool
+          ("post-audit ok: " ^ Audit.to_string o.Recovery.post)
+          true
+          (Audit.ok o.Recovery.post);
+        check_int "crash_held collapsed" 0 o.Recovery.post.Audit.crash_held;
+        check_int "nothing leaked" 0 o.Recovery.post.Audit.leaked);
+    tc "native chaos: a stalled thread sleeps through its window and resumes"
+      (fun () ->
+        let cfg =
+          Mm.config ~backend:Atomics.Backend.Native ~threads:2 ~capacity:16
+            ~num_links:1 ~num_data:1 ~num_roots:1 ()
+        in
+        let mm = mm_of "wfrc" cfg in
+        let root = Arena.root_addr (Mm.arena mm) 0 in
+        let done_ops = Array.make 2 0 in
+        let chaos =
+          Chaos.of_plan ~threads:2
+            [ Fault.stall ~tid:0 ~from_step:5 ~duration:500 ]
+        in
+        ignore
+          (Chaos.run chaos (fun ~tid ->
+               for _ = 1 to 50 do
+                 churn mm ~root ~tid;
+                 done_ops.(tid) <- done_ops.(tid) + 1
+               done));
+        check_bool "nobody crashed" true (Chaos.crashed chaos = []);
+        check_int "stalled thread finished all its ops" 50 done_ops.(0);
+        check_int "peer finished all its ops" 50 done_ops.(1);
+        drain mm ~survivors:[ 0; 1 ];
+        let r = Audit.run mm in
+        check_bool ("clean: " ^ Audit.to_string r) true (Audit.ok r));
+  ]
+
+let suite =
+  plan_tests @ engine_tests
+  @ [ replay_trace_test ]
+  @ audit_tests @ envelope_tests @ recovery_tests

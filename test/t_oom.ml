@@ -102,7 +102,81 @@ let exhaustion_in_structure scheme =
       Mm.exit_op mm ~tid;
       alloc_with_retries mm ~tid)
 
+(* Bounded OOM degradation (DESIGN.md §7): on the sharded Native
+   store, exhaustion with a crashed peer holding the last nodes must
+   terminate with typed [Out_of_nodes] backpressure — after a bounded
+   number of scan/park rounds, never an unbounded park — and declaring
+   the peer dead must unblock allocation through dead-cache adoption
+   alone, before any full recovery pass. Driven single-threaded with
+   tid indices: manager ops need no engine. *)
+let dead_holder_backpressure scheme =
+  tc (scheme ^ ": dead holder degrades to Out_of_nodes, adoption unblocks")
+    (fun () ->
+      let capacity = 24 in
+      let cfg =
+        Mm.config ~backend:Atomics.Backend.Native ~shards:2 ~batch:4
+          ~threads:2 ~capacity ~num_links:1 ~num_data:1 ~num_roots:1 ()
+      in
+      let mm = mm_of scheme cfg in
+      let hold tid =
+        let held = ref [] in
+        (try
+           for _ = 1 to capacity + 1 do
+             held := Mm.alloc mm ~tid :: !held
+           done
+         with Mm.Out_of_memory | Mm.Out_of_nodes _ -> ());
+        !held
+      in
+      (* the doomed peer takes everything, parks one cache-full back
+         (only adoption can reach those), then "crashes" *)
+      let held1 = hold 1 in
+      check_bool "peer took the arena" true (List.length held1 > capacity / 2);
+      let rec release_n n = function
+        | p :: rest when n > 0 ->
+            Mm.release mm ~tid:1 p;
+            release_n (n - 1) rest
+        | _ -> ()
+      in
+      release_n 8 held1;
+      (* the survivor's exhausted alloc must be typed backpressure with
+         bounded retry accounting, not Out_of_memory and not a hang *)
+      let held0 = ref [] and seen = ref None in
+      (try
+         for _ = 1 to capacity + 1 do
+           held0 := Mm.alloc mm ~tid:0 :: !held0
+         done
+       with
+      | Mm.Out_of_nodes { retries; waits } -> seen := Some (retries, waits)
+      | Mm.Out_of_memory -> Alcotest.fail "untyped Out_of_memory on sharded");
+      (match !seen with
+      | Some (retries, waits) ->
+          check_bool "bounded retries recorded" true (retries >= 1);
+          check_bool "wait count is sane" true (waits >= 0)
+      | None -> Alcotest.fail "exhaustion never surfaced");
+      List.iter (fun p -> Mm.release mm ~tid:0 p) !held0;
+      (* declaring the peer dead unblocks allocation via the in-alloc
+         dead-cache adoption path alone *)
+      Mm.declare_dead mm ~tid:1;
+      (match Mm.alloc mm ~tid:0 with
+      | p -> Mm.release mm ~tid:0 p
+      | exception (Mm.Out_of_memory | Mm.Out_of_nodes _) ->
+          Alcotest.fail "adoption did not unblock allocation");
+      (* a full recovery pass returns the dead peer's held nodes too *)
+      let o = Harness.Recovery.run ~dead:[ 1 ] ~by:0 mm in
+      let post = o.Harness.Recovery.post in
+      check_bool
+        ("post-recovery audit ok: " ^ Harness.Audit.to_string post)
+        true
+        (Harness.Audit.ok post);
+      check_int "crash_held collapsed" 0 post.Harness.Audit.crash_held;
+      check_int "nothing leaked" 0 post.Harness.Audit.leaked;
+      match Mm.alloc mm ~tid:0 with
+      | p -> Mm.release mm ~tid:0 p
+      | exception (Mm.Out_of_memory | Mm.Out_of_nodes _) ->
+          Alcotest.fail "allocation still blocked after recovery")
+
 let suite =
   List.concat_map
     (fun s -> [ exhaustion_roundtrip s; exhaustion_in_structure s ])
     all_schemes
+  @ List.map dead_holder_backpressure rc_schemes

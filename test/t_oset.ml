@@ -122,7 +122,7 @@ let conc_tests scheme =
                  (match Oset.insert s ~tid 42 tid with
                  | true -> wins.(tid) <- wins.(tid) + 1
                  | false -> ()
-                 | exception Mm.Out_of_memory -> ());
+                 | exception Mm.Out_of_memory | exception Mm.Out_of_nodes _ -> ());
                  if Oset.remove s ~tid 42 then
                    removals.(tid) <- removals.(tid) + 1
                done));
@@ -145,7 +145,7 @@ let conc_tests scheme =
                  match Sched.Rng.int rng 3 with
                  | 0 -> (
                      try ignore (Oset.insert s ~tid k tid)
-                     with Mm.Out_of_memory -> ())
+                     with Mm.Out_of_memory | Mm.Out_of_nodes _ -> ())
                  | 1 -> ignore (Oset.remove s ~tid k)
                  | _ -> ignore (Oset.mem s ~tid k)
                done));

@@ -108,7 +108,7 @@ let conc_tests scheme =
                    try
                      Pq.insert pq ~tid k v;
                      ins.(tid) := (k, v) :: !(ins.(tid))
-                   with Mm.Out_of_memory -> ()
+                   with Mm.Out_of_memory | Mm.Out_of_nodes _ -> ()
                  end
                  else
                    match Pq.delete_min pq ~tid with
@@ -139,7 +139,7 @@ let conc_tests scheme =
                    (* flag before insert: the flag must be visible by
                       the time the key can possibly be dequeued *)
                    inserted.(k) <- true;
-                   try Pq.insert pq ~tid k k with Mm.Out_of_memory -> ()
+                   try Pq.insert pq ~tid k k with Mm.Out_of_memory | Mm.Out_of_nodes _ -> ()
                  end
                  else
                    match Pq.delete_min pq ~tid with

@@ -49,7 +49,7 @@ let alloc_tests =
              got := p :: !got
            done;
            Alcotest.fail "expected OOM"
-         with Mm_intf.Out_of_memory -> ());
+         with Mm_intf.Out_of_memory | Mm_intf.Out_of_nodes _ -> ());
         (* single thread: no annAlloc parking possible, all 8 handed out *)
         check_int "all handed out" 8 (List.length !got);
         List.iter (fun p -> Gc.release gc ~tid:0 p) !got;
@@ -364,7 +364,7 @@ let prop_tests =
             match op with
             | 0 -> (
                 try held := Gc.alloc gc ~tid:0 :: !held
-                with Mm_intf.Out_of_memory -> ())
+                with Mm_intf.Out_of_memory | Mm_intf.Out_of_nodes _ -> ())
             | _ -> (
                 match !held with
                 | [] -> ()
