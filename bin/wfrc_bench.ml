@@ -81,6 +81,27 @@ let run_cmd =
       const run_experiments $ ids_arg $ quick_arg $ csv_arg $ format_arg
       $ json_arg)
 
+(* The deferred-rc gate riding --check-scaling: at the read-heaviest
+   E17 mix, eager wfrc's shared-counter FAA traffic must stay >= 5x
+   wfrc_deferred's (DESIGN.md §6.3). Measured on the Sim backend via
+   the reclamation oracle's access tally, so it is deterministic and
+   safe to gate on in CI. *)
+let check_faa_reduction () =
+  let eager, deferred = Harness.Exp_deferred.faa_traffic () in
+  if eager >= 5 * max 1 deferred then begin
+    Printf.printf
+      "faa reduction ok: eager wfrc %d arena FAAs >= 5x deferred %d\n" eager
+      deferred;
+    0
+  end
+  else begin
+    Printf.eprintf
+      "bench: deferred-rc regression: eager wfrc %d arena FAAs < 5x \
+       wfrc_deferred %d on the read-heavy mix\n"
+      eager deferred;
+    1
+  end
+
 (* The CI scaling gate: compare the best Native ops/s at the lowest
    and highest measured domain counts; an inversion (fewer ops/s with
    more domains) fails the run. Any Native point counts — legacy or
@@ -156,7 +177,11 @@ let run_bench schemes quick out format json_dir scaling =
     | Some dir ->
         let path = Harness.Sink.write_json ~dir report in
         Printf.printf "wrote %s\n" path);
-    if scaling then check_scaling points else 0
+    if scaling then
+      let rc1 = check_scaling points in
+      let rc2 = check_faa_reduction () in
+      max rc1 rc2
+    else 0
   with
   | Invalid_argument msg | Sys_error msg ->
       Printf.eprintf "error: %s\n" msg;

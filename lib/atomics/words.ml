@@ -59,6 +59,10 @@ external unsafe_free_donate : raw -> raw -> int -> int -> int array -> bool
   = "caml_wfrc_free_donate"
 [@@noalloc]
 
+external unsafe_rc_flush : raw -> int array -> int -> int array -> int
+  = "caml_wfrc_rc_flush"
+[@@noalloc]
+
 type t = { raw : raw; len : int }
 
 let make len =
@@ -129,6 +133,15 @@ let[@inline] take_fix t slot ~arena ~geom =
 let[@inline] free_donate t ~arena ~ref_addr ~node ~geom =
   check arena ref_addr;
   unsafe_free_donate t.raw arena.raw ref_addr node geom
+
+(* Batched rc-buffer flush (R1-R2 per buffered decrement, claimed
+   handles compacted to the front of [nodes]). The stub re-checks each
+   computed ref offset, so the only wrapper obligation is the array
+   bound on [n]. *)
+let rc_flush t ~nodes ~n ~geom =
+  if n < 0 || n > Array.length nodes then invalid_arg "Words.rc_flush";
+  if Array.length geom <> 2 then invalid_arg "Words.rc_flush: geom";
+  unsafe_rc_flush t.raw nodes n geom
 
 (* [geom] layout: [| idx_base; idx_stride; ra_base; row_stride;
    slot_stride; n |]. Validated once here so the stub's own guards are

@@ -81,6 +81,12 @@ type t = {
   help_alloc : bool;
   caches : tcache array option; (* per-thread caches when sharded *)
   batch : int;
+  defer : Rcbuf.t option;
+  (* per-thread rc-decrement buffers ([cfg.defer] > 0): the
+     deferred-rc variant parks ReleaseRef decrements locally and only
+     touches the shared mm_ref words at flush time (buffer-full, the
+     A7 OOM path, [declare_dead], recovery, or quiescent inspection).
+     [None] — every eager scheme — keeps the legacy code byte-exact. *)
   dead : bool array;
   (* tids declared permanently stopped (Mm_intf.declare_dead); set by
      the harness/supervisor, consulted by [recover] and the A7
@@ -173,6 +179,9 @@ let create ?(placement = `Paper) ?(help_alloc = true) (cfg : Mm_intf.config) =
                 { cslots = Array.make (2 * cfg.batch) Value.null; clen = 0 }))
        else None);
     batch = cfg.batch;
+    defer =
+      (if cfg.defer > 0 then Some (Rcbuf.create ~threads:n ~cap:cfg.defer)
+       else None);
     dead = Array.make n false;
     recovering = false;
     adopt_lock = Atomic.make 0;
@@ -210,7 +219,66 @@ let work_push t ~tid sp v =
    unchanged. *)
 let rec release t ~tid node =
   C.incr t.ctr ~tid Release;
-  release_work t ~tid (work_push t ~tid 0 (Value.unmark node))
+  match t.defer with
+  | Some b when not t.recovering ->
+      (* Deferred variant: R1 becomes a local append — the shared
+         mm_ref keeps an over-approximation (2 per buffered entry), so
+         the R2 claim point can only be postponed, never forged. The
+         engine below stays eager for flushes, cascades and the
+         recovery callbacks. *)
+      C.incr t.ctr ~tid Rc_defer;
+      if Rcbuf.defer_release b ~tid (Value.unmark node) then flush t ~tid
+  | _ -> release_work t ~tid (work_push t ~tid 0 (Value.unmark node))
+
+(* Flush one thread's rc buffer through the R1–R4 engine, oldest entry
+   first. The [Unboxed] arm batches every R1–R2 into one stub crossing
+   ({!Atomics.Words.rc_flush}) and finishes R3/FreeNode here; the
+   boxed/Sim arm issues the identical per-word sequence through
+   [release_collect]. Claim outcomes and free-push order agree between
+   the arms (all of a flush's decrements land before any claimed
+   node's cascade can re-examine a count), so traces and counter
+   totals are backend-independent. *)
+and flush t ~tid =
+  match t.defer with
+  | Some b when Rcbuf.len b ~tid > 0 -> (
+      C.incr t.ctr ~tid Rc_flush;
+      let row = Rcbuf.row b ~tid in
+      let n = Rcbuf.clear b ~tid in
+      match t.fused with
+      | Some f ->
+          let claimed = Words.rc_flush f.aw ~nodes:row ~n ~geom:f.node_geom in
+          flush_claimed t ~tid ~row ~claimed 0
+      | None -> flush_seq t ~tid ~row ~n 0)
+  | _ -> ()
+
+and flush_seq t ~tid ~row ~n i =
+  if i < n then begin
+    release_work t ~tid (work_push t ~tid 0 row.(i));
+    flush_seq t ~tid ~row ~n (i + 1)
+  end
+
+(* Finish the claimed nodes of a batched flush: R3's collect-and-clear
+   (mirroring [release_collect]'s link order), then R4's FreeNode and
+   the reclamation cascade — the same per-node steps [release_work]
+   runs on its claimed branch. *)
+and flush_claimed t ~tid ~row ~claimed i =
+  if i < claimed then begin
+    let node = row.(i) in
+    let nl = t.cfg.num_links in
+    let collected = ref 0 in
+    for j = 0 to nl - 1 do
+      let v = Arena.read_clear_link t.arena node j in
+      if not (Value.is_null v) then begin
+        t.scratch.(tid).(!collected) <- v;
+        incr collected
+      end
+    done;
+    let sp = push_collected t ~tid ~k:0 ~collected:!collected 0 in
+    C.incr t.ctr ~tid Node_reclaimed;
+    free_node t ~tid node;
+    release_work t ~tid sp;
+    flush_claimed t ~tid ~row ~claimed (i + 1)
+  end
 
 and release_work t ~tid sp =
   if sp > 0 then begin
@@ -391,9 +459,19 @@ let rec alloc_loop t ~tid ~help_id ~helped ~empty_scans =
                ~nw:((current + 1) mod (2 * t.n)));
           if empty_scans + 1 > t.oom_scan_limit then begin
             (* Exhausted every list [oom_scan_limit] times over. The
-               legacy/Sim config keeps the hard stop; the sharded
+               deferred variant first flushes its own rc buffer —
+               pending decrements may be holding reclaimable nodes
+               hostage — and rescans; the buffer is empty after one
+               flush, so this retries at most once per refill. Then
+               the legacy/Sim config keeps the hard stop; the sharded
                config first adopts dead peers' caches, then surfaces
                typed backpressure instead of an unbounded spin. *)
+            match t.defer with
+            | Some b when Rcbuf.len b ~tid > 0 ->
+                flush t ~tid;
+                C.incr t.ctr ~tid Alloc_retry;
+                alloc_loop t ~tid ~help_id ~helped ~empty_scans:0
+            | _ -> (
             match t.caches with
             | Some _ when adopt_dead_caches t ~tid > 0 ->
                 C.incr t.ctr ~tid Alloc_retry;
@@ -403,7 +481,7 @@ let rec alloc_loop t ~tid ~help_id ~helped ~empty_scans =
                 raise
                   (Mm_intf.Out_of_nodes
                      { retries = empty_scans + 1; waits = 0 })
-            | None -> raise Mm_intf.Out_of_memory
+            | None -> raise Mm_intf.Out_of_memory)
           end
           else begin
             C.incr t.ctr ~tid Alloc_retry;
@@ -468,7 +546,17 @@ let rec deref t ~tid link =
   Ann.set_index t.ann ~tid slot;                                    (* D2 *)
   Ann.announce t.ann ~tid ~slot link;                               (* D3 *)
   let node = Arena.read t.arena link in                             (* D4 *)
-  if not (Value.is_null node) then Arena.faa_mm_ref t.arena node 2; (* D5 *)
+  (* D5, with increment sponging under the deferred variant: a +2
+     whose target has a pending decrement in the CALLER'S OWN buffer
+     annihilates that entry locally instead of touching the shared
+     word — sound because the pending entry itself proves the shared
+     count over-approximates by 2, so the node cannot have been
+     claimed. A miss falls through to the eager FAA. *)
+  (if not (Value.is_null node) then
+     match t.defer with
+     | Some b when Rcbuf.cancel b ~tid (Value.unmark node) ->
+         C.incr t.ctr ~tid Rc_defer
+     | _ -> Arena.faa_mm_ref t.arena node 2);                       (* D5 *)
   let n1 = Ann.retract t.ann ~tid ~slot in                          (* D6 *)
   if n1 <> Value.enc_link link then begin                           (* D7 *)
     C.incr t.ctr ~tid Deref_helped;
@@ -533,6 +621,16 @@ let fix_ref t node fix =
    free node handles. Only meaningful with no concurrent operations.
    Checks chain sanity as it goes. *)
 let free_set t =
+  (* Quiescence is a flush trigger: drain every thread's rc buffer so
+     the chains below reflect the true counts (the walk expects
+     mm_ref = 1 on every free node, which pending decrements would
+     otherwise postpone). Quiescent-only, like the walk itself. *)
+  (match t.defer with
+  | Some _ ->
+      for id = 0 to t.n - 1 do
+        flush t ~tid:id
+      done
+  | None -> ());
   let cap = t.cfg.capacity in
   let seen = Array.make (cap + 1) false in
   let record ~where p ~expect_ref =
@@ -636,14 +734,50 @@ let custody t =
   let pinned =
     List.map (fun (tid, p) -> (tid, Value.handle p)) (Ann.answers t.ann)
   in
+  (* In-buffer pending decrements are their own custody class — the
+     snapshot must NOT flush (it is taken over crashed runs), so the
+     auditor sees exactly what each thread still owes the shared
+     counts. A buffered decrement on a free-chain node would mean the
+     claim fired while a decrement was still owed: structural
+     damage. *)
+  let deferred =
+    match t.defer with
+    | None -> []
+    | Some b ->
+        List.map
+          (fun (tid, p) ->
+            let h = Value.handle p in
+            if h >= 1 && h <= cap && free.(h) then
+              violation "rc buffer[%d] entry #%d is on a free chain" tid h;
+            (tid, h))
+          (Rcbuf.entries b)
+  in
   Mm_intf.
-    { free; pending = !pending; pinned; violations = List.rev !violations }
+    {
+      free;
+      pending = !pending;
+      pinned;
+      deferred;
+      violations = List.rev !violations;
+    }
 
 (* ---------------- Crash recovery (quiescent-survivors) ------------- *)
 
 let declare_dead t ~tid =
   if tid < 0 || tid >= t.n then invalid_arg "Gc.declare_dead";
-  t.dead.(tid) <- true
+  t.dead.(tid) <- true;
+  (* Adopt-and-drain the dead thread's rc buffer at once: its pending
+     decrements can never flush themselves again, and leaving them
+     parked would hold the over-approximated counts (and any
+     reclaimable nodes behind them) hostage. The owner is stopped, so
+     working on its row/stacks is single-writer; counters attribute
+     the drain to the dead tid. Donation stays suppressed like in
+     [recover]: the drained nodes must reach allocator custody
+     (free-lists/caches), not sit pending in a live annAlloc cell. *)
+  let was = t.recovering in
+  t.recovering <- true;
+  Fun.protect ~finally:(fun () -> t.recovering <- was) @@ fun () ->
+  flush t ~tid
 
 let dead t =
   let acc = ref [] in
@@ -676,6 +810,16 @@ let recover t ~tid =
     t.recovering <- true;
     Fun.protect ~finally:(fun () -> t.recovering <- false) @@ fun () ->
     let adopted = ref 0 and released = ref 0 and cleared = ref 0 in
+    (* 0. Drain every rc buffer (dead rows were already drained by
+       [declare_dead]; survivor rows must empty too) so the
+       [Rc_anomaly] fixpoint below analyses true counts — a pending
+       decrement would read as crash-held surplus on a live node. *)
+    (match t.defer with
+    | Some _ ->
+        for id = 0 to t.n - 1 do
+          flush t ~tid:id
+        done
+    | None -> ());
     (* 1. Dead announcement rows first: an un-retracted answer holds a
        reference acquired on the dead announcer's behalf (H6), which
        would read as surplus on a live node in step 2. *)

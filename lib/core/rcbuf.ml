@@ -1,0 +1,89 @@
+(* Per-domain rc-decrement buffers for the deferred-rc variant
+   (Anderson-Blelloch-Wei, arXiv 2204.05985, adapted to the paper's
+   2-units-per-reference counts).
+
+   Each thread owns one fixed-capacity row and touches only that row
+   on the fast path, so appends and cancel scans are plain array ops
+   with no atomicity: a row is written by its owner while the owner is
+   alive, and by exactly one adopter (under the manager's adopt lock,
+   or at recovery quiescence) afterwards. Entries are unmarked node
+   handles, one per pending ReleaseRef decrement — duplicates are
+   legal and mean several outstanding decrements on the same node.
+
+   The safety argument for buffering ONLY decrements: while an entry
+   sits in a row the shared mm_ref over-approximates the true count by
+   2, so no node can reach the R2 claim point early — the claim can
+   only be deferred, never forged. A deref that finds its target in
+   the caller's own row cancels the entry instead of issuing the +2
+   FAA (increment sponging): the pair annihilates locally and the
+   shared word is never touched. *)
+
+type t = {
+  bufs : int array array; (* one row per tid, owner-written *)
+  lens : int array;       (* live entry count per row *)
+  cap : int;              (* row capacity = the config's [defer] knob *)
+}
+
+let create ~threads ~cap =
+  if threads < 1 then invalid_arg "Rcbuf.create: threads";
+  if cap < 1 then invalid_arg "Rcbuf.create: cap";
+  {
+    bufs = Array.init threads (fun _ -> Array.make cap 0);
+    lens = Array.make threads 0;
+    cap;
+  }
+
+let capacity t = t.cap
+let len t ~tid = t.lens.(tid)
+
+(* Append a pending decrement; true when the row is now full and the
+   caller must flush before the next defer. Callers never append to a
+   full row (the buffer-full flush empties it first). *)
+let defer_release t ~tid handle =
+  let n = t.lens.(tid) in
+  t.bufs.(tid).(n) <- handle;
+  t.lens.(tid) <- n + 1;
+  n + 1 = t.cap
+
+(* Increment sponging: cancel one pending decrement on [handle] in the
+   caller's own row, newest first (the common release-then-re-deref
+   pattern). True iff an entry was annihilated. *)
+let cancel t ~tid handle =
+  let row = t.bufs.(tid) and n = t.lens.(tid) in
+  let rec scan i =
+    if i < 0 then false
+    else if row.(i) = handle then begin
+      row.(i) <- row.(n - 1);
+      t.lens.(tid) <- n - 1;
+      true
+    end
+    else scan (i - 1)
+  in
+  scan (n - 1)
+
+(* The flusher works directly on the row, oldest entry first (both
+   backends must process in the same order — free-list push order is
+   part of the observable trace). [clear] empties the row BEFORE the
+   entries are processed: a thread killed mid-flush therefore strands
+   its unprocessed decrements as plain over-approximation anomalies
+   (excess even counts) that the recovery fixpoint drops — it can
+   never double-process an entry. *)
+let row t ~tid = t.bufs.(tid)
+
+let clear t ~tid =
+  let n = t.lens.(tid) in
+  t.lens.(tid) <- 0;
+  n
+
+(* Accounting snapshot for [custody]: every (tid, handle) pending
+   decrement, owner-tagged, duplicates included. Does not flush. *)
+let entries t =
+  let acc = ref [] in
+  for tid = Array.length t.lens - 1 downto 0 do
+    for i = t.lens.(tid) - 1 downto 0 do
+      acc := (tid, t.bufs.(tid).(i)) :: !acc
+    done
+  done;
+  !acc
+
+let total t = Array.fold_left ( + ) 0 t.lens

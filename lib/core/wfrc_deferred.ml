@@ -1,0 +1,12 @@
+(* The deferred-rc variant (exposed as [Wfrc.Deferred]): the same Gc
+   engine with per-domain decrement buffers on the ReleaseRef fast
+   path and increment sponging in DeRefLink — see Rcbuf and DESIGN.md
+   §6.3. The default buffer capacity of 16 decrements per thread keeps
+   the flush epoch short (reclamation stays prompt, DEBRA-style) while
+   already collapsing the rc FAA storm on read-heavy workloads; a
+   config with an explicit [defer] overrides it. *)
+
+include Rc_policy.Make (struct
+  let name = "wfrc_deferred"
+  let default_defer = 16
+end)

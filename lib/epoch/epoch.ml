@@ -361,7 +361,13 @@ let custody t =
         pt.bags)
     t.threads;
   Mm_intf.
-    { free; pending = !pending; pinned = []; violations = List.rev !violations }
+    {
+      free;
+      pending = !pending;
+      pinned = [];
+      deferred = [];
+      violations = List.rev !violations;
+    }
 
 (* Crash recovery: un-jam the epoch (a thread that crashed inside the
    bracket blocks [try_advance] forever), adopt the dead threads' bag

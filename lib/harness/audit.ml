@@ -2,7 +2,7 @@
 
    Takes a quiescent memory-manager instance — possibly one in which
    some threads crashed mid-operation under a [Sched.Fault] plan — and
-   partitions every node in the arena into five classes:
+   partitions every node in the arena into six classes:
 
      Free          in the scheme's free store, allocatable now
      Reachable     live: reachable from the arena's root links
@@ -11,6 +11,9 @@
      Crash_held    stranded by a crashed thread: pinned by its
                    published protections, parked under it, or kept
                    alive only by references it still holds
+     Deferred      kept above zero only by decrements still sitting in
+                   a surviving thread's rc buffer (DESIGN.md §6.3):
+                   reclaimable at that thread's next flush
      Leaked        none of the above — unreachable, unattributable,
                    and irrecoverable: an audit failure
 
@@ -50,6 +53,7 @@ type report = {
   reachable : int;
   pending_live : int;
   crash_held : int;
+  deferred : int;
   leaked : int;
   lost : int;          (* capacity - free - reachable *)
   loss_bound : int;    (* 0 when no thread crashed *)
@@ -63,12 +67,12 @@ let ok r =
 let to_string r =
   Printf.sprintf
     "audit[%s] cap=%d threads=%d crashed=[%s] free=%d reachable=%d \
-     pending=%d crash_held=%d leaked=%d lost=%d bound=%d recovered=%d \
-     violations=[%s] %s"
+     pending=%d crash_held=%d deferred=%d leaked=%d lost=%d bound=%d \
+     recovered=%d violations=[%s] %s"
     r.scheme r.capacity r.threads
     (String.concat "," (List.map string_of_int r.crashed))
-    r.free r.reachable r.pending_live r.crash_held r.leaked r.lost
-    r.loss_bound r.recovered
+    r.free r.reachable r.pending_live r.crash_held r.deferred r.leaked
+    r.lost r.loss_bound r.recovered
     (String.concat "; " r.violations)
     (if ok r then "OK" else "FAIL")
 
@@ -108,6 +112,21 @@ let run ?(crashed = []) ?loss_bound (inst : Mm.instance) =
       else pending_owner.(h) <- tid)
     pending;
   let is_pending h = pending_owner.(h) >= 0 in
+  (* Decrements parked in per-thread rc buffers (DESIGN.md §6.3). Each
+     entry keeps the node's shared count inflated by exactly 2 units
+     until the owning thread flushes; duplicates are legal (the same
+     node released twice from one thread before a flush). *)
+  let deferred_count = Array.make (cap + 1) 0 in
+  let deferred_crashed = Array.make (cap + 1) false in
+  List.iter
+    (fun (tid, h) ->
+      if h < 1 || h > cap then violation "deferred handle #%d out of range" h
+      else begin
+        deferred_count.(h) <- deferred_count.(h) + 1;
+        if is_crashed tid then deferred_crashed.(h) <- true
+      end)
+    c.Mm.deferred;
+  let is_deferred h = deferred_count.(h) > 0 in
   (* --- Reachability from the root links ----------------------------- *)
   let reach = Array.make (cap + 1) false in
   let num_links = Shmem.Layout.num_links (Arena.layout arena) in
@@ -188,6 +207,16 @@ let run ?(crashed = []) ?loss_bound (inst : Mm.instance) =
           violation "claimed node #%d has even mm_ref=%d" h r
       end
       else begin
+        (* A buffered decrement keeps the shared count inflated by 2
+           units it no longer deserves; discount them before the
+           conservation checks so a node awaiting a flush is neither a
+           surplus nor masks a genuine deficit. *)
+        let r = r - (2 * deferred_count.(h)) in
+        if r < 0 then
+          violation
+            "node #%d mm_ref=%d below its %d buffered decrement(s)" h
+            (r + (2 * deferred_count.(h)))
+            deferred_count.(h);
         excess.(h) <- r - inbound.(h);
         odd.(h) <- r land 1 = 1;
         zombie.(h) <- r = 0 && inbound.(h) = 0;
@@ -221,6 +250,11 @@ let run ?(crashed = []) ?loss_bound (inst : Mm.instance) =
     in
     List.iter (fun (tid, h) -> if is_crashed tid then seed h) pinned;
     List.iter (fun (tid, h) -> if is_crashed tid then seed h) pending;
+    (* Decrements stranded in a crashed thread's rc buffer hold their
+       nodes exactly like references it still owns. *)
+    for h = 1 to cap do
+      if deferred_crashed.(h) then seed h
+    done;
     if refcounted then
       for h = 1 to cap do
         if
@@ -261,12 +295,14 @@ let run ?(crashed = []) ?loss_bound (inst : Mm.instance) =
   and n_reach = ref 0
   and n_pending = ref 0
   and n_crash = ref 0
+  and n_deferred = ref 0
   and n_leaked = ref 0 in
   for h = 1 to cap do
     if free h then incr n_free
     else if reach.(h) then incr n_reach
     else if crash_held.(h) then incr n_crash
     else if is_pending h then incr n_pending
+    else if is_deferred h then incr n_deferred
     else incr n_leaked
   done;
   let loss_bound =
@@ -283,6 +319,7 @@ let run ?(crashed = []) ?loss_bound (inst : Mm.instance) =
     reachable = !n_reach;
     pending_live = !n_pending;
     crash_held = !n_crash;
+    deferred = !n_deferred;
     leaked = !n_leaked;
     lost = cap - !n_free - !n_reach;
     loss_bound;
@@ -297,10 +334,13 @@ let run ?(crashed = []) ?loss_bound (inst : Mm.instance) =
    via [run ~loss_bound:...]. [None] for schemes whose loss is
    unbounded by design (ebr: the crashed thread pins the epoch and
    the stranding grows with survivor work). *)
-let envelope ~scheme ~threads ~crashes =
+let envelope ?(defer = 0) ~scheme ~threads ~crashes () =
   let per_crash =
     match scheme with
     | "wfrc" -> Some ((2 * threads) - 1)
+    (* eager wfrc envelope plus up to [defer] decrements stranded in
+       the crashed thread's rc buffer, each holding one node *)
+    | "wfrc_deferred" -> Some ((2 * threads) - 1 + defer)
     | "lfrc" | "lockrc" -> Some (2 * threads)
     | "hp" -> Some (threads * (threads + 1))
     | _ -> None

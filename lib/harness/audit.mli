@@ -25,6 +25,10 @@ type report = {
       (** stranded by a crashed thread: its custody entries, its
           published pins, its surplus references, and everything those
           nodes link to *)
+  deferred : int;
+      (** kept allocated only by decrements still parked in surviving
+          threads' rc buffers (DESIGN.md §6.3); reclaimable at their
+          next flush — not a failure *)
   leaked : int;             (** none of the above — an audit failure *)
   lost : int;               (** [capacity - free - reachable] *)
   loss_bound : int;
@@ -46,12 +50,17 @@ val run :
 val ok : report -> bool
 (** No violations, nothing leaked, crash-held within the bound. *)
 
-val envelope : scheme:string -> threads:int -> crashes:int -> int option
+val envelope :
+  ?defer:int -> scheme:string -> threads:int -> crashes:int -> unit ->
+  int option
 (** Tighter per-scheme crash-loss envelopes, calibrated on the seeded
     E12 grid and pinned as regressions in test/t_fault.ml — e.g. wfrc
     strands at most [2N-1] nodes per crash there, far under the
-    default Theorem-1 envelope. [None] when the scheme's loss is
-    unbounded by design (ebr). Opt-in: pass as [run]'s [loss_bound]. *)
+    default Theorem-1 envelope. For ["wfrc_deferred"] pass [defer]
+    (the scheme's rc-buffer capacity, default 0): a crashed thread
+    additionally strands at most one node per buffered decrement.
+    [None] when the scheme's loss is unbounded by design (ebr).
+    Opt-in: pass as [run]'s [loss_bound]. *)
 
 val check : report -> unit
 (** Raise [Failure] with the rendered report unless [ok]. *)

@@ -269,6 +269,16 @@ let point_key_of_line line =
   List.map (line_field line)
     [ "rev"; "scheme"; "backend"; "rep"; "threads"; "shards"; "batch" ]
 
+(* A point line from an older writer may predate one of the key
+   fields (e.g. "rep" or "batch" before those knobs existed):
+   [line_field] then returns "" and an exact key comparison would
+   never match, so the stale line would survive every re-measure of
+   the same configuration and duplicate it forever. An empty field in
+   the existing line therefore matches any fresh value. *)
+let key_matches ~old_key ~fresh_key =
+  List.length old_key = List.length fresh_key
+  && List.for_all2 (fun o f -> o = "" || o = f) old_key fresh_key
+
 let to_json point_lines =
   String.concat "\n"
     ([ "{"; "  \"bench\": \"alloc_release_churn\","
@@ -303,7 +313,12 @@ let write_json ~path points =
                    String.sub line 0 (String.rindex line ',')
                  else line
                in
-               if List.mem (point_key_of_line line) fresh_keys then None
+               let old_key = point_key_of_line line in
+               if
+                 List.exists
+                   (fun fresh_key -> key_matches ~old_key ~fresh_key)
+                   fresh_keys
+               then None
                else Some line
              else None)
     end

@@ -9,7 +9,8 @@ let all : Exp.spec list =
   Exp.sort
     (Exp_throughput.specs @ Exp_contention.specs @ Exp_steps.specs
    @ Exp_lincheck.specs @ Exp_ratio.specs @ Exp_fault.specs
-   @ Exp_shard.specs @ Exp_native.specs @ Exp_analysis.specs)
+   @ Exp_shard.specs @ Exp_native.specs @ Exp_analysis.specs
+   @ Exp_deferred.specs)
 
 let ids = Exp.ids all
 let specs = all
@@ -22,6 +23,7 @@ let e3 = Exp_contention.e3
 let e4 = Exp_steps.e4
 let e5 = Exp_steps.e5
 let e7 = Exp_lincheck.e7
+let e7d = Exp_lincheck.e7d
 let e8 = Exp_lincheck.e8
 let e9 = Exp_throughput.e9
 let e10 = Exp_ratio.e10
@@ -31,6 +33,7 @@ let e13 = Exp_fault.e13
 let e14 = Exp_shard.e14
 let e15 = Exp_native.e15
 let e16 = Exp_fault.e16
+let e17 = Exp_deferred.e17
 let a1 = Exp_ratio.a1
 let a2 = Exp_ratio.a2
 let a3 = Exp_ratio.a3

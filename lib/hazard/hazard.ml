@@ -441,6 +441,7 @@ let custody t =
       free;
       pending = !pending;
       pinned = !pinned;
+      deferred = [];
       violations = List.rev !violations;
     }
 

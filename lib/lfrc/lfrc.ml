@@ -343,7 +343,14 @@ let custody t =
         end
       in
       walk (Value.stamped_ptr (Hot.read t.hot hw_head)) 0);
-  Mm_intf.{ free; pending = []; pinned = []; violations = List.rev !violations }
+  Mm_intf.
+    {
+      free;
+      pending = [];
+      pinned = [];
+      deferred = [];
+      violations = List.rev !violations;
+    }
 
 (* Crash recovery: the scheme has no announcement/retired custody, so
    recovery is the reference-count anomaly fixpoint (crashed derefs

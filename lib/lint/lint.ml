@@ -29,6 +29,14 @@ let acquire_fns = [ "deref"; "alloc"; "copy_ref" ]
 (* Discharging operations: the reference obligation ends here. *)
 let release_fns = [ "release"; "terminate"; "make_immortal"; "release_ref" ]
 
+(* Buffered release (DESIGN.md §6.3): [defer_release] parks the
+   decrement in a per-thread rc buffer, which discharges the caller's
+   obligation — but only in a file that can also flush that buffer.
+   A file that buffers without ever naming a flush site parks the
+   decrement forever, so the reference is never actually returned. *)
+let buffer_fns = [ "defer_release" ]
+let flush_fns = [ "flush"; "flush_all"; "rc_flush" ]
+
 (* Read-through accessors: a reference passed to one of these is
    used, not consumed — the obligation stays with the caller. This
    includes cas_link/store_link, whose link share is managed
@@ -96,62 +104,71 @@ let null_guard v cond =
 (* Does [e] discharge the obligation on [v] along every
    non-exceptional path? "Discharge" is a release-ish call, a return,
    a store into any data structure, or a hand-off to a function we do
-   not recognise as a pure accessor (ownership transfer). *)
-let rec discharges v e =
-  match e.pexp_desc with
-  | Pexp_ident { txt = Longident.Lident x; _ } when x = v -> true (* returned *)
-  | Pexp_apply (f, args) -> (
-      match fn_name f with
-      | Some n when List.mem n release_fns ->
-          List.exists (fun (_, a) -> mentions v a) args
-      | Some n when List.mem n abort_fns -> true
-      | Some n when List.mem n accessor_fns -> false
-      | _ -> List.exists (fun (_, a) -> mentions v a) args)
-  | Pexp_sequence (a, b) -> discharges v a || discharges v b
-  | Pexp_let (_, vbs, body) ->
-      List.exists (fun vb -> discharges v vb.pvb_expr) vbs
-      || discharges v body
-      (* [let u = Value.unmark v in ...]: [u] aliases the same node
-         reference (mark/unmark only toggle the low bit), so
-         discharging the alias discharges [v]. *)
-      || List.exists
-           (fun vb ->
-             match (vb.pvb_pat.ppat_desc, vb.pvb_expr.pexp_desc) with
-             | Ppat_var { txt = a; _ }, Pexp_apply (f, args)
-               when (fn_name f = Some "mark" || fn_name f = Some "unmark")
-                    && List.exists (fun (_, x) -> mentions v x) args ->
-                 a <> v && discharges a body
-             | _ -> false)
-           vbs
-  | Pexp_ifthenelse (c, th, el) ->
-      discharges v c
-      ||
-      let el_d = match el with Some e -> discharges v e | None -> false in
-      if null_guard v c then discharges v th || el_d
-      else discharges v th && el_d
-  | Pexp_match (scr, cases) | Pexp_try (scr, cases) ->
-      discharges v scr
-      || (cases <> [] && List.for_all (fun c -> discharges v c.pc_rhs) cases)
-  | Pexp_construct (_, Some a) | Pexp_variant (_, Some a) -> mentions v a
-  | Pexp_tuple es | Pexp_array es -> List.exists (mentions v) es
-  | Pexp_record (fields, base) ->
-      List.exists (fun (_, a) -> mentions v a) fields
-      || (match base with Some b -> mentions v b | None -> false)
-  | Pexp_setfield (a, _, b) -> mentions v a || mentions v b
-  | Pexp_fun (_, _, _, body) -> mentions v body (* captured by a closure *)
-  | Pexp_function cases ->
-      List.exists (fun c -> mentions v c.pc_rhs) cases
-  | Pexp_while _ | Pexp_for _ -> mentions v e (* conservative on loops *)
-  | Pexp_assert { pexp_desc = Pexp_construct ({ txt = Lident "false"; _ }, None); _ }
-    ->
-      true (* assert false aborts the path *)
-  | Pexp_constraint (a, _)
-  | Pexp_coerce (a, _, _)
-  | Pexp_open (_, a)
-  | Pexp_letmodule (_, _, a)
-  | Pexp_letexception (_, a) ->
-      discharges v a
-  | _ -> false
+   not recognise as a pure accessor (ownership transfer). [flushes]
+   says whether the surrounding file contains a flush site: a buffered
+   release only discharges when it does. *)
+let discharges ~flushes v e =
+  let rec go v e =
+    match e.pexp_desc with
+    | Pexp_ident { txt = Longident.Lident x; _ } when x = v ->
+        true (* returned *)
+    | Pexp_apply (f, args) -> (
+        match fn_name f with
+        | Some n when List.mem n release_fns ->
+            List.exists (fun (_, a) -> mentions v a) args
+        | Some n when List.mem n buffer_fns ->
+            flushes && List.exists (fun (_, a) -> mentions v a) args
+        | Some n when List.mem n abort_fns -> true
+        | Some n when List.mem n accessor_fns -> false
+        | _ -> List.exists (fun (_, a) -> mentions v a) args)
+    | Pexp_sequence (a, b) -> go v a || go v b
+    | Pexp_let (_, vbs, body) ->
+        List.exists (fun vb -> go v vb.pvb_expr) vbs
+        || go v body
+        (* [let u = Value.unmark v in ...]: [u] aliases the same node
+           reference (mark/unmark only toggle the low bit), so
+           discharging the alias discharges [v]. *)
+        || List.exists
+             (fun vb ->
+               match (vb.pvb_pat.ppat_desc, vb.pvb_expr.pexp_desc) with
+               | Ppat_var { txt = a; _ }, Pexp_apply (f, args)
+                 when (fn_name f = Some "mark" || fn_name f = Some "unmark")
+                      && List.exists (fun (_, x) -> mentions v x) args ->
+                   a <> v && go a body
+               | _ -> false)
+             vbs
+    | Pexp_ifthenelse (c, th, el) ->
+        go v c
+        ||
+        let el_d = match el with Some e -> go v e | None -> false in
+        if null_guard v c then go v th || el_d
+        else go v th && el_d
+    | Pexp_match (scr, cases) | Pexp_try (scr, cases) ->
+        go v scr
+        || (cases <> [] && List.for_all (fun c -> go v c.pc_rhs) cases)
+    | Pexp_construct (_, Some a) | Pexp_variant (_, Some a) -> mentions v a
+    | Pexp_tuple es | Pexp_array es -> List.exists (mentions v) es
+    | Pexp_record (fields, base) ->
+        List.exists (fun (_, a) -> mentions v a) fields
+        || (match base with Some b -> mentions v b | None -> false)
+    | Pexp_setfield (a, _, b) -> mentions v a || mentions v b
+    | Pexp_fun (_, _, _, body) -> mentions v body (* captured by a closure *)
+    | Pexp_function cases ->
+        List.exists (fun c -> mentions v c.pc_rhs) cases
+    | Pexp_while _ | Pexp_for _ -> mentions v e (* conservative on loops *)
+    | Pexp_assert
+        { pexp_desc = Pexp_construct ({ txt = Lident "false"; _ }, None); _ }
+      ->
+        true (* assert false aborts the path *)
+    | Pexp_constraint (a, _)
+    | Pexp_coerce (a, _, _)
+    | Pexp_open (_, a)
+    | Pexp_letmodule (_, _, a)
+    | Pexp_letexception (_, a) ->
+        go v a
+    | _ -> false
+  in
+  go v e
 
 let acquire_rhs e =
   match e.pexp_desc with
@@ -193,7 +210,32 @@ let check_lid add ~file lid (loc : Location.t) =
              comp))
     (Longident.flatten lid)
 
+(* A flush site anywhere in the file licenses its buffered releases:
+   per-file granularity matches the buffer's ownership (the module
+   that buffers is the module responsible for flushing). *)
+let has_flush_site str =
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_apply (f, _)
+            when (match fn_name f with
+                 | Some n -> List.mem n flush_fns
+                 | None -> false) ->
+              raise Found
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  try
+    it.structure it str;
+    false
+  with Found -> true
+
 let check_structure add ~file str =
+  let flushes = has_flush_site str in
   let expr_hook self e =
     (match e.pexp_desc with
     | Pexp_ident { txt; loc } -> check_lid add ~file txt loc
@@ -202,7 +244,7 @@ let check_structure add ~file str =
           (fun vb ->
             match (vb.pvb_pat.ppat_desc, acquire_rhs vb.pvb_expr) with
             | Ppat_var { txt = v; _ }, Some fn ->
-                if not (discharges v cont) then
+                if not (discharges ~flushes v cont) then
                   add ~file ~line:vb.pvb_loc.loc_start.pos_lnum
                     ~rule:"unbalanced-deref"
                     (Printf.sprintf

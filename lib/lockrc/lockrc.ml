@@ -300,7 +300,14 @@ let custody t =
         end
       in
       walk (B.read t.backend t.free_head) 0);
-  Mm_intf.{ free; pending = []; pinned = []; violations = List.rev !violations }
+  Mm_intf.
+    {
+      free;
+      pending = [];
+      pinned = [];
+      deferred = [];
+      violations = List.rev !violations;
+    }
 
 (* Crash recovery. Finish the free a crashed holder never completed:
    clear the links (dropping their targets' shares through [reclaim]),

@@ -54,15 +54,22 @@ type config = {
   (* domain-local allocation-cache batch size [B]: caches hold up to
      [2*B] nodes and grab/return them [B] at a time. 1 = no cache
      (every alloc/free goes straight to a stripe, the legacy path). *)
+  defer : int;
+  (* per-domain rc-buffer capacity for the deferred-rc variant: each
+     thread may park up to [defer] decrements locally before a
+     buffer-full flush touches the shared rc words. 0 — the default —
+     is fully eager: every ReleaseRef hits the shared word at once,
+     the legacy wfrc/lfrc/lockrc behaviour. *)
 }
 
 let config ?(num_links = 0) ?(num_data = 0) ?(num_roots = 0)
-    ?(backend = Atomics.Backend.Sim) ?rep ?(shards = 1) ?(batch = 1) ~threads
-    ~capacity () =
+    ?(backend = Atomics.Backend.Sim) ?rep ?(shards = 1) ?(batch = 1)
+    ?(defer = 0) ~threads ~capacity () =
   if threads < 1 then invalid_arg "Mm_intf.config: threads";
   if capacity < 1 then invalid_arg "Mm_intf.config: capacity";
   if shards < 1 then invalid_arg "Mm_intf.config: shards";
   if batch < 1 then invalid_arg "Mm_intf.config: batch";
+  if defer < 0 then invalid_arg "Mm_intf.config: defer";
   if shards > capacity then invalid_arg "Mm_intf.config: shards > capacity";
   if backend = Atomics.Backend.Sim && (shards > 1 || batch > 1) then
     invalid_arg "Mm_intf.config: sharding requires the Native backend";
@@ -83,6 +90,7 @@ let config ?(num_links = 0) ?(num_data = 0) ?(num_roots = 0)
     rep;
     shards;
     batch;
+    defer;
   }
 
 (* Whether a config opts into the sharded free store (stripes +
@@ -149,6 +157,12 @@ type custody = {
       (* (tid, handle): protection published by that thread which
          blocks reclamation — hazard slots (hp), unretracted
          announcement answers (wfrc) *)
+  deferred : (int * int) list;
+      (* (tid, handle): a decrement parked in that thread's rc buffer
+         (the deferred-rc variant). The shared count over-approximates
+         the true count by 2 per entry until the owner flushes;
+         duplicates are legal — one entry per outstanding decrement.
+         Empty for eager schemes. *)
   violations : string list;
       (* structural damage found while walking (cycles, double
          custody); empty on a healthy snapshot *)

@@ -1,0 +1,9 @@
+(* Fixture: a buffered release in a file with no flush site. The
+   decrement is parked in the rc buffer forever — nothing in this
+   module can ever apply it — so the reference acquired by the deref
+   is never actually returned. Expected: one unbalanced-deref
+   violation. *)
+
+let park_forever mm buf ~tid root =
+  let w = Mm.deref mm ~tid root in
+  if Rcbuf.defer_release buf ~tid w then ()

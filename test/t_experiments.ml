@@ -98,13 +98,13 @@ let suite =
             check_int "nothing lost" 0 lost;
             check_int "allocated+parked = capacity" 16 (allocated + parked))
           r.rows);
-    tc_slow "E9 covers all five schemes" (fun () ->
+    tc_slow "E9 covers all six schemes" (fun () ->
         let r =
           Harness.Experiments.e9 ~threads_list:[ 1; 2 ] ~ops:3_000
             ~capacity:512 ()
         in
         wellformed r;
-        check_int "five schemes" 5 (List.length r.rows));
+        check_int "six schemes" 6 (List.length r.rows));
     tc_slow "E10 non-blocking schemes never stall; lockrc can" (fun () ->
         let r = Harness.Experiments.e10 ~runs:15 ~ops:8 () in
         wellformed r;

@@ -319,12 +319,65 @@ let bench_report_tests =
              (Harness.Bench.to_json
                 [ Harness.Bench.json_of_point (point 3) ])
              "\"neg_samples\": 3"));
+    tc "bench merge replaces old-format lines missing key fields" (fun () ->
+        (* A BENCH file written before the "rep"/"batch" knobs existed:
+           its point lines lack those key fields entirely. Re-measuring
+           the same configuration must replace such a line (missing
+           field = wildcard), not duplicate it forever; points for
+           other configurations must still be carried through. *)
+        let point =
+          {
+            Harness.Bench.rev = "abcdef0";
+            scheme = "wfrc";
+            backend = Atomics.Backend.Native;
+            rep = Atomics.Backend.Unboxed;
+            threads = 1;
+            shards = 1;
+            batch = 1;
+            ops = 100;
+            wall_ns = 1_000;
+            ops_per_sec = 1.0;
+            mean_ns = 1.0;
+            p50_ns = 1;
+            p90_ns = 1;
+            p99_ns = 1;
+            max_ns = 1;
+            neg_samples = 0;
+          }
+        in
+        let old_line scheme =
+          Printf.sprintf
+            "    {\"rev\": \"abcdef0\", \"scheme\": %S, \"backend\": \
+             \"native\", \"threads\": 1, \"shards\": 1, \"ops\": 7, \
+             \"ops_per_sec\": 7.0}"
+            scheme
+        in
+        let path = Filename.temp_file "bench_merge" ".json" in
+        Fun.protect ~finally:(fun () -> try Sys.remove path with _ -> ())
+        @@ fun () ->
+        let oc = open_out path in
+        output_string oc
+          (Harness.Bench.to_json [ old_line "wfrc"; old_line "lfrc" ]);
+        close_out oc;
+        Harness.Bench.write_json ~path [ point ];
+        let ic = open_in path in
+        let n = in_channel_length ic in
+        let merged = really_input_string ic n in
+        close_in ic;
+        check_bool "stale old-format wfrc line replaced" false
+          (contains merged
+             "\"scheme\": \"wfrc\", \"backend\": \"native\", \"threads\": \
+              1, \"shards\": 1, \"ops\": 7");
+        check_bool "fresh wfrc point present" true
+          (contains merged "\"rep\": \"unboxed\"");
+        check_bool "foreign lfrc point carried through" true
+          (contains merged "\"scheme\": \"lfrc\""));
   ]
 
 let registry_tests =
   [
-    tc "all five schemes are registered" (fun () ->
-        check_int "count" 5 (List.length Harness.Registry.names);
+    tc "all six schemes are registered" (fun () ->
+        check_int "count" 6 (List.length Harness.Registry.names);
         List.iter
           (fun s ->
             let mm = mm_of s (small_cfg ()) in

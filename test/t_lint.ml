@@ -44,6 +44,11 @@ let test_raw_words () =
   check_rules "raw Words flagged" [ "raw-primitives" ] vs;
   Alcotest.(check bool) "one per use site" true (List.length vs >= 2)
 
+let test_deferred_unflushed () =
+  let vs = Lint.run ~roots:[ fx "fx_deferred_unflushed.ml" ] in
+  check_rules "unflushed buffered release flagged" [ "unbalanced-deref" ] vs;
+  Alcotest.(check int) "exactly one violation" 1 (List.length vs)
+
 let test_dead_counter () =
   let vs = Lint.run ~roots:[ fx "fx_dead_counter" ] in
   check_rules "dead counter flagged" [ "counter-coverage" ] vs;
@@ -97,6 +102,8 @@ let suite =
     Alcotest.test_case "fixture: raw Freestore" `Quick test_raw_freestore;
     Alcotest.test_case "fixture: raw Words" `Quick test_raw_words;
     Alcotest.test_case "fixture: dead counter" `Quick test_dead_counter;
+    Alcotest.test_case "fixture: buffered release without a flush site"
+      `Quick test_deferred_unflushed;
     Alcotest.test_case "clean example is quiet" `Quick test_clean_example;
     Alcotest.test_case "library tree lints clean" `Quick test_lib_clean;
   ]
