@@ -150,7 +150,7 @@ let check_scaling (points : Harness.Bench.point list) =
         0
       end
 
-let run_bench schemes quick out format json_dir scaling =
+let run_bench schemes quick out format json_dir scaling actor =
   let schemes =
     match schemes with [] -> [ "wfrc" ] | schemes -> schemes
   in
@@ -163,6 +163,21 @@ let run_bench schemes quick out format json_dir scaling =
     let spine = Harness.Exp_support.Spine.create () in
     let points =
       Harness.Bench.run_suite ~spine ~schemes ~threads_list ~ops ()
+    in
+    (* One actor-service point per scheme at the highest domain count:
+       the same managers driven through Actor.Service send/receive
+       traffic, keyed "<scheme>+actor" next to the churn points. *)
+    let points =
+      if not actor then points
+      else
+        let threads = List.fold_left max 1 threads_list in
+        let actors = if quick then 1_024 else 10_000 in
+        points
+        @ List.map
+            (fun scheme ->
+              Harness.Bench.run_actor_point ~spine ~threads ~actors ~ops
+                ~scheme ())
+            schemes
     in
     let report =
       Harness.Bench.report
@@ -211,11 +226,19 @@ let bench_cmd =
     in
     Arg.(value & flag & info [ "check-scaling" ] ~doc)
   in
+  let actor_arg =
+    let doc =
+      "Also measure one actor-service point per scheme (Native, highest \
+       domain count): send/receive traffic against a pre-spawned \
+       Actor.Service, keyed \"<scheme>+actor\" in the output JSON."
+    in
+    Arg.(value & flag & info [ "actor" ] ~doc)
+  in
   Cmd.v
     (Cmd.info "bench" ~doc)
     Term.(
       const run_bench $ schemes_arg $ quick_arg $ out_arg $ format_arg
-      $ json_arg $ scaling_arg)
+      $ json_arg $ scaling_arg $ actor_arg)
 
 let list_cmd =
   let doc = "List the experiment index" in

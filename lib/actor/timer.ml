@@ -1,0 +1,52 @@
+(* Timer wheel over the skiplist priority queue: (deadline, payload)
+   pairs ordered by deadline, popped as virtual or wall-clock time
+   passes. The wheel inherits the skiplist's scheme restriction — it
+   exists only on reference-counting managers (the paper's §1
+   applicability gap); the service layer degrades to no timers on
+   hp/ebr.
+
+   Deadline arithmetic saturates: [Pqueue.insert] reserves max_int and
+   min_int as sentinel keys (and its deletion pass probes key + 1, so
+   max_int - 1 is the largest usable key), and a deadline computed as
+   now + timeout can overflow past max_int for large timeouts. The
+   service must degrade to "effectively never" rather than die on
+   Invalid_argument. *)
+
+module Mm = Mm_intf
+module Pq = Structures.Pqueue
+
+type t = { pq : Pq.t }
+
+(* Saturating now + timeout, clamped into the valid key range
+   (min_int, max_int - 1]. Native-int addition wraps, so overflow is
+   detected by sign: a non-negative timeout can never legitimately
+   move the deadline below [now_ns], nor a negative one above it. *)
+let deadline ~now_ns ~timeout_ns =
+  let d = now_ns + timeout_ns in
+  if timeout_ns >= 0 && d < now_ns then max_int - 1
+  else if timeout_ns < 0 && d > now_ns then min_int + 1
+  else if d = max_int then max_int - 1
+  else if d = min_int then min_int + 1
+  else d
+
+let create mm ~anchor_root ~seed ~tid =
+  let pq = Pq.create mm ~seed ~tid in
+  (* Anchor the immortal head sentinel in an arena root cell so
+     root-based audits see the wheel's nodes as reachable. *)
+  let arena = Mm.arena mm in
+  Mm.store_link mm ~tid (Shmem.Arena.root_addr arena anchor_root)
+    (Pq.head_ptr pq);
+  { pq }
+
+let schedule t ~tid ~deadline payload = Pq.insert t.pq ~tid deadline payload
+
+let due t ~tid ~now =
+  match Pq.delete_min t.pq ~tid with
+  | None -> None
+  | Some (d, payload) when d <= now -> Some (d, payload)
+  | Some (d, payload) ->
+      (* Not ripe yet: put it back. *)
+      Pq.insert t.pq ~tid d payload;
+      None
+
+let drain t ~tid = Pq.drain t.pq ~tid

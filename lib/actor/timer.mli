@@ -1,0 +1,35 @@
+(** Timer wheel over {!Structures.Pqueue}: (deadline, payload) pairs
+    popped in deadline order. Inherits the skiplist's scheme
+    restriction — reference-counting managers only ({!create} rejects
+    hp/ebr, as {!Structures.Pqueue.create} does).
+
+    Time is whatever monotonic int the caller uses: wall-clock
+    nanoseconds on the native backend, a virtual tick counter under
+    Sim. *)
+
+type t
+
+val deadline : now_ns:int -> timeout_ns:int -> int
+(** Saturating [now_ns + timeout_ns], clamped into the key range the
+    priority queue accepts ((min_int, max_int - 1]). Overflow past
+    max_int degrades to "effectively never" instead of the
+    [Invalid_argument] that a raw sum fed to
+    {!Structures.Pqueue.insert} would raise. *)
+
+val create : Mm_intf.instance -> anchor_root:int -> seed:int -> tid:int -> t
+(** Builds the wheel and anchors its head sentinel in arena root cell
+    [anchor_root], so root-based audits classify wheel nodes as
+    reachable. *)
+
+val schedule : t -> tid:int -> deadline:int -> int -> unit
+(** [schedule t ~tid ~deadline payload] arms a timer. Compute
+    [deadline] with {!deadline} — raw keys outside the valid range
+    raise. *)
+
+val due : t -> tid:int -> now:int -> (int * int) option
+(** Pop one (deadline, payload) pair with deadline <= [now], if any.
+    (The skiplist has no peek: a non-ripe minimum is popped and
+    reinserted.) Call in a loop until [None] to fire everything due. *)
+
+val drain : t -> tid:int -> (int * int) list
+(** Pop everything, ripe or not. Quiescent teardown helper. *)

@@ -13,7 +13,12 @@
                    alive only by references it still holds
      Deferred      kept above zero only by decrements still sitting in
                    a surviving thread's rc buffer (DESIGN.md §6.3):
-                   reclaimable at that thread's next flush
+                   reclaimable at that thread's next flush. Closed
+                   transitively over link slots, like [Crash_held]:
+                   the flush that claims the buffered node cascades
+                   through everything it still links to, so a dead
+                   chain hanging off one parked decrement is
+                   flush-reclaimable end to end, not leaked.
      Leaked        none of the above — unreachable, unattributable,
                    and irrecoverable: an audit failure
 
@@ -126,7 +131,6 @@ let run ?(crashed = []) ?loss_bound (inst : Mm.instance) =
         if is_crashed tid then deferred_crashed.(h) <- true
       end)
     c.Mm.deferred;
-  let is_deferred h = deferred_count.(h) > 0 in
   (* --- Reachability from the root links ----------------------------- *)
   let reach = Array.make (cap + 1) false in
   let num_links = Shmem.Layout.num_links (Arena.layout arena) in
@@ -290,6 +294,55 @@ let run ?(crashed = []) ?loss_bound (inst : Mm.instance) =
     in
     close !seeds
   end;
+  (* --- Deferred closure ---------------------------------------------- *)
+  (* A node whose reclamation waits on a buffered decrement keeps its
+     whole link-successor region waiting with it: the flush that
+     finally claims it cascades through every link it still holds
+     (R3), so those successors are flush-reclaimable too, not leaked.
+     Close the class over link slots exactly like the crash closure
+     above (crash attribution wins: a node already stranded by a
+     crashed thread stays [Crash_held]). *)
+  let deferred_held = Array.make (cap + 1) false in
+  if c.Mm.deferred <> [] then begin
+    let seeds = ref [] in
+    for h = 1 to cap do
+      if
+        deferred_count.(h) > 0
+        && (not (free h))
+        && (not reach.(h))
+        && not crash_held.(h)
+      then begin
+        deferred_held.(h) <- true;
+        seeds := h :: !seeds
+      end
+    done;
+    let rec close = function
+      | [] -> ()
+      | h :: rest ->
+          let next = ref rest in
+          if not (is_pending h) then begin
+            let p = Value.of_handle h in
+            for i = 0 to num_links - 1 do
+              let v = Arena.read_link arena p i in
+              if not (Value.is_null v) then begin
+                let h' = Value.handle (Value.unmark v) in
+                if
+                  h' >= 1 && h' <= cap
+                  && (not (free h'))
+                  && (not reach.(h'))
+                  && (not crash_held.(h'))
+                  && not deferred_held.(h')
+                then begin
+                  deferred_held.(h') <- true;
+                  next := h' :: !next
+                end
+              end
+            done
+          end;
+          close !next
+    in
+    close !seeds
+  end;
   (* --- Partition ----------------------------------------------------- *)
   let n_free = ref 0
   and n_reach = ref 0
@@ -302,7 +355,7 @@ let run ?(crashed = []) ?loss_bound (inst : Mm.instance) =
     else if reach.(h) then incr n_reach
     else if crash_held.(h) then incr n_crash
     else if is_pending h then incr n_pending
-    else if is_deferred h then incr n_deferred
+    else if deferred_held.(h) then incr n_deferred
     else incr n_leaked
   done;
   let loss_bound =

@@ -27,8 +27,11 @@ type report = {
           nodes link to *)
   deferred : int;
       (** kept allocated only by decrements still parked in surviving
-          threads' rc buffers (DESIGN.md §6.3); reclaimable at their
-          next flush — not a failure *)
+          threads' rc buffers (DESIGN.md §6.3), plus — closed over
+          link slots like [crash_held] — everything those nodes still
+          link to: the claiming flush cascades through the whole
+          region, so it is reclaimable at the owners' next flush, not
+          a failure *)
   leaked : int;             (** none of the above — an audit failure *)
   lost : int;               (** [capacity - free - reachable] *)
   loss_bound : int;

@@ -93,26 +93,18 @@ let run_point ?spine ?rep ?(shards = 1) ?(batch = 1) ?(oracle = false) ~scheme
       ~num_data:1 ~num_roots:0 ()
   in
   let mm = Registry.instantiate scheme cfg in
-  let per_thread = ops / threads in
-  let batches = per_thread / batch_pairs in
-  (* [ops] is a request; the count actually executed is rounded down
-     to threads × batches × batch_pairs. The point's [ops] field
-     always reports the completed count, and a request mostly lost to
-     rounding is surfaced rather than silently shrunk. *)
-  let done_ops = batches * batch_pairs * threads in
-  if 10 * done_ops < 9 * ops then
-    Printf.eprintf
-      "bench: warning: %s/%s %dT: batch rounding keeps only %d of %d \
-       requested ops (batch = %d pairs x %d threads)\n\
-       %!"
-      scheme (B.name backend) threads done_ops ops batch_pairs threads;
+  (* Exact per-thread split: completed always equals requested. Full
+     [batch_pairs]-sized batches plus one short trailing batch for the
+     remainder (its histogram sample is averaged over its own size). *)
+  let counts = Workload.split_ops ~threads ~ops in
+  let done_ops = ops in
   let hists = Array.init threads (fun _ -> Metrics.Hist.create ()) in
   let run () =
     Runner.run ~threads (fun ~tid ->
         let h = hists.(tid) in
-        for _ = 1 to batches do
+        let batch size =
           let t0 = Runner.now_ns () in
-          for _ = 1 to batch_pairs do
+          for _ = 1 to size do
             Mm.enter_op mm ~tid;
             (try
                let p = Mm.alloc mm ~tid in
@@ -121,8 +113,13 @@ let run_point ?spine ?rep ?(shards = 1) ?(batch = 1) ?(oracle = false) ~scheme
              with Mm.Out_of_memory | Mm.Out_of_nodes _ -> ());
             Mm.exit_op mm ~tid
           done;
-          Metrics.Hist.add h ((Runner.now_ns () - t0) / batch_pairs)
-        done)
+          Metrics.Hist.add h ((Runner.now_ns () - t0) / size)
+        in
+        let n = counts.(tid) in
+        for _ = 1 to n / batch_pairs do
+          batch batch_pairs
+        done;
+        if n mod batch_pairs > 0 then batch (n mod batch_pairs))
   in
   (* The analysis-overhead point: the same loop with the full
      {!Analysis.Reclaim} oracle armed — every instrumented Sim access
@@ -222,6 +219,104 @@ let run_suite ?spine ?(schemes = [ "wfrc" ]) ?(backends = [ B.Sim; B.Native ])
         schemes
   in
   base @ sharded @ oracle
+
+(* The actor-service point: the same point shape measured over
+   Actor.Service send/receive traffic instead of raw alloc/release
+   churn — every message is an enqueue (alloc + two CASes) against a
+   registry lookup, so this is the managers' hot path as a real
+   service drives it (E18's steady-state mix, minus spawn/retire
+   churn so ops are comparable run to run). Keyed into the JSON as
+   "<scheme>+actor". *)
+let run_actor_point ?spine ?(threads = 4) ?(actors = 10_000)
+    ?(ops = 200_000) ~scheme () =
+  let rec pow2 p n = if p >= n then p else pow2 (2 * p) n in
+  let buckets = pow2 1 (max 64 (actors / 8)) in
+  let capacity =
+    (2 * buckets) + 2 + (2 * actors) + max 4_096 (ops / 8)
+  in
+  let cfg =
+    Actor.Service.mm_config ~backend:B.Native ~threads ~capacity
+      ~max_actors:actors ~buckets ()
+  in
+  let mm = Registry.instantiate scheme cfg in
+  let run () =
+    let svc =
+      Actor.Service.create mm ~max_actors:actors ~buckets ~seed:67_000 ~tid:0
+    in
+    let ids = Array.make actors (-1) in
+    let counts = Workload.split_ops ~threads ~ops:actors in
+    ignore
+      (Runner.run ~threads (fun ~tid ->
+           for _ = 1 to counts.(tid) do
+             match Actor.Service.spawn svc ~tid with
+             | Some id -> ids.(id mod actors) <- id
+             | None -> ()
+           done));
+    let counts = Workload.split_ops ~threads ~ops in
+    let hists = Array.init threads (fun _ -> Metrics.Hist.create ()) in
+    let rngs =
+      Workload.per_thread ~threads ~seed:67_001 (fun rng -> rng)
+    in
+    let result =
+      Runner.run ~threads (fun ~tid ->
+          let rng = rngs.(tid) and h = hists.(tid) in
+          let batch size =
+            let t0 = Runner.now_ns () in
+            for _ = 1 to size do
+              if Sched.Rng.int rng 100 < 60 then
+                ignore
+                  (Actor.Service.send svc ~tid
+                     ~dst:(ids.(Sched.Rng.int rng actors))
+                     (Sched.Rng.int rng 1_000_000))
+              else
+                let self = ids.(Sched.Rng.int rng actors) in
+                let drained = ref 0 in
+                while
+                  !drained < 8 && Actor.Service.receive svc ~tid ~self <> None
+                do
+                  incr drained
+                done
+            done;
+            Metrics.Hist.add h ((Runner.now_ns () - t0) / size)
+          in
+          let n = counts.(tid) in
+          for _ = 1 to n / batch_pairs do
+            batch batch_pairs
+          done;
+          if n mod batch_pairs > 0 then batch (n mod batch_pairs))
+    in
+    ignore (Actor.Service.teardown svc ~tid:0);
+    let audit = Audit.run mm in
+    if audit.Audit.leaked > 0 then
+      Printf.eprintf "bench: actor point (%s): %d nodes leaked\n" scheme
+        audit.Audit.leaked;
+    (result, hists)
+  in
+  let result, hists =
+    match spine with
+    | None -> run ()
+    | Some s -> Exp_support.Spine.wrap s mm run
+  in
+  let hist = Metrics.Hist.create () in
+  Array.iter (fun h -> Metrics.Hist.merge_into hist h) hists;
+  {
+    rev = git_rev ();
+    scheme = scheme ^ "+actor";
+    backend = B.Native;
+    rep = cfg.Mm.rep;
+    threads;
+    shards = cfg.Mm.shards;
+    batch = cfg.Mm.batch;
+    ops;
+    wall_ns = result.Runner.wall_ns;
+    ops_per_sec = Runner.throughput ~ops result;
+    mean_ns = Metrics.Hist.mean hist;
+    p50_ns = Metrics.Hist.percentile hist 0.50;
+    p90_ns = Metrics.Hist.percentile hist 0.90;
+    p99_ns = Metrics.Hist.percentile hist 0.99;
+    max_ns = Metrics.Hist.max_value hist;
+    neg_samples = Metrics.Hist.negatives hist;
+  }
 
 (* Legacy flat JSON for the point list (BENCH_wfrc.json, consumed by
    CI plots). All fields are numbers or plain [a-z_] strings, so no

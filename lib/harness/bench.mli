@@ -78,6 +78,24 @@ val run_suite :
     single-threaded oracle-armed point per scheme tracks the analysis
     layer's Sim cost. *)
 
+val run_actor_point :
+  ?spine:Exp_support.Spine.t ->
+  ?threads:int ->
+  ?actors:int ->
+  ?ops:int ->
+  scheme:string ->
+  unit ->
+  point
+(** The actor-service point (Native only): [ops] send/receive
+    operations (60/40 mix, batch-timed like {!run_point}) against an
+    {!Actor.Service} of [actors] pre-spawned mailboxes — the managers'
+    hot path as the E18 service drives it, steady-state (no
+    spawn/retire churn, so runs are comparable op for op). Labelled
+    ["<scheme>+actor"] so it lands rev-keyed next to the churn points
+    in [BENCH_wfrc.json]. Defaults: 4 threads, 10k actors, 200k ops.
+    The service is torn down and audited after the measured phase; a
+    leak is reported on stderr but does not fail the run. *)
+
 val json_of_point : point -> string
 (** One point as its flat-JSON line (the unit {!write_json} merges
     by). *)

@@ -102,10 +102,11 @@ let e3 ?(schemes = [ "wfrc"; "lfrc"; "lockrc" ])
             list_layout ~backend:Atomics.Backend.Native ~threads ~capacity
           in
           let mm = Registry.instantiate scheme cfg in
-          let per_thread = ops / threads in
+          let counts = Workload.split_ops ~threads ~ops in
           let bursts =
-            Workload.per_thread ~threads ~seed (fun rng ->
-                Workload.churn_bursts ~rng ~n:per_thread ~max_burst)
+            Workload.per_thread ~threads ~seed (fun rng -> rng)
+            |> Array.mapi (fun tid rng ->
+                   Workload.churn_bursts ~rng ~n:counts.(tid) ~max_burst)
           in
           let row_spine = Spine.create () in
           let result =

@@ -23,9 +23,9 @@ module B = Atomics.Backend
 open Exp_support
 
 let churn mm ~threads ~ops =
-  let per_thread = ops / threads in
+  let counts = Workload.split_ops ~threads ~ops in
   Runner.run ~threads (fun ~tid ->
-      for _ = 1 to per_thread do
+      for _ = 1 to counts.(tid) do
         try
           let p = Mm.alloc mm ~tid in
           Mm.release mm ~tid p;

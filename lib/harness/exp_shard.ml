@@ -40,9 +40,11 @@ module Value = Shmem.Value
 open Exp_support
 
 let churn mm ~threads ~ops ~max_burst ~seed =
+  let counts = Workload.split_ops ~threads ~ops in
   let bursts =
-    Workload.per_thread ~threads ~seed (fun rng ->
-        Workload.churn_bursts ~rng ~n:(ops / threads) ~max_burst)
+    Workload.per_thread ~threads ~seed (fun rng -> rng)
+    |> Array.mapi (fun tid rng ->
+           Workload.churn_bursts ~rng ~n:counts.(tid) ~max_burst)
   in
   Runner.run ~threads (fun ~tid ->
       let held = Array.make max_burst Value.null in

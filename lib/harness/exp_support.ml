@@ -104,12 +104,13 @@ let pq_setup ~scheme ~threads ~ops ~capacity ~key_range ~seed =
   for _ = 1 to capacity / 8 do
     Structures.Pqueue.insert pq ~tid:0 (1 + Rng.int rng key_range) 0
   done;
-  let per_thread = ops / threads in
+  let counts = Workload.split_ops ~threads ~ops in
   let streams =
-    Workload.per_thread ~threads ~seed:(seed + 2) (fun rng ->
-        Workload.mixed ~rng ~n:per_thread ~produce_pct:50 ~key_range)
+    Workload.per_thread ~threads ~seed:(seed + 2) (fun rng -> rng)
+    |> Array.mapi (fun tid rng ->
+           Workload.mixed ~rng ~n:counts.(tid) ~produce_pct:50 ~key_range)
   in
-  (mm, pq, streams, per_thread)
+  (mm, pq, streams, ops)
 
 (* One root-churn operation (E12/E13): allocate, CAS into the root,
    retire the displaced node — and also retire the fresh node when the
@@ -153,9 +154,11 @@ let drain_survivors mm ~survivors =
 (* Churn throughput/retry for a Gc variant — shared by the A2/A3
    ablations. *)
 let churn_gc gc ~threads ~ops ~max_burst ~seed =
+  let counts = Workload.split_ops ~threads ~ops in
   let bursts =
-    Workload.per_thread ~threads ~seed (fun rng ->
-        Workload.churn_bursts ~rng ~n:(ops / threads) ~max_burst)
+    Workload.per_thread ~threads ~seed (fun rng -> rng)
+    |> Array.mapi (fun tid rng ->
+           Workload.churn_bursts ~rng ~n:counts.(tid) ~max_burst)
   in
   let result =
     Runner.run ~threads (fun ~tid ->

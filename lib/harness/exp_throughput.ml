@@ -20,7 +20,7 @@ let e1 ?(schemes = Registry.rc_names) ?(threads_list = [ 1; 2; 4; 8 ])
         Report.Str scheme
         :: List.map
              (fun threads ->
-               let mm, pq, streams, per_thread =
+               let mm, pq, streams, total_ops =
                  pq_setup ~scheme ~threads ~ops ~capacity ~key_range ~seed
                in
                let result =
@@ -28,8 +28,7 @@ let e1 ?(schemes = Registry.rc_names) ?(threads_list = [ 1; 2; 4; 8 ])
                      Runner.run ~threads (fun ~tid ->
                          pq_worker pq ~tid streams.(tid)))
                in
-               Report.Ops
-                 (Runner.throughput ~ops:(per_thread * threads) result))
+               Report.Ops (Runner.throughput ~ops:total_ops result))
              threads_list)
       schemes
   in
@@ -87,12 +86,12 @@ let e9 ?(schemes = Registry.names) ?(threads_list = [ 1; 2; 4 ])
                       (1 + Rng.int rng key_range)
                       0)
                done;
-               let per_thread = ops / threads in
+               let counts = Workload.split_ops ~threads ~ops in
                let result =
                  Spine.wrap spine mm (fun () ->
                      Runner.run ~threads (fun ~tid ->
                          let rng = Rng.create (seed + 2 + tid) in
-                         for _ = 1 to per_thread do
+                         for _ = 1 to counts.(tid) do
                            let k = 1 + Rng.int rng key_range in
                            match Rng.int rng 10 with
                            | 0 | 1 -> (
@@ -105,8 +104,7 @@ let e9 ?(schemes = Registry.names) ?(threads_list = [ 1; 2; 4 ])
                            | _ -> ignore (Structures.Oset.mem set ~tid k)
                          done))
                in
-               Report.Ops
-                 (Runner.throughput ~ops:(per_thread * threads) result))
+               Report.Ops (Runner.throughput ~ops result))
              threads_list)
       schemes
   in

@@ -10,7 +10,7 @@ let all : Exp.spec list =
     (Exp_throughput.specs @ Exp_contention.specs @ Exp_steps.specs
    @ Exp_lincheck.specs @ Exp_ratio.specs @ Exp_fault.specs
    @ Exp_shard.specs @ Exp_native.specs @ Exp_analysis.specs
-   @ Exp_deferred.specs)
+   @ Exp_deferred.specs @ Exp_actor.specs)
 
 let ids = Exp.ids all
 let specs = all
@@ -34,6 +34,7 @@ let e14 = Exp_shard.e14
 let e15 = Exp_native.e15
 let e16 = Exp_fault.e16
 let e17 = Exp_deferred.e17
+let e18 = Exp_actor.e18
 let a1 = Exp_ratio.a1
 let a2 = Exp_ratio.a2
 let a3 = Exp_ratio.a3

@@ -203,6 +203,33 @@ val e17 :
     [bench --check-scaling] gate holds the eager/deferred ratio at
     the read-heaviest mix to >= 5x via {!Exp_deferred.faa_traffic}. *)
 
+val e18 :
+  ?schemes:string list ->
+  ?threads_list:int list ->
+  ?actors:int ->
+  ?ops:int ->
+  ?chaos_seeds:int ->
+  ?chaos_threads:int ->
+  ?chaos_actors:int ->
+  ?chaos_ops:int ->
+  ?sim_seeds:int ->
+  ?million_actors:int ->
+  ?million_traffic:int ->
+  ?waves:int ->
+  ?million_schemes:string list ->
+  ?seed:int ->
+  unit ->
+  Report.t
+(** Actor service: {!Actor.Service} mailbox runtime (queue mailboxes,
+    Hmap registry, Pqueue timer wheel, one manager) under mixed
+    spawn/send/receive/retire traffic. Legs: Native scheme × threads
+    sweep with send-latency percentiles and a registry-degradation
+    probe; {!Chaos} crash-mid-send plus {!Recovery} (zero leaks
+    within the bounded-loss envelope); a deterministic Sim miniature
+    with virtual-time ttl timers; and a full-run-only million-actor
+    leg ([million_schemes] empty disables it) with wave retirement
+    through the timer wheel. *)
+
 val a1 : ?threads_list:int list -> ?seeds:int -> ?seed:int -> unit -> Report.t
 (** Ablation: deref step bound vs thread count (O(N) scans). *)
 

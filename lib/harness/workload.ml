@@ -36,6 +36,16 @@ let per_thread ~threads ~seed f =
   done;
   Array.map f rngs
 
+(* Exact per-thread split of an op budget: [threads] counts summing to
+   [ops], with the remainder spread one-per-thread over the low tids.
+   Replaces the truncating [ops / threads] pattern that made BENCH
+   rows report 199936 completed ops against a 200000 request. *)
+let split_ops ~threads ~ops =
+  if threads < 1 then invalid_arg "Workload.split_ops: threads < 1";
+  if ops < 0 then invalid_arg "Workload.split_ops: ops < 0";
+  let base = ops / threads and extra = ops mod threads in
+  Array.init threads (fun tid -> if tid < extra then base + 1 else base)
+
 let count_produces ops =
   Array.fold_left
     (fun acc op -> match op with Produce _ -> acc + 1 | Consume -> acc)

@@ -16,4 +16,10 @@ val churn_bursts : rng:Sched.Rng.t -> n:int -> max_burst:int -> int array
 val per_thread : threads:int -> seed:int -> (Sched.Rng.t -> 'a) -> 'a array
 (** Independent per-thread streams derived from [seed]. *)
 
+val split_ops : threads:int -> ops:int -> int array
+(** Exact per-thread split of an op budget: [threads] counts summing
+    to [ops], the remainder spread one-per-thread over the low tids —
+    completed always equals requested, unlike a truncating
+    [ops / threads]. *)
+
 val count_produces : op array -> int

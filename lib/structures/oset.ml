@@ -53,6 +53,8 @@ let create mm ~tid =
   Mm.exit_op mm ~tid;
   { mm; head; tail }
 
+let head t = t.head
+
 let key t p = Arena.read_data (Mm.arena t.mm) (Value.unmark p) 0
 let next_addr t p = Arena.link_addr (Mm.arena t.mm) (Value.unmark p) 0
 let release t ~tid p = if not (Value.is_null p) then Mm.release t.mm ~tid p

@@ -16,6 +16,14 @@ type t
 
 val create : Mm_intf.instance -> tid:int -> t
 
+val head : t -> Shmem.Value.ptr
+(** The immortal head sentinel. Sentinels are not stored in arena root
+    cells, so they (and everything they reach) are invisible to
+    root-based reachability scans; long-lived services should anchor
+    this pointer in a root cell ([Mm_intf.store_link]) if they want
+    {!Harness.Audit}-style audits to classify the set's nodes as
+    reachable rather than leaked. *)
+
 val insert : t -> tid:int -> int -> int -> bool
 (** [insert t ~tid k v] binds [k -> v]; [false] if [k] present. *)
 

@@ -70,6 +70,8 @@ let create mm ~seed ~tid =
     rngs = Array.init cfg.threads (fun i -> Sched.Rng.create (seed + (i * 7919)));
   }
 
+let head_ptr t = t.head
+
 let key t p = Arena.read_data (Mm.arena t.mm) (Value.unmark p) 0
 let level_of t p = Arena.read_data (Mm.arena t.mm) (Value.unmark p) 2
 let next_addr t p i = Arena.link_addr (Mm.arena t.mm) (Value.unmark p) i

@@ -16,6 +16,11 @@ type t
 
 val create : Mm_intf.instance -> seed:int -> tid:int -> t
 
+val head_ptr : t -> Shmem.Value.ptr
+(** The immortal head sentinel. Anchor it in an arena root cell if
+    root-based audits must see the queue's nodes as reachable (see
+    {!Oset.head}). *)
+
 val insert : t -> tid:int -> int -> int -> unit
 (** [insert t ~tid k v] inserts value [v] with priority [k]. *)
 

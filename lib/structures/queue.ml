@@ -126,3 +126,49 @@ let drain t ~tid =
     | Some v -> go (v :: acc)
   in
   go []
+
+(* Quiescent teardown: discard leftovers, then free the sentinel and
+   null both root cells so they can host a fresh queue. After the
+   drain the current sentinel is the only node left and both roots
+   point at it; nulling them makes it unreachable, which licenses the
+   terminate on every scheme (same ordering as [dequeue]).
+
+   Idempotent, and tolerant of a destroyer that crashed between the
+   two root stores: if the head root is already null, there is
+   nothing to drain — the second call just finishes clearing the tail
+   root (releasing the sentinel it may still pin) instead of
+   dereferencing null. Crash-adopting teardown loops rely on being
+   able to call this unconditionally. *)
+let destroy t ~tid =
+  let live =
+    Mm.enter_op t.mm ~tid;
+    Fun.protect ~finally:(fun () -> Mm.exit_op t.mm ~tid) @@ fun () ->
+    let s = Mm.deref t.mm ~tid t.head in
+    if Value.is_null s then false
+    else begin
+      Mm.release t.mm ~tid s;
+      true
+    end
+  in
+  if not live then begin
+    Mm.enter_op t.mm ~tid;
+    Fun.protect ~finally:(fun () -> Mm.exit_op t.mm ~tid) @@ fun () ->
+    let s = Mm.deref t.mm ~tid t.tail in
+    if not (Value.is_null s) then begin
+      Mm.store_link t.mm ~tid t.tail Value.null;
+      Mm.release t.mm ~tid s;
+      Mm.terminate t.mm ~tid s
+    end;
+    0
+  end
+  else begin
+    let leftovers = List.length (drain t ~tid) in
+    Mm.enter_op t.mm ~tid;
+    Fun.protect ~finally:(fun () -> Mm.exit_op t.mm ~tid) @@ fun () ->
+    let s = Mm.deref t.mm ~tid t.head in
+    Mm.store_link t.mm ~tid t.head Value.null;
+    Mm.store_link t.mm ~tid t.tail Value.null;
+    Mm.release t.mm ~tid s;
+    Mm.terminate t.mm ~tid s;
+    leftovers
+  end

@@ -16,3 +16,12 @@ val is_empty : t -> tid:int -> bool
 
 val drain : t -> tid:int -> int list
 (** Dequeue until empty, in FIFO order. Quiescent teardown helper. *)
+
+val destroy : t -> tid:int -> int
+(** Quiescent teardown: drain any leftover messages, free the sentinel
+    and null both root cells (they may host a fresh queue afterwards).
+    Returns the number of discarded messages. The queue must not be
+    used again. Idempotent: if the roots are already (partially)
+    nulled — an earlier destroy, or one that crashed between the two
+    root stores — the call finishes the clearing and returns 0, so
+    crash-adopting teardown may destroy unconditionally. *)

@@ -26,6 +26,7 @@ let () =
       ("hmap", T_hmap.suite);
       ("multiway", T_multiway.suite);
       ("lincheck", T_lincheck.suite);
+      ("actor", T_actor.suite);
       ("harness", T_harness.suite);
       ("experiments", T_experiments.suite);
       ("analysis", T_analysis.suite);
