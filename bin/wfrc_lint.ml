@@ -1,17 +1,171 @@
 (* CLI for the reclamation-protocol lint. Exit 0 when the tree is
-   clean, 1 when any violation is found — CI runs `wfrc_lint lib` as
-   a blocking job. *)
+   clean, 1 when any violation is found, 2 on usage errors — CI runs
+   `wfrc_lint lib` as a blocking job.
+
+   Usage: wfrc_lint [--pass NAME]... [--json=FILE] [--list-passes] [PATH]...
+
+   With no --pass, every registered pass runs. When the progress pass
+   is selected, the full classification table (every loop/recursion
+   cycle with its bounding evidence) and the expected-unbounded
+   assertions are printed before any violations. --json writes the
+   findings in the same shape as the REPORT_*.json experiment sinks,
+   so CI can archive them next to the experiment reports. *)
+
+let usage () =
+  prerr_endline
+    "usage: wfrc_lint [--pass NAME]... [--json=FILE] [--list-passes] [PATH]...";
+  prerr_endline "passes:";
+  List.iter
+    (fun (n, doc) -> Printf.eprintf "  %-16s %s\n" n doc)
+    Lint.passes;
+  exit 2
+
+(* ---- JSON in the REPORT_*.json sink shape ------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_str s = "\"" ^ json_escape s ^ "\""
+
+let write_json ~file ~passes ~(report : Lint.Progress.report option) vs =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let col name role =
+        Printf.sprintf "{\"name\":%s,\"role\":%s}" (json_str name)
+          (json_str role)
+      in
+      let row (v : Lint.violation) =
+        Printf.sprintf
+          "{\"file\":%s,\"line\":%d,\"rule\":%s,\"message\":%s}"
+          (json_str v.file) v.line (json_str v.rule) (json_str v.msg)
+      in
+      let cls_row (c : Lint.Progress.cls) =
+        Printf.sprintf
+          "{\"file\":%s,\"line\":%d,\"function\":%s,\"kind\":%s,\"level\":%s,\"evidence\":%s}"
+          (json_str c.c_file) c.c_line (json_str c.c_func) (json_str c.c_kind)
+          (json_str (Lint.Progress.level_name c.c_level))
+          (json_str c.c_evidence)
+      in
+      let extra =
+        match report with
+        | None -> ""
+        | Some r ->
+            Printf.sprintf
+              ",\"progress\":{\"files\":[%s],\"classifications\":[%s],\"expectations\":[%s]}"
+              (String.concat ","
+                 (List.map
+                    (fun (f, c) ->
+                      Printf.sprintf "{\"file\":%s,\"contract\":%s}"
+                        (json_str f)
+                        (json_str (Lint.Progress.contract_name c)))
+                    r.files))
+              (String.concat "," (List.map cls_row r.classifications))
+              (String.concat ","
+                 (List.map
+                    (fun (f, fn, ok) ->
+                      Printf.sprintf
+                        "{\"file\":%s,\"function\":%s,\"satisfied\":%b}"
+                        (json_str f) (json_str fn) ok)
+                    r.expectations))
+      in
+      Printf.fprintf oc
+        "{\"id\":\"lint\",\"title\":\"wfrc_lint findings\",\"meta\":{\"quick\":false,\"seed\":null,\"backend\":null,\"params\":{\"passes\":%s}},\"columns\":[%s],\"rows\":[%s]%s}\n"
+        (json_str (String.concat "," passes))
+        (String.concat ","
+           [
+             col "file" "dim"; col "line" "dim"; col "rule" "dim";
+             col "message" "measure";
+           ])
+        (String.concat "," (List.map row vs))
+        extra)
+
+(* ---- Argument parsing --------------------------------------------- *)
 
 let () =
-  let roots =
-    match Array.to_list Sys.argv with [] | [ _ ] -> [ "lib" ] | _ :: r -> r
+  let roots = ref [] and sel = ref [] and json = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--list-passes" :: _ ->
+        List.iter
+          (fun (n, doc) -> Printf.printf "%-16s %s\n" n doc)
+          Lint.passes;
+        exit 0
+    | "--pass" :: p :: rest ->
+        sel := p :: !sel;
+        parse rest
+    | "--json" :: f :: rest ->
+        json := Some f;
+        parse rest
+    | a :: rest when String.length a > 7 && String.sub a 0 7 = "--pass=" ->
+        sel := String.sub a 7 (String.length a - 7) :: !sel;
+        parse rest
+    | a :: rest when String.length a > 7 && String.sub a 0 7 = "--json=" ->
+        json := Some (String.sub a 7 (String.length a - 7));
+        parse rest
+    | ("--help" | "-h") :: _ -> usage ()
+    | a :: _ when String.length a > 1 && a.[0] = '-' ->
+        Printf.eprintf "wfrc_lint: unknown option %s\n" a;
+        usage ()
+    | a :: rest ->
+        roots := a :: !roots;
+        parse rest
   in
+  parse (List.tl (Array.to_list Sys.argv));
+  let roots = match List.rev !roots with [] -> [ "lib" ] | r -> r in
+  let passes =
+    match List.rev !sel with [] -> Lint.pass_names | ps -> ps
+  in
+  List.iter
+    (fun p ->
+      if not (List.mem p Lint.pass_names) then begin
+        Printf.eprintf "wfrc_lint: unknown pass %S\n" p;
+        usage ()
+      end)
+    passes;
   let missing = List.filter (fun r -> not (Sys.file_exists r)) roots in
   if missing <> [] then begin
     List.iter (Printf.eprintf "wfrc_lint: no such path: %s\n") missing;
     exit 2
   end;
-  match Lint.run ~roots with
+  let progress_report =
+    if List.mem "progress" passes then Some (Lint.Progress.analyze ~roots)
+    else None
+  in
+  (match progress_report with
+  | None -> ()
+  | Some r ->
+      List.iter
+        (fun (f, c) ->
+          Printf.printf "progress: %s declares %s\n" f
+            (Lint.Progress.contract_name c))
+        r.files;
+      List.iter
+        (fun c -> print_endline ("progress: " ^ Lint.Progress.pp_cls c))
+        r.classifications;
+      List.iter
+        (fun (f, fn, ok) ->
+          Printf.printf "progress: %s: '%s' expected-unbounded: %s\n" f fn
+            (if ok then "holds (still unbounded/retry)" else "VIOLATED"))
+        r.expectations);
+  let vs = Lint.run_passes ~passes ~roots in
+  (match !json with
+  | Some f -> write_json ~file:f ~passes ~report:progress_report vs
+  | None -> ());
+  match vs with
   | [] ->
       print_endline "wfrc_lint: clean";
       exit 0

@@ -1,3 +1,5 @@
+[@@@wfrc.progress "wait_free"] (* static progress contract; checked by `wfrc_lint --pass progress` *)
+
 (* The announcement pool of Figure 4:
 
      annReadAddr[NR_THREADS][NR_THREADS] : LinkOrPointer

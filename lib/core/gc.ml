@@ -1,3 +1,5 @@
+[@@@wfrc.progress "wait_free"] (* static progress contract; checked by `wfrc_lint --pass progress` *)
+
 (* The paper's algorithms, lines quoted by label:
 
    - Figure 4: DeRefLink (D1–D10), ReleaseRef (R1–R4), HelpDeRef
@@ -296,6 +298,11 @@ and release_work t ~tid sp =
     end
     else release_work t ~tid sp
   end
+[@@wfrc.bounded
+  "work-stack cascade: each iteration pops one claimed node and pushes only \
+   that node's collected link targets, so the stack drains after at most \
+   one entry per transitively reclaimed node (Lemma 7's bounded release \
+   recursion, exercised to 20k nodes in t_core)"]
 
 and push_collected t ~tid ~k ~collected sp =
   if k >= collected then sp
@@ -376,6 +383,11 @@ and free_push t ~tid node =
       C.incr t.ctr ~tid Free_retry;
       push ((index + n) mod (2 * n))                                (* F10 *)
     end
+  [@@wfrc.bounded
+    "F9-F10 two-list placement: a push CAS on freeList[i] only fails to an \
+     AllocNode taking the whole list, and F5-F6 placed us on a list the \
+     current allocator is not near, so the hop alternates between the two \
+     candidate lists at most a bounded number of times (Lemma 10)"]
   in
   push index
 
@@ -597,6 +609,10 @@ and help_scan_from t ~tid link from =
       help_scan_from t ~tid link (id + 1)
     end
   end
+[@@wfrc.bounded
+  "scan cursor: Ann.scan_announced returns a row id >= from (or -1), so \
+   the recursive call at id+1 strictly advances the cursor toward the H1 \
+   bound t.n"]
 
 and help_one t ~tid link ~id ~slot =
   Ann.busy_incr t.ann ~id ~slot;                                    (* H4 *)

@@ -1,3 +1,5 @@
+[@@@wfrc.progress "wait_free"] (* static progress contract; checked by `wfrc_lint --pass progress` *)
+
 (* The paper's scheme packaged behind the generic memory-manager
    signature, as a functor over the rc-buffering policy: the eager
    instance ([Wfrc], defer 0) is the paper's WFRC verbatim, and the

@@ -1,3 +1,5 @@
+[@@@wfrc.progress "wait_free"] (* static progress contract; checked by `wfrc_lint --pass progress` *)
+
 (* Per-domain rc-decrement buffers for the deferred-rc variant
    (Anderson-Blelloch-Wei, arXiv 2204.05985, adapted to the paper's
    2-units-per-reference counts).

@@ -1,3 +1,5 @@
+[@@@wfrc.progress "wait_free"] (* static progress contract; checked by `wfrc_lint --pass progress` *)
+
 (* The paper's scheme packaged behind the generic memory-manager
    signature, so the same data-structure code can run on it and on the
    baselines. The packaging itself (CompareAndSwapLink and friends)

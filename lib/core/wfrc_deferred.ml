@@ -1,3 +1,5 @@
+[@@@wfrc.progress "wait_free"] (* static progress contract; checked by `wfrc_lint --pass progress` *)
+
 (* The deferred-rc variant (exposed as [Wfrc.Deferred]): the same Gc
    engine with per-domain decrement buffers on the ReleaseRef fast
    path and increment sponging in DeRefLink — see Rcbuf and DESIGN.md

@@ -1,3 +1,5 @@
+[@@@wfrc.progress "lock_free"] (* static progress contract; checked by `wfrc_lint --pass progress` *)
+
 (* Epoch-based reclamation (3-epoch scheme), the other mainstream
    deferred-reclamation baseline.
 
@@ -222,6 +224,11 @@ let alloc t ~tid =
               C.incr t.ctr ~tid Alloc_retry;
               claim ~adopted
             end
+      [@@wfrc.bounded
+        "pressure counter: under_pressure advances !pressure toward the \
+         bound of 6 at every pass; the single reset is gated by the \
+         one-shot adopted flag, so at most 2*6 passes (each a bounded \
+         epoch-advance-and-collect) before typed Out_of_nodes"]
       in
       claim ~adopted:false
   | None ->
@@ -245,6 +252,10 @@ let alloc t ~tid =
             C.incr t.ctr ~tid Alloc_retry;
             pop ()
           end
+      [@@wfrc.expect_unbounded
+        "stamped Treiber pop: the head CAS can lose to concurrent \
+         pushes/pops indefinitely, and exhaustion spins through epoch \
+         advances — the legacy lock-free allocation path"]
       in
       pop ()
 

@@ -1,3 +1,5 @@
+[@@@wfrc.progress "lock_free"] (* static progress contract; checked by `wfrc_lint --pass progress` *)
+
 (* Michael's hazard pointers [11, 12], behind the common MM signature.
 
    This is the §1 comparison point the paper criticises for supporting
@@ -226,6 +228,10 @@ let alloc t ~tid =
               Freestore.wait_free fs ~tid ~timeout_ns:200_000;
               claim (rounds + 1) ~waits:(waits + 1) ~adopted
             end
+      [@@wfrc.bounded
+        "round counter: rounds advances toward limit at every pass; the \
+         scan retry and the adopt reset are each gated by a one-shot \
+         flag, so at most 2*limit+1 rounds before typed Out_of_nodes"]
       in
       claim 0 ~waits:0 ~adopted:false
   | None ->
@@ -250,6 +256,10 @@ let alloc t ~tid =
             C.incr t.ctr ~tid Alloc_retry;
             pop ()
           end
+      [@@wfrc.expect_unbounded
+        "stamped Treiber pop: the head CAS can lose to concurrent \
+         pushes/pops indefinitely (plus a one-shot scan-and-retry on \
+         pool pressure) — the legacy lock-free allocation path"]
       in
       pop ()
 
@@ -278,6 +288,10 @@ let rec deref t ~tid link =
           deref t ~tid link
         end
   end
+[@@wfrc.expect_unbounded
+  "hazard-pointer publish-validate retry: a concurrent link update \
+   between the slot write and the re-read invalidates the hazard \
+   indefinitely — the lock-free baseline the paper compares against"]
 
 let release t ~tid p =
   if not (Value.is_null p) then begin

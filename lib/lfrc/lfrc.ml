@@ -1,3 +1,5 @@
+[@@@wfrc.progress "lock_free"] (* static progress contract; checked by `wfrc_lint --pass progress` *)
+
 (* The "default lock-free memory management scheme" the paper compares
    against (§5): reference counting in the style of Valois [19] as
    corrected by Michael & Scott [14].
@@ -136,6 +138,11 @@ and release_work t ~tid sp =
     end
     else release_work t ~tid sp
   end
+[@@wfrc.bounded
+  "work-stack cascade: each iteration pops one claimed node and pushes only \
+   that node's collected link targets, so the stack drains after at most \
+   one entry per transitively reclaimed node (Valois's bounded release \
+   recursion)"]
 
 and push_collected t ~tid ~k ~collected sp =
   if k >= collected then sp
@@ -205,6 +212,10 @@ let alloc t ~tid =
               Freestore.wait_free fs ~tid ~timeout_ns:200_000;
               claim (rounds + 1) ~waits:(waits + 1) ~adopted
             end
+      [@@wfrc.bounded
+        "round counter: rounds advances toward limit at every pass; the \
+         single reset is gated by the one-shot adopted flag, so at most \
+         2*limit rounds before typed Out_of_nodes backpressure"]
       in
       claim 0 ~waits:0 ~adopted:false
   | None ->
@@ -250,6 +261,10 @@ let deref t ~tid link =
     end
   in
   attempt ()
+[@@wfrc.expect_unbounded
+  "the Valois read-FAA-validate retry: under contention a concurrent \
+   link update invalidates the snapshot indefinitely — this is exactly \
+   the unbounded baseline the paper's D1-D10 is measured against"]
 
 let copy_ref t ~tid:_ p =
   if not (Value.is_null p) then Arena.faa_mm_ref t.arena p 2;

@@ -1,0 +1,49 @@
+(** Static progress analyzer: bounded-step (wait-freedom) checking.
+
+    Files carrying a floating
+    [[@@@wfrc.progress "wait_free"|"lock_free"|"blocking"]] attribute
+    enter the analysis. Every loop and recursion cycle in them is
+    classified (statically bounded, helping-bounded, cas-retry,
+    unbounded), summaries propagate over the call graph, and any
+    top-level function whose worst reachable cycle exceeds the file's
+    declared contract is a violation.
+
+    Per-binding annotations:
+    - [[@@wfrc.bounded "evidence"]] — trusted axiom: the cycle is
+      bounded for the stated reason (printed as evidence).
+    - [[@@wfrc.expect_unbounded "reason"]] — asserts the function
+      still contains an unbounded/retry cycle; a regression to
+      bounded is itself a violation (the lock-free baselines must
+      keep measuring what the paper compares against). *)
+
+type level = Bounded | Helping | Retry | Unbounded
+type contract = Wait_free | Lock_free | Blocking
+
+val level_rank : level -> int
+val level_name : level -> string
+val contract_name : contract -> string
+
+val contract_allows : contract -> level
+(** The worst level a contract admits. *)
+
+type cls = {
+  c_file : string;
+  c_func : string;
+  c_line : int;
+  c_kind : string;  (** "for" | "while" | "recursion" | "mutual-recursion" *)
+  c_level : level;
+  c_evidence : string;
+}
+
+type violation = { v_file : string; v_line : int; v_msg : string }
+
+type report = {
+  files : (string * contract) list;  (** analyzed files and contracts *)
+  classifications : cls list;  (** every cycle, with evidence *)
+  expectations : (string * string * bool) list;
+      (** (file, function, satisfied) per [expect_unbounded] *)
+  violations : violation list;
+}
+
+val analyze : roots:string list -> report
+val pp_cls : cls -> string

@@ -1,3 +1,5 @@
+[@@@wfrc.progress "blocking"] (* static progress contract; checked by `wfrc_lint --pass progress` *)
+
 (* The blocking strawman of the paper's §1: reference counting with
    every memory-management operation serialised by one test-and-set
    spinlock. Correct and simple, but a preempted lock holder stalls

@@ -1,3 +1,5 @@
+[@@@wfrc.progress "wait_free"] (* static progress contract; checked by `wfrc_lint --pass progress` *)
+
 (* The simulated shared memory.
 
    One flat store of atomic words plays the role of the machine's

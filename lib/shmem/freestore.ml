@@ -1,3 +1,5 @@
+[@@@wfrc.progress "lock_free"] (* static progress contract; checked by `wfrc_lint --pass progress` *)
+
 (* Sharded free store for the [Native] backend.
 
    The managers' legacy free-lists funnel every allocation and free

@@ -1,0 +1,8 @@
+(* Fixture: an event vocabulary where one constructor is only ever
+   bumped from a C stub.  The counter-coverage pass must accept a
+   whole-word token occurrence in a sibling .c source as liveness.
+   Expected: zero violations. *)
+
+type event = Hits | Stub_bump
+
+let to_string = function Hits -> "hits" | Stub_bump -> "stub_bump"

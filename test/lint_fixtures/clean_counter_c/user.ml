@@ -1,0 +1,3 @@
+(* Constructs Hits from OCaml; Stub_bump is bumped by user.c. *)
+
+let tally c = Counters.incr c Counters.Hits

@@ -1,0 +1,12 @@
+(* Fixture: buffered release where the only flush site is the
+   quiescence-driven [flush_all] — DESIGN.md §6.3's second trigger.
+   The protocol pass must accept any in-file flush site, not just the
+   buffer-full [flush].  Expected: zero violations. *)
+
+let release_deferred mm buf ~tid root =
+  let w = Mm.deref mm ~tid root in
+  if Rcbuf.defer_release buf ~tid w then ()
+
+(* The quiescence hook: the domain parks, so every deferred decrement
+   in the buffer is flushed to the shared counters. *)
+let on_quiesce buf ~tid = Rcbuf.flush_all buf ~tid

@@ -1,0 +1,21 @@
+(* Fixture: interprocedural ownership. [peek] only borrows its
+   argument — its body neither releases [w] nor hands it off — so a
+   call to it does NOT discharge the caller's obligation. The
+   accessor-style name is irrelevant: the in-file summary is the
+   authority. Expected: one [unbalanced-deref] violation, in
+   [read_leaky]. *)
+
+let peek arena w = Arena.read_data arena (Value.unmark w) 0
+
+let read_leaky mm arena ~tid root =
+  let w = Mm.deref mm ~tid root in
+  peek arena w
+
+(* Contrast: the same borrow is fine when the caller still releases. *)
+let drop mm ~tid w = Mm.release mm ~tid w
+
+let read_ok mm arena ~tid root =
+  let w = Mm.deref mm ~tid root in
+  let v = peek arena w in
+  drop mm ~tid w;
+  v

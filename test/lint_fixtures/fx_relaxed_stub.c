@@ -1,0 +1,16 @@
+/* Fixture: a stub using a memory ordering weaker than the declared
+   table (all-SEQ_CST today).  Expected: one [stub-ordering]
+   violation, at the __ATOMIC_RELAXED load. */
+
+#include <stdint.h>
+
+long relaxed_read(long *p)
+{
+  /* __ATOMIC_ACQUIRE in a comment must not confuse the scanner. */
+  return __atomic_load_n(p, __ATOMIC_RELAXED);
+}
+
+long seq_cst_read(long *p)
+{
+  return __atomic_load_n(p, __ATOMIC_SEQ_CST);
+}

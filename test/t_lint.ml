@@ -66,6 +66,16 @@ let test_dead_counter () =
   | vs ->
       Alcotest.failf "expected exactly one violation, got %d" (List.length vs)
 
+let test_borrowed_helper () =
+  let vs = Lint.run ~roots:[ fx "fx_borrowed_helper.ml" ] in
+  check_rules "borrowing helper does not discharge" [ "unbalanced-deref" ] vs;
+  Alcotest.(check int) "exactly one violation" 1 (List.length vs)
+
+let test_relaxed_stub () =
+  let vs = Lint.run ~roots:[ fx "fx_relaxed_stub.c" ] in
+  check_rules "relaxed ordering flagged" [ "stub-ordering" ] vs;
+  Alcotest.(check int) "exactly one violation" 1 (List.length vs)
+
 (* ---- clean code stays clean -------------------------------------- *)
 
 let test_clean_example () =
@@ -74,6 +84,18 @@ let test_clean_example () =
     (String.concat "\n" ("clean_example is quiet" :: List.map Lint.to_string vs)
     |> String.map (fun c -> if c = '\n' then ' ' else c))
     0 (List.length vs)
+
+(* Counter constructed only from a C stub: the whole-word token in the
+   decommented stub source keeps it alive. *)
+let test_clean_counter_c () =
+  let vs = Lint.run ~roots:[ fx "clean_counter_c" ] in
+  Alcotest.(check int) "C-side counter liveness accepted" 0 (List.length vs)
+
+(* Buffered release whose only flush site is the quiescence-driven
+   flush_all: still a discharge. *)
+let test_clean_deferred_quiescent () =
+  let vs = Lint.run ~roots:[ fx "clean_deferred_quiescent.ml" ] in
+  Alcotest.(check int) "quiescence flush accepted" 0 (List.length vs)
 
 (* The real library tree must lint clean — same invocation CI uses.
    Resolve lib/ relative to the dune workspace root when running from
@@ -104,6 +126,13 @@ let suite =
     Alcotest.test_case "fixture: dead counter" `Quick test_dead_counter;
     Alcotest.test_case "fixture: buffered release without a flush site"
       `Quick test_deferred_unflushed;
+    Alcotest.test_case "fixture: borrowing helper" `Quick test_borrowed_helper;
+    Alcotest.test_case "fixture: relaxed stub ordering" `Quick
+      test_relaxed_stub;
     Alcotest.test_case "clean example is quiet" `Quick test_clean_example;
+    Alcotest.test_case "clean: C-side counter liveness" `Quick
+      test_clean_counter_c;
+    Alcotest.test_case "clean: quiescence-driven flush" `Quick
+      test_clean_deferred_quiescent;
     Alcotest.test_case "library tree lints clean" `Quick test_lib_clean;
   ]

@@ -31,4 +31,5 @@ let () =
       ("experiments", T_experiments.suite);
       ("analysis", T_analysis.suite);
       ("lint", T_lint.suite);
+      ("progress", T_progress.suite);
     ]
